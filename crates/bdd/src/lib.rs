@@ -1,0 +1,561 @@
+//! A small hash-consed reduced ordered binary decision diagram (ROBDD)
+//! package.
+//!
+//! CERES-style technology mapping uses Boolean operations on canonical
+//! function representations for matching and verification (Mailhot &
+//! De Micheli). This crate provides exactly the operations the mapper and
+//! the hazard analyses need:
+//!
+//! * canonical construction from covers ([`Manager::from_cover`]), so
+//!   functional equivalence is pointer equality;
+//! * the `ite`/apply family;
+//! * satisfiability queries ([`Manager::any_sat`], [`Manager::sat_count`]),
+//!   used by the single-input-change dynamic hazard analysis to decide
+//!   whether a candidate hazard is sensitizable;
+//! * structural queries (`support`, `restrict`, `eval`).
+//!
+//! Nodes are never garbage collected: managers are created per analysis and
+//! dropped wholesale, which matches how the mapper uses them (one manager
+//! per cone / cell).
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_bdd::Manager;
+//! use asyncmap_cube::{Cover, VarTable};
+//!
+//! let vars = VarTable::from_names(["a", "b", "c"]);
+//! let mut mgr = Manager::new(vars.len());
+//! let f = mgr.from_cover(&Cover::parse("ab + a'c", &vars)?);
+//! let g = mgr.from_cover(&Cover::parse("ab + a'c + bc", &vars)?);
+//! assert_eq!(f, g); // the consensus cube is redundant
+//! assert_eq!(mgr.sat_count(f), 4);
+//! # Ok::<(), asyncmap_cube::ParseSopError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asyncmap_cube::{Bits, Cover, Cube, Phase, VarId};
+use std::collections::HashMap;
+
+/// Reference to a BDD node inside a [`Manager`].
+///
+/// Equality of `Ref`s obtained from the *same* manager is functional
+/// equality of the Boolean functions they denote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant-0 function.
+    pub const ZERO: Ref = Ref(0);
+    /// The constant-1 function.
+    pub const ONE: Ref = Ref(1);
+
+    /// `true` if this is one of the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A BDD manager: node store, unique table and operation caches, over a
+/// fixed variable count with the natural variable order.
+#[derive(Debug, Default)]
+pub struct Manager {
+    nvars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    apply_cache: HashMap<(Op, Ref, Ref), Ref>,
+    not_cache: HashMap<Ref, Ref>,
+}
+
+impl Manager {
+    /// Creates a manager for functions of `nvars` variables.
+    pub fn new(nvars: usize) -> Self {
+        let mut m = Manager {
+            nvars,
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        };
+        // Slots 0 and 1 are reserved for the terminals; their node contents
+        // are never inspected.
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Ref::ZERO,
+            hi: Ref::ZERO,
+        });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Ref::ONE,
+            hi: Ref::ONE,
+        });
+        m
+    }
+
+    /// Number of variables the manager was created with.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn var_of(&self, r: Ref) -> u32 {
+        if r.is_const() {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    fn cofactors(&self, r: Ref, var: u32) -> (Ref, Ref) {
+        if r.is_const() || self.nodes[r.0 as usize].var != var {
+            (r, r)
+        } else {
+            let n = self.nodes[r.0 as usize];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// The function of a single positive literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: VarId) -> Ref {
+        assert!(v.index() < self.nvars, "variable {v} out of range");
+        self.mk(v.index() as u32, Ref::ZERO, Ref::ONE)
+    }
+
+    /// The function of a single literal with the given phase.
+    pub fn literal(&mut self, v: VarId, phase: Phase) -> Ref {
+        let f = self.var(v);
+        if phase.is_pos() {
+            f
+        } else {
+            self.not(f)
+        }
+    }
+
+    /// Logical complement.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        if f == Ref::ZERO {
+            return Ref::ONE;
+        }
+        if f == Ref::ONE {
+            return Ref::ZERO;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        r
+    }
+
+    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Ref {
+        match (op, f, g) {
+            (Op::And, Ref::ZERO, _) | (Op::And, _, Ref::ZERO) => return Ref::ZERO,
+            (Op::And, Ref::ONE, x) | (Op::And, x, Ref::ONE) => return x,
+            (Op::Or, Ref::ONE, _) | (Op::Or, _, Ref::ONE) => return Ref::ONE,
+            (Op::Or, Ref::ZERO, x) | (Op::Or, x, Ref::ZERO) => return x,
+            (Op::Xor, Ref::ZERO, x) | (Op::Xor, x, Ref::ZERO) => return x,
+            (Op::Xor, Ref::ONE, x) | (Op::Xor, x, Ref::ONE) => return self.not(x),
+            _ => {}
+        }
+        if f == g {
+            return match op {
+                Op::And | Op::Or => f,
+                Op::Xor => Ref::ZERO,
+            };
+        }
+        // Commutative ops: normalize operand order for the cache.
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            return r;
+        }
+        let var = self.var_of(f).min(self.var_of(g));
+        let (flo, fhi) = self.cofactors(f, var);
+        let (glo, ghi) = self.cofactors(g, var);
+        let lo = self.apply(op, flo, glo);
+        let hi = self.apply(op, fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.apply_cache.insert((op, f, g), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// If-then-else: `f·g + f'·h`.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        let fg = self.and(f, g);
+        let nf = self.not(f);
+        let nfh = self.and(nf, h);
+        self.or(fg, nfh)
+    }
+
+    /// `true` iff `f ⇒ g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> bool {
+        let ng = self.not(g);
+        self.and(f, ng) == Ref::ZERO
+    }
+
+    /// Builds the function of a single cube.
+    pub fn from_cube(&mut self, cube: &Cube) -> Ref {
+        let mut acc = Ref::ONE;
+        // Build bottom-up (highest variable first) for linear work.
+        let lits: Vec<(VarId, Phase)> = cube.literals().collect();
+        for &(v, p) in lits.iter().rev() {
+            let l = self.literal(v, p);
+            acc = self.and(l, acc);
+        }
+        acc
+    }
+
+    /// Builds the function of an SOP cover.
+    pub fn from_cover(&mut self, cover: &Cover) -> Ref {
+        let mut acc = Ref::ZERO;
+        for c in cover.cubes() {
+            let cf = self.from_cube(c);
+            acc = self.or(acc, cf);
+        }
+        acc
+    }
+
+    /// Restricts variable `v` to a constant.
+    pub fn restrict(&mut self, f: Ref, v: VarId, value: bool) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.nodes[f.0 as usize];
+        let target = v.index() as u32;
+        if n.var > target {
+            return f;
+        }
+        if n.var == target {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, value);
+        let hi = self.restrict(n.hi, v, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification over `v`.
+    pub fn exists(&mut self, f: Ref, v: VarId) -> Ref {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Evaluates `f` at a full assignment.
+    pub fn eval(&self, f: Ref, assignment: &Bits) -> bool {
+        debug_assert_eq!(assignment.len(), self.nvars);
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment.get(n.var as usize) {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+        cur == Ref::ONE
+    }
+
+    /// Number of satisfying assignments over all `nvars` variables.
+    pub fn sat_count(&self, f: Ref) -> u64 {
+        let mut memo: HashMap<Ref, u64> = HashMap::new();
+        self.sat_count_rec(f, &mut memo, 0)
+    }
+
+    fn sat_count_rec(&self, f: Ref, memo: &mut HashMap<Ref, u64>, from_var: u32) -> u64 {
+        // Count assignments of variables in [from_var, nvars).
+        if f == Ref::ZERO {
+            return 0;
+        }
+        if f == Ref::ONE {
+            return 1u64 << (self.nvars as u32 - from_var);
+        }
+        let n = self.nodes[f.0 as usize];
+        let below = if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            let lo = self.sat_count_rec(n.lo, memo, n.var + 1);
+            let hi = self.sat_count_rec(n.hi, memo, n.var + 1);
+            let c = lo + hi;
+            memo.insert(f, c);
+            c
+        };
+        below << (n.var - from_var)
+    }
+
+    /// Returns one satisfying assignment (variables off the satisfying path
+    /// are set to 0), or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Ref) -> Option<Bits> {
+        if f == Ref::ZERO {
+            return None;
+        }
+        let mut a = Bits::new(self.nvars);
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            if n.hi != Ref::ZERO {
+                a.set(n.var as usize, true);
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(a)
+    }
+
+    /// Extracts the function as an SOP cover (one cube per 1-path of the
+    /// diagram; the cubes are pairwise disjoint).
+    pub fn to_cover(&self, f: Ref) -> Cover {
+        let mut out = Cover::zero(self.nvars);
+        let mut prefix: Vec<(VarId, Phase)> = Vec::new();
+        self.paths_rec(f, &mut prefix, &mut out);
+        out
+    }
+
+    fn paths_rec(&self, f: Ref, prefix: &mut Vec<(VarId, Phase)>, out: &mut Cover) {
+        if f == Ref::ZERO {
+            return;
+        }
+        if f == Ref::ONE {
+            out.push(Cube::from_literals(self.nvars, prefix.iter().copied()));
+            return;
+        }
+        let n = self.nodes[f.0 as usize];
+        prefix.push((VarId(n.var as usize), Phase::Neg));
+        self.paths_rec(n.lo, prefix, out);
+        prefix.pop();
+        prefix.push((VarId(n.var as usize), Phase::Pos));
+        self.paths_rec(n.hi, prefix, out);
+        prefix.pop();
+    }
+
+    /// The set of variables `f` actually depends on.
+    pub fn support(&self, f: Ref) -> Vec<VarId> {
+        let mut seen = vec![false; self.nvars];
+        let mut stack = vec![f];
+        let mut visited: std::collections::HashSet<Ref> = std::collections::HashSet::new();
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !visited.insert(r) {
+                continue;
+            }
+            let n = self.nodes[r.0 as usize];
+            seen[n.var as usize] = true;
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    fn vars3() -> VarTable {
+        VarTable::from_names(["a", "b", "c"])
+    }
+
+    fn build(text: &str, mgr: &mut Manager, vars: &VarTable) -> Ref {
+        mgr.from_cover(&Cover::parse(text, vars).unwrap())
+    }
+
+    #[test]
+    fn constants() {
+        let mut m = Manager::new(2);
+        assert_eq!(m.not(Ref::ZERO), Ref::ONE);
+        assert_eq!(m.and(Ref::ONE, Ref::ZERO), Ref::ZERO);
+        assert_eq!(m.or(Ref::ONE, Ref::ZERO), Ref::ONE);
+        assert_eq!(m.xor(Ref::ONE, Ref::ONE), Ref::ZERO);
+    }
+
+    #[test]
+    fn canonical_equality_detects_redundancy() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c", &mut m, &vars);
+        let g = build("ab + a'c + bc", &mut m, &vars);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn distinct_functions_differ() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab", &mut m, &vars);
+        let g = build("ab + c", &mut m, &vars);
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn ite_and_implies() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let a = m.var(VarId(0));
+        let b = m.var(VarId(1));
+        let c = m.var(VarId(2));
+        let mux = m.ite(a, b, c); // ab + a'c
+        let expect = build("ab + a'c", &mut m, &vars);
+        assert_eq!(mux, expect);
+        let ab = m.and(a, b);
+        assert!(m.implies(ab, a));
+        assert!(!m.implies(a, ab));
+    }
+
+    #[test]
+    fn sat_count_and_any_sat() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c", &mut m, &vars);
+        assert_eq!(m.sat_count(f), 4); // ab: 2, a'c: 2, disjoint
+        let a = m.any_sat(f).unwrap();
+        assert!(m.eval(f, &a));
+        assert!(m.any_sat(Ref::ZERO).is_none());
+        assert_eq!(m.sat_count(Ref::ONE), 8);
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c", &mut m, &vars);
+        let f_a1 = m.restrict(f, VarId(0), true);
+        let b = m.var(VarId(1));
+        assert_eq!(f_a1, b);
+        let ex = m.exists(f, VarId(0));
+        let b_or_c = build("b + c", &mut m, &vars);
+        assert_eq!(ex, b_or_c);
+    }
+
+    #[test]
+    fn support_reports_dependencies() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'b", &mut m, &vars); // = b
+        assert_eq!(m.support(f), vec![VarId(1)]);
+        let g = build("ab + c", &mut m, &vars);
+        assert_eq!(g, g);
+        assert_eq!(m.support(g), vec![VarId(0), VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn eval_walks_structure() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c", &mut m, &vars);
+        let mut a = Bits::new(3);
+        a.set(0, true);
+        a.set(1, true);
+        assert!(m.eval(f, &a)); // a=1 b=1
+        a.set(1, false);
+        assert!(!m.eval(f, &a)); // a=1 b=0 c=0
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c", &mut m, &vars);
+        let nf = m.not(f);
+        assert_ne!(f, nf);
+        assert_eq!(m.not(nf), f);
+        assert_eq!(m.sat_count(nf), 8 - 4);
+    }
+
+    #[test]
+    fn xor_via_and_or_not() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab", &mut m, &vars);
+        let g = build("a'c", &mut m, &vars);
+        let x = m.xor(f, g);
+        let fg_or = m.or(f, g);
+        let fg_and = m.and(f, g);
+        let n_and = m.not(fg_and);
+        let manual = m.and(fg_or, n_and);
+        assert_eq!(x, manual);
+    }
+
+    #[test]
+    fn to_cover_roundtrips() {
+        let vars = vars3();
+        let mut m = Manager::new(3);
+        let f = build("ab + a'c + bc", &mut m, &vars);
+        let cover = m.to_cover(f);
+        let back = m.from_cover(&cover);
+        assert_eq!(back, f);
+        // Paths are pairwise disjoint.
+        for (i, a) in cover.cubes().iter().enumerate() {
+            for b in cover.cubes().iter().skip(i + 1) {
+                assert!(a.intersect(b).is_none());
+            }
+        }
+        assert!(m.to_cover(Ref::ZERO).is_empty());
+        assert!(m.to_cover(Ref::ONE).cubes()[0].is_universe());
+    }
+
+    #[test]
+    fn from_cube_of_universe_is_one() {
+        let mut m = Manager::new(3);
+        assert_eq!(m.from_cube(&Cube::universe(3)), Ref::ONE);
+        assert_eq!(m.from_cover(&Cover::zero(3)), Ref::ZERO);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: BDD operations agree with brute-force truth-table
+//! semantics of random covers.
+
+use asyncmap_bdd::{Manager, Ref};
+use asyncmap_cube::{Bits, Cover, Cube, Phase, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+fn assignment(m: usize) -> Bits {
+    let mut b = Bits::new(NVARS);
+    for v in 0..NVARS {
+        b.set(v, (m >> v) & 1 == 1);
+    }
+    b
+}
+
+prop_compose! {
+    fn arb_cube()(used in 0u8..32, phase in 0u8..32) -> Cube {
+        let mut lits = Vec::new();
+        for v in 0..NVARS {
+            if (used >> v) & 1 == 1 {
+                let p = if (phase >> v) & 1 == 1 { Phase::Pos } else { Phase::Neg };
+                lits.push((VarId(v), p));
+            }
+        }
+        Cube::from_literals(NVARS, lits)
+    }
+}
+
+prop_compose! {
+    fn arb_cover()(cubes in prop::collection::vec(arb_cube(), 0..8)) -> Cover {
+        Cover::from_cubes(NVARS, cubes)
+    }
+}
+
+proptest! {
+    #[test]
+    fn from_cover_matches_eval(f in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let r = m.from_cover(&f);
+        for a in 0..(1usize << NVARS) {
+            prop_assert_eq!(m.eval(r, &assignment(a)), f.eval(&assignment(a)));
+        }
+    }
+
+    #[test]
+    fn canonical_iff_equivalent(f in arb_cover(), g in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let rf = m.from_cover(&f);
+        let rg = m.from_cover(&g);
+        prop_assert_eq!(rf == rg, f.equivalent(&g));
+    }
+
+    #[test]
+    fn boolean_ops_match(f in arb_cover(), g in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let rf = m.from_cover(&f);
+        let rg = m.from_cover(&g);
+        let and = m.and(rf, rg);
+        let or = m.or(rf, rg);
+        let xor = m.xor(rf, rg);
+        let not = m.not(rf);
+        for a in 0..(1usize << NVARS) {
+            let (va, vb) = (f.eval(&assignment(a)), g.eval(&assignment(a)));
+            prop_assert_eq!(m.eval(and, &assignment(a)), va && vb);
+            prop_assert_eq!(m.eval(or, &assignment(a)), va || vb);
+            prop_assert_eq!(m.eval(xor, &assignment(a)), va ^ vb);
+            prop_assert_eq!(m.eval(not, &assignment(a)), !va);
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(f in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let r = m.from_cover(&f);
+        let count = (0..(1usize << NVARS))
+            .filter(|&a| f.eval(&assignment(a)))
+            .count() as u64;
+        prop_assert_eq!(m.sat_count(r), count);
+        match m.any_sat(r) {
+            Some(a) => prop_assert!(m.eval(r, &a)),
+            None => prop_assert_eq!(count, 0),
+        }
+    }
+
+    #[test]
+    fn restrict_matches_cofactor(f in arb_cover(), v in 0usize..NVARS, val: bool) {
+        let mut m = Manager::new(NVARS);
+        let r = m.from_cover(&f);
+        let restricted = m.restrict(r, VarId(v), val);
+        let phase = if val { Phase::Pos } else { Phase::Neg };
+        let cof = m.from_cover(&f.cofactor(VarId(v), phase));
+        prop_assert_eq!(restricted, cof);
+    }
+
+    #[test]
+    fn implies_matches_cover_implication(f in arb_cover(), g in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let rf = m.from_cover(&f);
+        let rg = m.from_cover(&g);
+        prop_assert_eq!(m.implies(rf, rg), f.implies(&g));
+    }
+
+    #[test]
+    fn support_is_semantic(f in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let r = m.from_cover(&f);
+        let support = m.support(r);
+        for v in 0..NVARS {
+            let f0 = m.restrict(r, VarId(v), false);
+            let f1 = m.restrict(r, VarId(v), true);
+            prop_assert_eq!(support.contains(&VarId(v)), f0 != f1);
+        }
+    }
+
+    #[test]
+    fn tautology_iff_one(f in arb_cover()) {
+        let mut m = Manager::new(NVARS);
+        let r = m.from_cover(&f);
+        prop_assert_eq!(r == Ref::ONE, f.is_tautology());
+    }
+}

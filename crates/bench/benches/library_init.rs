@@ -1,0 +1,53 @@
+//! Criterion benchmark behind Table 2: library initialization for the
+//! synchronous mapper (construction + matcher signatures) vs the
+//! asynchronous mapper (the same plus hazard annotation of every cell).
+
+use asyncmap_core::{HazardPolicy, Matcher};
+use asyncmap_library::{builtin, Library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn build(name: &str) -> Library {
+    match name {
+        "LSI9K" => builtin::lsi9k(),
+        "CMOS3" => builtin::cmos3(),
+        "GDT" => builtin::gdt(),
+        _ => builtin::actel(),
+    }
+}
+
+fn bench_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library_init");
+    for name in ["LSI9K", "CMOS3", "GDT", "Actel"] {
+        g.bench_function(format!("sync/{name}"), |b| {
+            b.iter(|| {
+                let lib = build(name);
+                let m = Matcher::new(&lib, HazardPolicy::Ignore);
+                black_box(m.library().len())
+            })
+        });
+        g.bench_function(format!("async/{name}"), |b| {
+            b.iter(|| {
+                let mut lib = build(name);
+                lib.annotate_hazards();
+                let m = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+                black_box(m.library().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_init
+}
+criterion_main!(benches);

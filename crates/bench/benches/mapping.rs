@@ -1,0 +1,54 @@
+//! Criterion benchmark behind Tables 4 and 5: end-to-end mapping time,
+//! synchronous vs asynchronous, on representative benchmark controllers
+//! and libraries. (The table binaries cover the full design × library
+//! matrix with single-shot timing; here criterion tracks the small and
+//! medium designs precisely.)
+
+use asyncmap_core::{async_tmap, tmap, MapOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping");
+    let mut lsi = asyncmap_library::builtin::lsi9k();
+    lsi.annotate_hazards();
+    let mut actel = asyncmap_library::builtin::actel();
+    actel.annotate_hazards();
+    let opts = MapOptions::default();
+    for name in ["dme-fast", "dme", "pe-send-ifc"] {
+        let eqs = asyncmap_burst::benchmark(name);
+        for (libname, lib) in [("LSI9K", &lsi), ("Actel", &actel)] {
+            g.bench_function(format!("sync/{name}/{libname}"), |b| {
+                b.iter(|| black_box(tmap(&eqs, lib, &opts).expect("mappable").area))
+            });
+            g.bench_function(format!("async/{name}/{libname}"), |b| {
+                b.iter(|| black_box(async_tmap(&eqs, lib, &opts).expect("mappable").area))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("burst_synthesis");
+    for name in ["dme", "pe-send-ifc"] {
+        g.bench_function(format!("generate/{name}"), |b| {
+            b.iter(|| black_box(asyncmap_burst::benchmark(name).num_literals()))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mapping, bench_synthesis
+}
+criterion_main!(benches);

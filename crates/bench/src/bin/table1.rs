@@ -1,0 +1,50 @@
+//! Regenerates **Table 1** — "Libraries and their hazardous elements":
+//! for each library, the hazardous element families, their count and the
+//! hazardous fraction.
+//!
+//! Paper values: LSI9K muxes 12/86 (14%), CMOS3 muxes 1/30 (3%),
+//! GDT none 0/72 (0%), Actel AOI/OAI/muxes 24/84 (29%).
+
+use asyncmap_bench::{header, libraries};
+use std::collections::BTreeSet;
+
+fn family(name: &str) -> &str {
+    if name.starts_with("MUX") || name.starts_with("MX") {
+        "Muxes"
+    } else if name.starts_with("AOI") || name.starts_with("AO") {
+        "AOI's"
+    } else if name.starts_with("OAI") || name.starts_with("OA") {
+        "OAI's"
+    } else {
+        name.split('_').next().unwrap_or(name)
+    }
+}
+
+fn main() {
+    header(
+        "Table 1: Libraries and their hazardous elements",
+        &format!(
+            "{:8} {:24} {:>4} {:>6} {:>10}",
+            "Library", "Hazardous Elements", "#", "Total", "% Hazardous"
+        ),
+    );
+    for mut lib in libraries() {
+        lib.annotate_hazards();
+        let hazardous = lib.hazardous_cells();
+        let families: BTreeSet<&str> = hazardous.iter().map(|c| family(c.name())).collect();
+        let families = if families.is_empty() {
+            "None".to_owned()
+        } else {
+            families.into_iter().collect::<Vec<_>>().join(",")
+        };
+        println!(
+            "{:8} {:24} {:>4} {:>6} {:>9.0}%",
+            lib.name(),
+            families,
+            hazardous.len(),
+            lib.len(),
+            100.0 * hazardous.len() as f64 / lib.len() as f64
+        );
+    }
+    println!("\npaper: LSI9K Muxes 12/86 14% | CMOS3 Muxes 1/30 3% | GDT None 0/72 0% | Actel AOI's,OAI's,Muxes 24/84 29%");
+}

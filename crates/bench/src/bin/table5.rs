@@ -1,0 +1,46 @@
+//! Regenerates **Table 5** — asynchronous mapping results (CPU time,
+//! critical-path delay, area) for the eleven benchmark controllers on two
+//! libraries (the paper prints an ASIC library and CMOS3; we use LSI9K and
+//! CMOS3).
+//!
+//! Absolute numbers differ from a 1993 DEC 5000/240; the shape to
+//! reproduce is the complexity ordering (dean-ctrl largest, then scsi,
+//! oscsi-ctrl, abcs, pe-send-ifc, then the small DME/chu/vanbek designs)
+//! and area costs that are relative to each particular library.
+
+use asyncmap_bench::header;
+use asyncmap_core::{async_tmap, MapOptions};
+use std::time::Instant;
+
+fn main() {
+    header(
+        "Table 5: asynchronous mapper on the benchmark suite (depth of 5)",
+        &format!(
+            "{:13} | {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
+            "Design", "LSI CPU", "delay", "area", "CMOS3", "delay", "area"
+        ),
+    );
+    let mut lsi = asyncmap_library::builtin::lsi9k();
+    lsi.annotate_hazards();
+    let mut cmos3 = asyncmap_library::builtin::cmos3();
+    cmos3.annotate_hazards();
+    let opts = MapOptions::default();
+    for def in asyncmap_burst::BENCHMARKS {
+        let eqs = asyncmap_burst::benchmark(def.name);
+        let mut cells = Vec::new();
+        for lib in [&lsi, &cmos3] {
+            let t = Instant::now();
+            let design = async_tmap(&eqs, lib, &opts).expect("mappable");
+            let cpu = t.elapsed();
+            assert!(design.verify_function(lib), "{}: broken", def.name);
+            cells.push(format!(
+                "{:>7.2}s {:>7.2}ns {:>7.0}",
+                cpu.as_secs_f64(),
+                design.delay,
+                design.area
+            ));
+        }
+        println!("{:13} | {} | {}", def.name, cells[0], cells[1]);
+    }
+    println!("\npaper (LSI columns): chu-ad-opt .6s/24ns/152 … dean-ctrl 33.6s/126ns/11320, scsi 20.7s/95ns/6888, abcs 9s/74.7ns/3288");
+}

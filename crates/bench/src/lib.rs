@@ -1,0 +1,59 @@
+//! Shared helpers for the table-regeneration binaries and criterion
+//! benches. Each `table<N>` binary regenerates the corresponding table of
+//! the paper's evaluation section; `ablation` exercises the design choices
+//! called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asyncmap_library::{builtin, Library};
+use std::time::{Duration, Instant};
+
+/// The four evaluation libraries in the paper's order, unannotated.
+pub fn libraries() -> Vec<Library> {
+    builtin::all_libraries()
+}
+
+/// Median wall-clock time of `runs` executions of `f`.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(runs > 0);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration with adaptive units (e.g. `"431.07µs"`, `"1.24s"`).
+pub fn secs(d: Duration) -> String {
+    format!("{d:.2?}")
+}
+
+/// Prints a table header followed by a rule line.
+pub fn header(title: &str, columns: &str) {
+    println!("\n=== {title} ===");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libraries_are_the_table1_four() {
+        let names: Vec<String> = libraries().iter().map(|l| l.name().to_owned()).collect();
+        assert_eq!(names, ["LSI9K", "CMOS3", "GDT", "Actel"]);
+    }
+
+    #[test]
+    fn time_median_is_monotone_in_work() {
+        let fast = time_median(3, || 1 + 1);
+        let slow = time_median(3, || (0..100_000).sum::<u64>());
+        assert!(slow >= fast);
+    }
+}

@@ -1,0 +1,227 @@
+//! Hazard-preserving flattening of a BFF into two-level sum-of-products
+//! form.
+//!
+//! Unger's Theorem 4.3 (paper §4.1.1) allows transforming a multi-level
+//! expression to SOP with the associative, distributive and DeMorgan laws
+//! while preserving static hazard behavior. Crucially this means:
+//!
+//! * **no absorption, no idempotence, no consensus** — redundant products
+//!   are kept;
+//! * products containing a variable and its complement (*vacuous terms*,
+//!   e.g. `x·x'·y`) are reported, not silently dropped: they contribute no
+//!   minterms, but they are exactly where static 0-hazards and
+//!   single-input-change dynamic hazards come from (paper §4.1.2, §4.2.3).
+
+use crate::Expr;
+use asyncmap_cube::{Bits, Cover, Cube, Phase, VarId};
+
+/// One product term of a flattened expression that contains at least one
+/// variable in both phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VacuousProduct {
+    /// All literals of the product, including the clashing pairs.
+    pub literals: Vec<(VarId, Phase)>,
+    /// Variables appearing in both phases.
+    pub clashing: Vec<VarId>,
+}
+
+/// Result of hazard-preserving flattening: the proper (satisfiable) products
+/// as a [`Cover`], plus the vacuous products.
+#[derive(Debug, Clone)]
+pub struct FlatSop {
+    /// Products without clashing literals, in distribution order. Redundant
+    /// cubes are preserved.
+    pub cover: Cover,
+    /// Products containing `x·x'` pairs.
+    pub vacuous: Vec<VacuousProduct>,
+}
+
+#[derive(Debug, Clone)]
+struct TriProduct {
+    pos: Bits,
+    neg: Bits,
+}
+
+impl TriProduct {
+    fn unit(nvars: usize) -> Self {
+        TriProduct {
+            pos: Bits::new(nvars),
+            neg: Bits::new(nvars),
+        }
+    }
+
+    fn with_literal(nvars: usize, v: VarId, phase: Phase) -> Self {
+        let mut p = Self::unit(nvars);
+        match phase {
+            Phase::Pos => p.pos.set(v.index(), true),
+            Phase::Neg => p.neg.set(v.index(), true),
+        }
+        p
+    }
+
+    fn and(&self, other: &TriProduct) -> TriProduct {
+        TriProduct {
+            pos: self.pos.or(&other.pos),
+            neg: self.neg.or(&other.neg),
+        }
+    }
+}
+
+fn distribute(e: &Expr, nvars: usize) -> Vec<TriProduct> {
+    match e {
+        Expr::Const(true) => vec![TriProduct::unit(nvars)],
+        Expr::Const(false) => Vec::new(),
+        Expr::Var(v) => vec![TriProduct::with_literal(nvars, *v, Phase::Pos)],
+        Expr::Not(inner) => match &**inner {
+            Expr::Var(v) => vec![TriProduct::with_literal(nvars, *v, Phase::Neg)],
+            other => unreachable!("flatten input not in NNF: Not({other:?})"),
+        },
+        Expr::Or(es) => es.iter().flat_map(|t| distribute(t, nvars)).collect(),
+        Expr::And(es) => {
+            let mut acc = vec![TriProduct::unit(nvars)];
+            for t in es {
+                let rhs = distribute(t, nvars);
+                let mut next = Vec::with_capacity(acc.len() * rhs.len());
+                for a in &acc {
+                    for b in &rhs {
+                        next.push(a.and(b));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+/// Flattens `expr` into two-level SOP form over a space of `nvars`
+/// variables using only hazard-preserving laws (DeMorgan at the leaves via
+/// NNF, associativity, distribution). See the module docs for what is and
+/// is not preserved.
+///
+/// # Panics
+///
+/// Panics if the expression mentions a variable with index `>= nvars`.
+/// # Examples
+///
+/// ```
+/// use asyncmap_bff::{flatten, Expr};
+/// use asyncmap_cube::VarTable;
+///
+/// let mut vars = VarTable::new();
+/// let e = Expr::parse("(w + y')*(x + y)", &mut vars)?;
+/// let flat = flatten(&e, vars.len());
+/// assert_eq!(flat.cover.len(), 3);   // wx, wy, y'x
+/// assert_eq!(flat.vacuous.len(), 1); // y'y is kept, not dropped
+/// # Ok::<(), asyncmap_bff::ParseBffError>(())
+/// ```
+pub fn flatten(expr: &Expr, nvars: usize) -> FlatSop {
+    let nnf = expr.to_nnf().simplify_assoc();
+    let products = distribute(&nnf, nvars);
+    let mut cover = Cover::zero(nvars);
+    let mut vacuous = Vec::new();
+    for p in products {
+        let clash = p.pos.and(&p.neg);
+        if clash.is_zero() {
+            let used = p.pos.or(&p.neg);
+            cover.push(Cube::from_bits(used, p.pos));
+        } else {
+            let mut literals = Vec::new();
+            for v in p.pos.iter_ones() {
+                literals.push((VarId(v), Phase::Pos));
+            }
+            for v in p.neg.iter_ones() {
+                literals.push((VarId(v), Phase::Neg));
+            }
+            literals.sort_by_key(|&(v, _)| v);
+            vacuous.push(VacuousProduct {
+                literals,
+                clashing: clash.iter_ones().map(VarId).collect(),
+            });
+        }
+    }
+    FlatSop { cover, vacuous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    fn flat(text: &str, vars: &mut VarTable) -> FlatSop {
+        let e = Expr::parse(text, vars).unwrap();
+        flatten(&e, vars.len().max(8))
+    }
+
+    #[test]
+    fn two_level_passes_through() {
+        let mut vars = VarTable::new();
+        let f = flat("a*b + a'*c", &mut vars);
+        assert_eq!(f.cover.len(), 2);
+        assert!(f.vacuous.is_empty());
+    }
+
+    #[test]
+    fn factored_form_distributes() {
+        let mut vars = VarTable::new();
+        // (w + y')(x + y) = wx + wy + y'x + y'y
+        let f = flat("(w + y')*(x + y)", &mut vars);
+        assert_eq!(f.cover.len(), 3);
+        assert_eq!(f.vacuous.len(), 1, "y'y is a vacuous product");
+        assert_eq!(f.vacuous[0].clashing.len(), 1);
+    }
+
+    #[test]
+    fn flatten_preserves_function() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(a + b*(c + d'))' + a*d", &mut vars).unwrap();
+        let f = flatten(&e, vars.len());
+        for m in 0..(1usize << vars.len()) {
+            let mut bits = Bits::new(vars.len());
+            for v in 0..vars.len() {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(e.eval(&bits), f.cover.eval(&bits), "mismatch at {m:#b}");
+        }
+    }
+
+    #[test]
+    fn redundant_products_are_kept() {
+        let mut vars = VarTable::new();
+        // a(b + b) distributes to ab + ab: idempotence must NOT be applied.
+        let f = flat("a*(b + b)", &mut vars);
+        assert_eq!(f.cover.len(), 2);
+        assert_eq!(f.cover.cubes()[0], f.cover.cubes()[1]);
+    }
+
+    #[test]
+    fn demorgan_through_complement() {
+        let mut vars = VarTable::new();
+        // (ab)' = a' + b'
+        let f = flat("(a*b)'", &mut vars);
+        assert_eq!(f.cover.len(), 2);
+        assert!(f.vacuous.is_empty());
+    }
+
+    #[test]
+    fn mccluskey_figure6_circuit_has_vacuous_terms() {
+        // Paper Figure 6: f = (w + y')(xy + y'z) has the product y'y z... the
+        // distribution yields wxy + wy'z + y'xy + y'y'z; y'xy is vacuous.
+        let mut vars = VarTable::new();
+        let f = flat("(w + y')*(x*y + y'*z)", &mut vars);
+        assert_eq!(f.vacuous.len(), 1);
+        let vac = &f.vacuous[0];
+        let y = vars.lookup("y").unwrap();
+        assert_eq!(vac.clashing, vec![y]);
+    }
+
+    #[test]
+    fn constants_flatten() {
+        let mut vars = VarTable::new();
+        let t = flat("1", &mut vars);
+        assert_eq!(t.cover.len(), 1);
+        assert!(t.cover.cubes()[0].is_universe());
+        let z = flat("0", &mut vars);
+        assert!(z.cover.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Boolean factored form (BFF): the structural representation of logic used
+//! by the hazard-aware technology mapper.
+//!
+//! The paper (§3.2.1) represents each library element's *structure* — not
+//! just its function — as a Boolean factored form, because two structures
+//! for the same function can have different hazard behavior (Figure 4:
+//! `wy + xy'` glitches on a `{w,x}` burst with `y = 1`, while
+//! `(w + y')(x + y)` does not). This crate provides:
+//!
+//! * the [`Expr`] AST with a parser and printer;
+//! * hazard-preserving transformations only: NNF via DeMorgan
+//!   ([`Expr::to_nnf`]), associativity ([`Expr::simplify_assoc`]) and
+//!   distribution to two-level form ([`flatten`]) — Unger's theorems
+//!   guarantee these do not change logic-hazard behavior;
+//! * path labeling ([`PathSop`]) for static-0 / single-input-change dynamic
+//!   hazard analysis (§4.2.3);
+//! * ternary (Eichelberger) evaluation ([`eval_ternary`]) as an independent
+//!   hazard oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_bff::{flatten, Expr};
+//! use asyncmap_cube::VarTable;
+//!
+//! let mut vars = VarTable::new();
+//! // Figure 4b: the factored mux structure.
+//! let cell = Expr::parse("(w + y')*(x + y)", &mut vars)?;
+//! let flat = flatten(&cell, vars.len());
+//! // Distribution keeps the vacuous product y'y, which two-level
+//! // simplification would silently delete.
+//! assert_eq!(flat.vacuous.len(), 1);
+//! # Ok::<(), asyncmap_bff::ParseBffError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod flatten;
+mod parser;
+mod paths;
+mod ternary;
+
+pub use ast::{DisplayExpr, Expr};
+pub use flatten::{flatten, FlatSop, VacuousProduct};
+pub use parser::{parse_letters, ParseBffError};
+pub use paths::{label_paths, PathLabeling, PathSop};
+pub use ternary::{burst_assignment, eval_ternary, Tern};

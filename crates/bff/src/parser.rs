@@ -1,0 +1,339 @@
+//! Parser for Boolean factored form expressions.
+//!
+//! Grammar (whitespace insignificant):
+//!
+//! ```text
+//! expr   := term ('+' term)*
+//! term   := factor (['*'] factor)*        -- juxtaposition is AND
+//! factor := atom "'"*                     -- postfix complement
+//! atom   := IDENT | '0' | '1' | '(' expr ')'
+//! ```
+//!
+//! Identifiers are maximal alphanumeric/underscore runs, so `sel0'` is the
+//! complement of variable `sel0`. For the paper's single-letter style
+//! (`w'xz`), use [`parse_letters`], where every alphabetic character is its
+//! own variable.
+
+use crate::Expr;
+use asyncmap_cube::VarTable;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when BFF parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBffError {
+    message: String,
+}
+
+impl ParseBffError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBffError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid BFF expression: {}", self.message)
+    }
+}
+
+impl Error for ParseBffError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Plus,
+    Star,
+    Prime,
+    LParen,
+    RParen,
+    Zero,
+    One,
+}
+
+fn tokenize(text: &str, letters: bool) -> Result<Vec<Token>, ParseBffError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '\'' => {
+                chars.next();
+                out.push(Token::Prime);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '0' => {
+                chars.next();
+                out.push(Token::Zero);
+            }
+            '1' => {
+                chars.next();
+                out.push(Token::One);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                if letters {
+                    chars.next();
+                    out.push(Token::Ident(c.to_string()));
+                } else {
+                    let mut name = String::new();
+                    while let Some(&c2) = chars.peek() {
+                        if c2.is_alphanumeric() || c2 == '_' {
+                            name.push(c2);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token::Ident(name));
+                }
+            }
+            other => {
+                return Err(ParseBffError::new(format!(
+                    "unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    vars: &'a mut VarTable,
+    intern: bool,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseBffError> {
+        let mut terms = vec![self.term()?];
+        while self.peek() == Some(&Token::Plus) {
+            self.bump();
+            terms.push(self.term()?);
+        }
+        Ok(Expr::or(terms))
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseBffError> {
+        let mut factors = vec![self.factor()?];
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    factors.push(self.factor()?);
+                }
+                // Juxtaposition: a factor can start right after another.
+                Some(Token::Ident(_)) | Some(Token::LParen) | Some(Token::Zero)
+                | Some(Token::One) => {
+                    factors.push(self.factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Expr::and(factors))
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseBffError> {
+        let mut e = self.atom()?;
+        while self.peek() == Some(&Token::Prime) {
+            self.bump();
+            e = e.not();
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseBffError> {
+        match self.bump() {
+            Some(Token::Ident(name)) => {
+                let v = if self.intern {
+                    self.vars.intern(&name)
+                } else {
+                    self.vars
+                        .lookup(&name)
+                        .ok_or_else(|| ParseBffError::new(format!("unknown variable {name:?}")))?
+                };
+                Ok(Expr::Var(v))
+            }
+            Some(Token::Zero) => Ok(Expr::Const(false)),
+            Some(Token::One) => Ok(Expr::Const(true)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                if self.bump() != Some(Token::RParen) {
+                    return Err(ParseBffError::new("missing closing parenthesis"));
+                }
+                Ok(e)
+            }
+            other => Err(ParseBffError::new(format!(
+                "expected a variable, constant or '(', found {other:?}"
+            ))),
+        }
+    }
+
+    fn finish(mut self) -> Result<Expr, ParseBffError> {
+        let e = self.expr()?;
+        if let Some(t) = self.peek() {
+            return Err(ParseBffError::new(format!("trailing input at {t:?}")));
+        }
+        Ok(e)
+    }
+}
+
+fn parse_impl(
+    text: &str,
+    vars: &mut VarTable,
+    letters: bool,
+    intern: bool,
+) -> Result<Expr, ParseBffError> {
+    let tokens = tokenize(text, letters)?;
+    if tokens.is_empty() {
+        return Err(ParseBffError::new("empty expression"));
+    }
+    Parser {
+        tokens,
+        pos: 0,
+        vars,
+        intern,
+    }
+    .finish()
+}
+
+impl Expr {
+    /// Parses a BFF with multi-character identifiers, interning unseen
+    /// variables into `vars`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed syntax.
+    pub fn parse(text: &str, vars: &mut VarTable) -> Result<Expr, ParseBffError> {
+        parse_impl(text, vars, false, true)
+    }
+
+    /// Like [`Expr::parse`] but rejects variables not already in `vars`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed syntax or unknown variables.
+    pub fn parse_in(text: &str, vars: &VarTable) -> Result<Expr, ParseBffError> {
+        let mut vars = vars.clone();
+        parse_impl(text, &mut vars, false, false)
+    }
+}
+
+/// Parses a BFF where each alphabetic character is a single-letter variable
+/// (the paper's notation, e.g. `"(w + y')(x + y)"`). Unseen variables are
+/// interned into `vars`.
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax.
+pub fn parse_letters(text: &str, vars: &mut VarTable) -> Result<Expr, ParseBffError> {
+    parse_impl(text, vars, true, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sop() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a*b + c", &mut vars).unwrap();
+        assert_eq!(e.display(&vars).to_string(), "a*b + c");
+    }
+
+    #[test]
+    fn juxtaposition_is_and() {
+        let mut vars = VarTable::new();
+        let e1 = Expr::parse("a b", &mut vars).unwrap();
+        let e2 = Expr::parse_in("a*b", &vars).unwrap();
+        assert_eq!(e1, e2);
+        let e3 = Expr::parse_in("(a)(b)", &vars).unwrap();
+        assert_eq!(e3, e2);
+    }
+
+    #[test]
+    fn group_complement() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(a + b)'", &mut vars).unwrap();
+        assert_eq!(e.display(&vars).to_string(), "(a + b)'");
+        let dbl = Expr::parse("(a)''", &mut vars).unwrap();
+        assert_eq!(dbl, Expr::Var(asyncmap_cube::VarId(0)).not().not());
+    }
+
+    #[test]
+    fn letters_mode_splits_chars() {
+        let mut vars = VarTable::new();
+        let e = parse_letters("w'xz + w'xy", &mut vars).unwrap();
+        assert_eq!(vars.len(), 4);
+        assert_eq!(e.num_literals(), 6);
+    }
+
+    #[test]
+    fn multichar_identifiers() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("sel0' * din1", &mut vars).unwrap();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(e.num_literals(), 2);
+    }
+
+    #[test]
+    fn constants_parse() {
+        let mut vars = VarTable::new();
+        assert_eq!(Expr::parse("1", &mut vars).unwrap(), Expr::Const(true));
+        assert_eq!(Expr::parse("0 + a", &mut vars).unwrap().num_literals(), 1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut vars = VarTable::new();
+        assert!(Expr::parse("", &mut vars).is_err());
+        assert!(Expr::parse("(a + b", &mut vars).is_err());
+        assert!(Expr::parse("a + + b", &mut vars).is_err());
+        assert!(Expr::parse("a ^ b", &mut vars).is_err());
+        assert!(Expr::parse_in("zz", &VarTable::new()).is_err());
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a + b*c", &mut vars).unwrap();
+        match e {
+            Expr::Or(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(terms[1], Expr::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Path labeling of multi-level expressions (paper §4.2.3).
+//!
+//! To analyze static 0-hazards and single-input-change dynamic hazards, the
+//! paper relabels the variables of a multi-level network so that *each
+//! distinct path a signal takes is identified*, then transforms the
+//! expression to SOP form. A product term that contains two paths of the
+//! same variable in opposite phases is a vacuous term in the original
+//! variable space — the signature of a reconvergent fanout hazard.
+//!
+//! Labeling happens on the negation-normal form, so each path label also
+//! carries its final polarity in the expression structure.
+
+use crate::{flatten, Expr};
+use asyncmap_cube::{Cover, Cube, Phase, VarId};
+
+/// Maps path variables (fresh `VarId`s in a path space) back to the original
+/// variables they are occurrences of.
+#[derive(Debug, Clone, Default)]
+pub struct PathLabeling {
+    path_var: Vec<VarId>,
+}
+
+impl PathLabeling {
+    /// The original variable of path `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a path variable of this labeling.
+    pub fn original(&self, p: VarId) -> VarId {
+        self.path_var[p.index()]
+    }
+
+    /// Number of paths (= leaf occurrences in the labeled expression).
+    pub fn num_paths(&self) -> usize {
+        self.path_var.len()
+    }
+
+    /// All paths of original variable `v`.
+    pub fn paths_of(&self, v: VarId) -> Vec<VarId> {
+        self.path_var
+            .iter()
+            .enumerate()
+            .filter(|&(_, &orig)| orig == v)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+}
+
+/// Rewrites `expr` into negation-normal form with every variable occurrence
+/// replaced by a fresh *path variable*, returning the rewritten expression
+/// (over the path space) and the labeling.
+pub fn label_paths(expr: &Expr) -> (Expr, PathLabeling) {
+    let nnf = expr.to_nnf().simplify_assoc();
+    let mut labeling = PathLabeling::default();
+    let labeled = relabel(&nnf, &mut labeling);
+    (labeled, labeling)
+}
+
+fn relabel(e: &Expr, labeling: &mut PathLabeling) -> Expr {
+    match e {
+        Expr::Const(b) => Expr::Const(*b),
+        Expr::Var(v) => {
+            let p = VarId(labeling.path_var.len());
+            labeling.path_var.push(*v);
+            Expr::Var(p)
+        }
+        Expr::Not(inner) => match &**inner {
+            Expr::Var(v) => {
+                let p = VarId(labeling.path_var.len());
+                labeling.path_var.push(*v);
+                Expr::Var(p).not()
+            }
+            other => unreachable!("path labeling input not in NNF: Not({other:?})"),
+        },
+        Expr::And(es) => Expr::And(es.iter().map(|t| relabel(t, labeling)).collect()),
+        Expr::Or(es) => Expr::Or(es.iter().map(|t| relabel(t, labeling)).collect()),
+    }
+}
+
+/// A multi-level expression flattened to SOP over its *path space*.
+///
+/// Because every path variable occurs exactly once in the labeled
+/// expression, no product can contain a clashing pair of path literals; the
+/// interesting clashes are between *different paths of the same original
+/// variable*, exposed by [`PathSop::vacuous_in`].
+#[derive(Debug, Clone)]
+pub struct PathSop {
+    /// The SOP over path variables, in distribution order.
+    pub cover: Cover,
+    /// Path → original variable mapping.
+    pub labeling: PathLabeling,
+}
+
+impl PathSop {
+    /// Builds the path SOP of `expr`.
+    pub fn of(expr: &Expr) -> PathSop {
+        let (labeled, labeling) = label_paths(expr);
+        let flat = flatten(&labeled, labeling.num_paths());
+        debug_assert!(
+            flat.vacuous.is_empty(),
+            "path-space products cannot clash (each path occurs once)"
+        );
+        PathSop {
+            cover: flat.cover,
+            labeling,
+        }
+    }
+
+    /// For product term `cube`, the original variables that appear through
+    /// two paths with *opposite* phases — i.e. the variables making the term
+    /// vacuous in the original space.
+    pub fn vacuous_in(&self, cube: &Cube) -> Vec<VarId> {
+        let mut pos: Vec<VarId> = Vec::new();
+        let mut neg: Vec<VarId> = Vec::new();
+        for (p, phase) in cube.literals() {
+            let orig = self.labeling.original(p);
+            match phase {
+                Phase::Pos => pos.push(orig),
+                Phase::Neg => neg.push(orig),
+            }
+        }
+        let mut out: Vec<VarId> = pos.into_iter().filter(|v| neg.contains(v)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Collapses a path cube back to the original variable space. Returns
+    /// `None` when the cube is vacuous (contains opposite-phase paths of one
+    /// variable).
+    pub fn to_original_cube(&self, cube: &Cube, nvars: usize) -> Option<Cube> {
+        let mut literals: Vec<(VarId, Phase)> = Vec::new();
+        for (p, phase) in cube.literals() {
+            let orig = self.labeling.original(p);
+            if let Some(&(_, existing)) = literals.iter().find(|&&(v, _)| v == orig) {
+                if existing != phase {
+                    return None;
+                }
+            } else {
+                literals.push((orig, phase));
+            }
+        }
+        Some(Cube::from_literals(nvars, literals))
+    }
+
+    /// Collapses the whole path SOP to a cover over the original space,
+    /// dropping vacuous products. Equivalent to [`flatten`] on the original
+    /// expression; useful to cross-check the labeling.
+    pub fn to_original_cover(&self, nvars: usize) -> Cover {
+        let mut out = Cover::zero(nvars);
+        for c in self.cover.cubes() {
+            if let Some(cube) = self.to_original_cube(c, nvars) {
+                out.push(cube);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::{Bits, VarTable};
+
+    #[test]
+    fn each_occurrence_gets_a_path() {
+        let mut vars = VarTable::new();
+        // y occurs 3 times (paper Figure 6 style).
+        let e = Expr::parse("(w + y')*(x*y + y'*z)", &mut vars).unwrap();
+        let (_, labeling) = label_paths(&e);
+        let y = vars.lookup("y").unwrap();
+        assert_eq!(labeling.paths_of(y).len(), 3);
+        assert_eq!(labeling.num_paths(), 6);
+    }
+
+    #[test]
+    fn path_sop_has_figure6_vacuous_term() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(w + y')*(x*y + y'*z)", &mut vars).unwrap();
+        let ps = PathSop::of(&e);
+        let y = vars.lookup("y").unwrap();
+        // Exactly one product (y₁'·x·y₂) is vacuous through y.
+        let vac: Vec<_> = ps
+            .cover
+            .cubes()
+            .iter()
+            .filter(|c| !ps.vacuous_in(c).is_empty())
+            .collect();
+        assert_eq!(vac.len(), 1);
+        assert_eq!(ps.vacuous_in(vac[0]), vec![y]);
+    }
+
+    #[test]
+    fn to_original_cover_matches_direct_flatten() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(a + b')*(c + a*b)", &mut vars).unwrap();
+        let ps = PathSop::of(&e);
+        let direct = flatten(&e, vars.len());
+        let collapsed = ps.to_original_cover(vars.len());
+        assert!(collapsed.equivalent(&direct.cover));
+        // And pointwise equal to the expression itself.
+        for m in 0..(1usize << vars.len()) {
+            let mut bits = Bits::new(vars.len());
+            for v in 0..vars.len() {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(e.eval(&bits), collapsed.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn single_occurrence_expression_has_no_vacuous_terms() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a*b + c'*d", &mut vars).unwrap();
+        let ps = PathSop::of(&e);
+        for c in ps.cover.cubes() {
+            assert!(ps.vacuous_in(c).is_empty());
+        }
+    }
+}

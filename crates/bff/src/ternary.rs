@@ -1,0 +1,178 @@
+//! Three-valued (ternary) logic and expression evaluation, after
+//! Eichelberger. Used by the hazard layer to simulate input bursts: a
+//! changing input takes the unknown value `X`, and a gate output that
+//! resolves to `X` may glitch.
+
+use crate::Expr;
+use asyncmap_cube::Bits;
+use std::fmt;
+
+/// A ternary logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tern {
+    /// Definite 0.
+    Zero,
+    /// Definite 1.
+    One,
+    /// Unknown / possibly changing.
+    X,
+}
+
+impl Tern {
+    /// Ternary AND (`0` dominates).
+    pub fn and(self, other: Tern) -> Tern {
+        use Tern::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => X,
+        }
+    }
+
+    /// Ternary OR (`1` dominates).
+    pub fn or(self, other: Tern) -> Tern {
+        use Tern::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => X,
+        }
+    }
+
+    /// Ternary NOT (`X` maps to `X`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Tern {
+        match self {
+            Tern::Zero => Tern::One,
+            Tern::One => Tern::Zero,
+            Tern::X => Tern::X,
+        }
+    }
+
+    /// `true` for a definite value.
+    pub fn is_definite(self) -> bool {
+        self != Tern::X
+    }
+}
+
+impl From<bool> for Tern {
+    fn from(b: bool) -> Tern {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+}
+
+impl fmt::Display for Tern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tern::Zero => write!(f, "0"),
+            Tern::One => write!(f, "1"),
+            Tern::X => write!(f, "X"),
+        }
+    }
+}
+
+/// Evaluates `expr` under a ternary input assignment (`values[i]` is the
+/// value of variable `i`).
+///
+/// # Panics
+///
+/// Panics if the expression mentions a variable with index
+/// `>= values.len()`.
+pub fn eval_ternary(expr: &Expr, values: &[Tern]) -> Tern {
+    match expr {
+        Expr::Const(b) => Tern::from(*b),
+        Expr::Var(v) => values[v.index()],
+        Expr::Not(e) => eval_ternary(e, values).not(),
+        Expr::And(es) => es
+            .iter()
+            .fold(Tern::One, |acc, e| acc.and(eval_ternary(e, values))),
+        Expr::Or(es) => es
+            .iter()
+            .fold(Tern::Zero, |acc, e| acc.or(eval_ternary(e, values))),
+    }
+}
+
+/// Builds a ternary assignment from a start point `from`, with the
+/// variables in `changing` set to `X`.
+pub fn burst_assignment(from: &Bits, changing: &Bits) -> Vec<Tern> {
+    (0..from.len())
+        .map(|i| {
+            if changing.get(i) {
+                Tern::X
+            } else {
+                Tern::from(from.get(i))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    #[test]
+    fn truth_tables() {
+        use Tern::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(Zero.not(), One);
+        assert!(!X.is_definite());
+        assert!(One.is_definite());
+    }
+
+    #[test]
+    fn eval_resolves_dominated_x() {
+        let mut vars = VarTable::new();
+        // a*b with a=0: output is 0 regardless of b.
+        let e = Expr::parse("a*b", &mut vars).unwrap();
+        assert_eq!(eval_ternary(&e, &[Tern::Zero, Tern::X]), Tern::Zero);
+        assert_eq!(eval_ternary(&e, &[Tern::One, Tern::X]), Tern::X);
+    }
+
+    #[test]
+    fn reconvergent_x_stays_x() {
+        // a + a' is a tautology but ternary evaluation cannot see that:
+        // with a = X the result is X. This pessimism is exactly what makes
+        // ternary simulation a hazard detector.
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a + a'", &mut vars).unwrap();
+        assert_eq!(eval_ternary(&e, &[Tern::X]), Tern::X);
+    }
+
+    #[test]
+    fn covered_transition_is_definite() {
+        let mut vars = VarTable::new();
+        // ab + a'b with b=1 held: output held at 1 only if a single gate
+        // covers it — structurally it is X under ternary simulation.
+        let e = Expr::parse("a*b + a'*b", &mut vars).unwrap();
+        assert_eq!(eval_ternary(&e, &[Tern::X, Tern::One]), Tern::X);
+        // With the consensus gate b present, the output is definite.
+        let e2 = Expr::parse("a*b + a'*b + b", &mut vars).unwrap();
+        assert_eq!(eval_ternary(&e2, &[Tern::X, Tern::One]), Tern::One);
+    }
+
+    #[test]
+    fn burst_assignment_marks_changing() {
+        let mut from = Bits::new(3);
+        from.set(0, true);
+        let mut ch = Bits::new(3);
+        ch.set(2, true);
+        let a = burst_assignment(&from, &ch);
+        assert_eq!(a, vec![Tern::One, Tern::Zero, Tern::X]);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Tern::X.to_string(), "X");
+        assert_eq!(Tern::Zero.to_string(), "0");
+        assert_eq!(Tern::One.to_string(), "1");
+    }
+}

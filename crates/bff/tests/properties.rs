@@ -1,0 +1,108 @@
+//! Property tests for the BFF layer: every transformation preserves the
+//! function, and the structural accounting (literals, paths) is
+//! consistent, on randomly generated expression trees.
+
+use asyncmap_bff::{flatten, label_paths, Expr, PathSop};
+use asyncmap_cube::{Bits, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 4;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(|v| Expr::Var(VarId(v))),
+        (0..NVARS).prop_map(|v| Expr::Var(VarId(v)).not()),
+        Just(Expr::Const(true)),
+        Just(Expr::Const(false)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| e.not()),
+        ]
+    })
+}
+
+fn assignment(m: usize) -> Bits {
+    let mut b = Bits::new(NVARS);
+    for v in 0..NVARS {
+        b.set(v, (m >> v) & 1 == 1);
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nnf_preserves_function(e in arb_expr()) {
+        let nnf = e.to_nnf();
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(e.eval(&assignment(m)), nnf.eval(&assignment(m)));
+        }
+        // NNF has inverters only at leaves.
+        fn check(e: &Expr) -> bool {
+            match e {
+                Expr::Const(_) | Expr::Var(_) => true,
+                Expr::Not(inner) => matches!(**inner, Expr::Var(_)),
+                Expr::And(es) | Expr::Or(es) => es.iter().all(check),
+            }
+        }
+        prop_assert!(check(&nnf));
+    }
+
+    #[test]
+    fn simplify_assoc_preserves_function(e in arb_expr()) {
+        let s = e.simplify_assoc();
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(e.eval(&assignment(m)), s.eval(&assignment(m)));
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_function(e in arb_expr()) {
+        let flat = flatten(&e, NVARS);
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(
+                e.eval(&assignment(m)),
+                flat.cover.eval(&assignment(m)),
+                "mismatch at {:#b}", m
+            );
+        }
+    }
+
+    #[test]
+    fn path_sop_collapses_to_the_function(e in arb_expr()) {
+        let ps = PathSop::of(&e);
+        let collapsed = ps.to_original_cover(NVARS);
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(e.eval(&assignment(m)), collapsed.eval(&assignment(m)));
+        }
+    }
+
+    #[test]
+    fn path_count_equals_literal_count_after_nnf(e in arb_expr()) {
+        let nnf = e.to_nnf().simplify_assoc();
+        let (_, labeling) = label_paths(&e);
+        prop_assert_eq!(labeling.num_paths() as u32, nnf.num_literals());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr()) {
+        let vars = asyncmap_cube::VarTable::from_names(["a", "b", "c", "d"]);
+        let text = e.display(&vars).to_string();
+        let parsed = Expr::parse_in(&text, &vars).unwrap();
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(e.eval(&assignment(m)), parsed.eval(&assignment(m)));
+        }
+    }
+
+    #[test]
+    fn substitute_identity_is_identity(e in arb_expr()) {
+        let id = e.substitute(&|v| (v, asyncmap_cube::Phase::Pos));
+        for m in 0..(1usize << NVARS) {
+            prop_assert_eq!(e.eval(&assignment(m)), id.eval(&assignment(m)));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Reconstructions of the paper's benchmark controllers (Table 5).
+//!
+//! The original circuits (chu-ad, the DME arbiters, Martin's SCSI, the
+//! HP/Stanford ABCS infrared controller, dean-ctrl, …) are not publicly
+//! archived, so each benchmark is a *deterministic synthetic burst-mode
+//! controller* of calibrated size: the input/output/state counts are chosen
+//! so that the relative complexity ordering of Table 5 (dean-ctrl ≫ scsi ≫
+//! oscsi-ctrl ≳ abcs ≫ pe-send-ifc ≫ the small DME/chu/vanbek designs) is
+//! preserved. Every benchmark is synthesized to hazard-free two-level
+//! equations by [`crate::hazard_free_cover`], exactly the shape the paper's
+//! mapper consumes from the locally-clocked / 3D synthesis tools.
+
+use crate::flow::expand;
+use crate::minimize::hazard_free_cover;
+use crate::spec::{BurstEdge, BurstSpec, StateId};
+use asyncmap_cube::{Bits, Cover, VarTable};
+use asyncmap_network::EquationSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size parameters of one synthetic controller.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkDef {
+    /// Benchmark name (matching Table 5).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Burst-mode states.
+    pub states: usize,
+    /// Extra (non-tree) transitions.
+    pub extra_edges: usize,
+    /// Base RNG seed (advanced until generation succeeds).
+    pub seed: u64,
+}
+
+/// The Table 5 benchmark suite, smallest to largest.
+pub const BENCHMARKS: &[BenchmarkDef] = &[
+    def("vanbek-opt", 3, 1, 3, 0, 101),
+    def("dme-fast", 3, 2, 3, 0, 102),
+    def("chu-ad-opt", 3, 2, 3, 1, 103),
+    def("dme", 3, 2, 4, 1, 104),
+    def("dme-opt", 4, 2, 4, 1, 105),
+    def("dme-fast-opt", 4, 3, 4, 2, 106),
+    def("pe-send-ifc", 5, 3, 6, 3, 107),
+    def("abcs", 6, 4, 10, 5, 108),
+    def("oscsi-ctrl", 7, 4, 11, 5, 109),
+    def("scsi", 8, 5, 14, 6, 110),
+    def("dean-ctrl", 9, 6, 18, 8, 111),
+];
+
+const fn def(
+    name: &'static str,
+    inputs: usize,
+    outputs: usize,
+    states: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> BenchmarkDef {
+    BenchmarkDef {
+        name,
+        inputs,
+        outputs,
+        states,
+        extra_edges,
+        seed,
+    }
+}
+
+/// Generates the named benchmark's hazard-free equations.
+///
+/// # Panics
+///
+/// Panics if the name is unknown, or if no seed within the retry budget
+/// yields a consistent, synthesizable controller (deterministic, so this
+/// is caught by the test suite, not at user run time).
+pub fn benchmark(name: &str) -> EquationSet {
+    let d = BENCHMARKS
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+    generate(d)
+}
+
+/// The full suite as `(name, equations)` pairs.
+pub fn all_benchmarks() -> Vec<(&'static str, EquationSet)> {
+    BENCHMARKS.iter().map(|d| (d.name, generate(d))).collect()
+}
+
+/// Generates the named benchmark's equations together with its specified
+/// transitions — the `(from, to)` total-state bursts of every edge's input
+/// and state phase, over the equation variable space. These are the
+/// *transitions of interest* that hazard-don't-care mapping protects.
+///
+/// # Panics
+///
+/// Same conditions as [`benchmark`].
+pub fn benchmark_with_transitions(name: &str) -> (EquationSet, Vec<(Bits, Bits)>) {
+    let d = BENCHMARKS
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+    for attempt in 0..200 {
+        let seed = d.seed.wrapping_add(attempt);
+        let Some(spec) = random_spec(d, seed) else {
+            continue;
+        };
+        if spec.validate().is_err() {
+            continue;
+        }
+        let Ok(flow) = expand(&spec) else { continue };
+        let mut vars = VarTable::new();
+        for n in &flow.var_names {
+            vars.intern(n);
+        }
+        let mut equations: Vec<(String, Cover)> = Vec::new();
+        let mut ok = true;
+        for f in &flow.functions {
+            match hazard_free_cover(f) {
+                Ok(c) if !c.is_empty() && !c.is_tautology() => {
+                    equations.push((f.name.clone(), c));
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let mut transitions: Vec<(Bits, Bits)> = Vec::new();
+        for f in &flow.functions {
+            for t in &f.transitions {
+                let pair = (t.start.clone(), t.end.clone());
+                if !transitions.contains(&pair) {
+                    transitions.push(pair);
+                }
+            }
+        }
+        return (EquationSet::new(vars, equations), transitions);
+    }
+    panic!("benchmark {name:?} failed to generate within the retry budget");
+}
+
+/// Generates the benchmark's burst-mode spec (for inspection and for the
+/// examples).
+///
+/// # Panics
+///
+/// Same conditions as [`benchmark`].
+pub fn benchmark_spec(name: &str) -> BurstSpec {
+    let d = BENCHMARKS
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+    for attempt in 0..200 {
+        if let Some((spec, _)) = try_generate(d, d.seed.wrapping_add(attempt)) {
+            return spec;
+        }
+    }
+    panic!("benchmark {name:?} failed to generate within the retry budget");
+}
+
+fn generate(d: &BenchmarkDef) -> EquationSet {
+    for attempt in 0..200 {
+        if let Some((_, eqs)) = try_generate(d, d.seed.wrapping_add(attempt)) {
+            return eqs;
+        }
+    }
+    panic!(
+        "benchmark {:?} failed to generate within the retry budget",
+        d.name
+    );
+}
+
+fn try_generate(d: &BenchmarkDef, seed: u64) -> Option<(BurstSpec, EquationSet)> {
+    let spec = random_spec(d, seed)?;
+    spec.validate().ok()?;
+    let flow = expand(&spec).ok()?;
+    let mut vars = VarTable::new();
+    for n in &flow.var_names {
+        vars.intern(n);
+    }
+    let mut equations: Vec<(String, Cover)> = Vec::new();
+    for f in &flow.functions {
+        let cover = hazard_free_cover(f).ok()?;
+        if cover.is_empty() || cover.is_tautology() {
+            return None;
+        }
+        equations.push((f.name.clone(), cover));
+    }
+    Some((spec, EquationSet::new(vars, equations)))
+}
+
+fn random_bits(rng: &mut StdRng, len: usize) -> Bits {
+    let mut b = Bits::new(len);
+    for i in 0..len {
+        b.set(i, rng.random::<bool>());
+    }
+    b
+}
+
+fn random_spec(d: &BenchmarkDef, seed: u64) -> Option<BurstSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ni, no, ns) = (d.inputs, d.outputs, d.states);
+    // Distinct entry input vectors (state 0 = all-zero).
+    let mut vectors: Vec<Bits> = vec![Bits::new(ni)];
+    for _ in 1..ns {
+        let mut tries = 0;
+        loop {
+            let v = random_bits(&mut rng, ni);
+            if !vectors.contains(&v) {
+                vectors.push(v);
+                break;
+            }
+            tries += 1;
+            if tries > 64 {
+                return None;
+            }
+        }
+    }
+    // Entry output values; retried until every output column is
+    // non-constant.
+    let mut out_values: Vec<Bits> = vec![Bits::new(no)];
+    for _ in 1..ns {
+        out_values.push(random_bits(&mut rng, no));
+    }
+    for o in 0..no {
+        let first = out_values[0].get(o);
+        if out_values.iter().all(|v| v.get(o) == first) {
+            let s = 1 + rng.random_range(0..ns - 1);
+            out_values[s].flip(o);
+        }
+    }
+    // Spanning-tree edges guarantee reachability.
+    let mut edges: Vec<BurstEdge> = Vec::new();
+    for s in 1..ns {
+        let parent = rng.random_range(0..s);
+        edges.push(BurstEdge {
+            from: StateId(parent),
+            to: StateId(s),
+            input_burst: vectors[parent].xor(&vectors[s]),
+            output_burst: out_values[parent].xor(&out_values[s]),
+        });
+    }
+    // Extra edges (closing cycles), kept only when they respect the
+    // maximal set property.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < d.extra_edges && attempts < 20 * d.extra_edges.max(1) {
+        attempts += 1;
+        let s = rng.random_range(0..ns);
+        let t = rng.random_range(0..ns);
+        if s == t {
+            continue;
+        }
+        let burst = vectors[s].xor(&vectors[t]);
+        let clash = edges.iter().any(|e| {
+            e.from.0 == s
+                && (e.input_burst.is_subset(&burst) || burst.is_subset(&e.input_burst))
+        });
+        if clash {
+            continue;
+        }
+        edges.push(BurstEdge {
+            from: StateId(s),
+            to: StateId(t),
+            input_burst: burst,
+            output_burst: out_values[s].xor(&out_values[t]),
+        });
+        added += 1;
+    }
+    Some(BurstSpec {
+        name: d.name.to_owned(),
+        input_names: (0..ni).map(|i| format!("i{i}")).collect(),
+        output_names: (0..no).map(|o| format!("o{o}")).collect(),
+        num_states: ns,
+        edges,
+        initial_inputs: Bits::new(ni),
+        initial_outputs: Bits::new(no),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_benchmarks_generate_deterministically() {
+        let a = benchmark("chu-ad-opt");
+        let b = benchmark("chu-ad-opt");
+        assert_eq!(a.num_cubes(), b.num_cubes());
+        assert_eq!(a.num_literals(), b.num_literals());
+        assert!(!a.equations.is_empty());
+    }
+
+    #[test]
+    fn suite_sizes_are_ordered() {
+        // Literal counts must grow from the small DME-class designs to
+        // dean-ctrl (the Table 5 complexity ordering).
+        let small = benchmark("vanbek-opt");
+        let mid = benchmark("pe-send-ifc");
+        assert!(small.num_literals() < mid.num_literals());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        benchmark("nope");
+    }
+
+    #[test]
+    fn specs_validate() {
+        let spec = benchmark_spec("dme-fast");
+        let entry = spec.validate().unwrap();
+        assert_eq!(entry.inputs.len(), spec.num_states);
+    }
+}

@@ -1,0 +1,312 @@
+//! Expansion of a burst-mode spec into *specified functions*: for every
+//! output and every (one-hot) next-state bit, an incompletely specified
+//! logic function over the combined input + state-bit space together with
+//! the list of transitions it must implement hazard-free.
+//!
+//! Following locally-clocked practice, outputs switch at the completion of
+//! the input burst and the machine is given a one-hot state assignment, so
+//! each transition contributes two specified bursts:
+//!
+//! 1. the **input burst** in the old state (outputs/next-state excitations
+//!    change at its completion point), and
+//! 2. the **state burst** at the new input vector (two one-hot bits change;
+//!    all outputs and excitations must hold steady).
+
+use crate::spec::{BurstSpec, SpecError};
+use asyncmap_cube::{Bits, Cover, Cube};
+use std::fmt;
+
+/// The hazard class a specified transition demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransKind {
+    /// Output holds 1 throughout the burst.
+    Static1,
+    /// Output holds 0 throughout the burst.
+    Static0,
+    /// Output rises (0 → 1) at burst completion.
+    Rise,
+    /// Output falls (1 → 0) at burst completion.
+    Fall,
+}
+
+/// One specified transition of a function.
+#[derive(Debug, Clone)]
+pub struct SpecTransition {
+    /// Required hazard class.
+    pub kind: TransKind,
+    /// Start assignment (entry of the burst).
+    pub start: Bits,
+    /// End assignment (completion of the burst).
+    pub end: Bits,
+    /// The transition space `T[start, end]`.
+    pub space: Cube,
+}
+
+/// An incompletely specified function with hazard requirements.
+#[derive(Debug, Clone)]
+pub struct SpecFunction {
+    /// Signal name (an output or a next-state bit).
+    pub name: String,
+    /// Combined variable count (inputs + state bits).
+    pub nvars: usize,
+    /// Specified ON-set (unspecified points are synthesized as 0).
+    pub on: Cover,
+    /// Specified OFF-set (used for conflict detection only).
+    pub off: Cover,
+    /// Transitions that must be hazard-free.
+    pub transitions: Vec<SpecTransition>,
+}
+
+impl fmt::Display for SpecFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} on-cubes, {} transitions",
+            self.name,
+            self.on.len(),
+            self.transitions.len()
+        )
+    }
+}
+
+/// The full expansion of a spec: one [`SpecFunction`] per output and per
+/// next-state bit, plus the combined variable naming.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    /// `inputs ++ state-bit` names; variable `i` of every function.
+    pub var_names: Vec<String>,
+    /// Number of primary inputs (the leading variables).
+    pub num_inputs: usize,
+    /// Output functions, then next-state-bit functions.
+    pub functions: Vec<SpecFunction>,
+}
+
+/// Expands `spec` into specified functions.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the spec is invalid or if two specified values
+/// conflict (the same point required both 0 and 1 — typically a state
+/// burst shared between edges with clashing values).
+pub fn expand(spec: &BurstSpec) -> Result<FlowTable, SpecError> {
+    let entry = spec.validate()?;
+    let ni = spec.num_inputs();
+    let ns = spec.num_states;
+    let nvars = ni + ns;
+
+    let mut var_names: Vec<String> = spec.input_names.clone();
+    for s in 0..ns {
+        var_names.push(format!("st{s}"));
+    }
+
+    // Combined assignment for (input vector, state).
+    let total = |inputs: &Bits, state: usize| -> Bits {
+        let mut b = Bits::new(nvars);
+        for i in 0..ni {
+            b.set(i, inputs.get(i));
+        }
+        b.set(ni + state, true);
+        b
+    };
+
+    let mut functions: Vec<SpecFunction> = Vec::new();
+    for o in 0..spec.num_outputs() + ns {
+        let name = if o < spec.num_outputs() {
+            spec.output_names[o].clone()
+        } else {
+            format!("y{}", o - spec.num_outputs())
+        };
+        functions.push(SpecFunction {
+            name,
+            nvars,
+            on: Cover::zero(nvars),
+            off: Cover::zero(nvars),
+            transitions: Vec::new(),
+        });
+    }
+    // Value of function `f` when stable in state `s`.
+    let value_in = |f: usize, s: usize| -> bool {
+        if f < spec.num_outputs() {
+            entry.outputs[s].as_ref().expect("reachable").get(f)
+        } else {
+            f - spec.num_outputs() == s
+        }
+    };
+
+    // Stable points.
+    for s in 0..ns {
+        let v = entry.inputs[s].as_ref().expect("reachable");
+        let point = total(v, s);
+        for (f, func) in functions.iter_mut().enumerate() {
+            let cube = Cube::minterm(&point);
+            if value_in(f, s) {
+                func.on.push(cube);
+            } else {
+                func.off.push(cube);
+            }
+        }
+    }
+
+    for e in &spec.edges {
+        let (s, t) = (e.from.0, e.to.0);
+        let v_s = entry.inputs[s].as_ref().expect("reachable").clone();
+        let v_t = v_s.xor(&e.input_burst);
+        let alpha_in = total(&v_s, s);
+        let beta_in = total(&v_t, s);
+        let t_in = Cube::minterm(&alpha_in).supercube(&Cube::minterm(&beta_in));
+        // State burst: inputs fixed at v_t, state bits s and t change.
+        let alpha_st = beta_in.clone();
+        let beta_st = total(&v_t, t);
+        let t_st = Cube::minterm(&alpha_st).supercube(&Cube::minterm(&beta_st));
+
+        for (f, func) in functions.iter_mut().enumerate() {
+            let before = value_in(f, s);
+            let after = value_in(f, t);
+            // Input-burst transition.
+            let kind = match (before, after) {
+                (true, true) => TransKind::Static1,
+                (false, false) => TransKind::Static0,
+                (false, true) => TransKind::Rise,
+                (true, false) => TransKind::Fall,
+            };
+            match kind {
+                TransKind::Static1 => func.on.push(t_in.clone()),
+                TransKind::Static0 => func.off.push(t_in.clone()),
+                TransKind::Rise => {
+                    // ON only at the completion point; the interior keeps
+                    // the entry value 0 (outputs change only once the
+                    // burst is complete and unambiguous).
+                    func.on.push(Cube::minterm(&beta_in));
+                    for v in e.input_burst.iter_ones() {
+                        let held = t_in
+                            .intersect(&literal_cube(nvars, v, v_s.get(v)))
+                            .expect("burst variable is free in the space");
+                        func.off.push(held);
+                    }
+                }
+                TransKind::Fall => {
+                    func.off.push(Cube::minterm(&beta_in));
+                    for v in e.input_burst.iter_ones() {
+                        let held = t_in
+                            .intersect(&literal_cube(nvars, v, v_s.get(v)))
+                            .expect("consistent");
+                        func.on.push(held);
+                    }
+                }
+            }
+            func.transitions.push(SpecTransition {
+                kind,
+                start: alpha_in.clone(),
+                end: beta_in.clone(),
+                space: t_in.clone(),
+            });
+            // State-burst transition: hold the new value.
+            let st_kind = if after {
+                func.on.push(t_st.clone());
+                TransKind::Static1
+            } else {
+                func.off.push(t_st.clone());
+                TransKind::Static0
+            };
+            func.transitions.push(SpecTransition {
+                kind: st_kind,
+                start: alpha_st.clone(),
+                end: beta_st.clone(),
+                space: t_st.clone(),
+            });
+        }
+    }
+
+    // Conflict detection: specified ON and OFF regions must be disjoint.
+    for func in &mut functions {
+        func.on = func.on.without_contained_cubes();
+        func.off = func.off.without_contained_cubes();
+        for a in func.on.cubes() {
+            for b in func.off.cubes() {
+                if a.intersect(b).is_some() {
+                    return Err(SpecError {
+                        message: format!(
+                            "function {}: conflicting specified values (ON {:?} vs OFF {:?})",
+                            func.name, a, b
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(FlowTable {
+        var_names,
+        num_inputs: ni,
+        functions,
+    })
+}
+
+fn literal_cube(nvars: usize, var: usize, value: bool) -> Cube {
+    Cube::from_literals(
+        nvars,
+        [(
+            asyncmap_cube::VarId(var),
+            if value {
+                asyncmap_cube::Phase::Pos
+            } else {
+                asyncmap_cube::Phase::Neg
+            },
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_example;
+
+    #[test]
+    fn figure1_expands() {
+        let spec = figure1_example();
+        let flow = expand(&spec).unwrap();
+        // 1 output + 2 state bits.
+        assert_eq!(flow.functions.len(), 3);
+        assert_eq!(flow.var_names.len(), 4); // a, b, st0, st1
+        let y = &flow.functions[0];
+        // Two edges × two phases = 4 specified transitions.
+        assert_eq!(y.transitions.len(), 4);
+        // y rises on the first edge, falls on the second.
+        assert!(y
+            .transitions
+            .iter()
+            .any(|t| t.kind == TransKind::Rise));
+        assert!(y
+            .transitions
+            .iter()
+            .any(|t| t.kind == TransKind::Fall));
+    }
+
+    #[test]
+    fn on_off_are_disjoint() {
+        let spec = figure1_example();
+        let flow = expand(&spec).unwrap();
+        for f in &flow.functions {
+            for a in f.on.cubes() {
+                for b in f.off.cubes() {
+                    assert!(a.intersect(b).is_none(), "{}: {:?} vs {:?}", f.name, a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rise_on_set_is_completion_point_only() {
+        let spec = figure1_example();
+        let flow = expand(&spec).unwrap();
+        let y = &flow.functions[0];
+        let rise = y
+            .transitions
+            .iter()
+            .find(|t| t.kind == TransKind::Rise)
+            .unwrap();
+        // The end point is ON, the start is not.
+        assert!(y.on.eval(&rise.end));
+        assert!(!y.on.eval(&rise.start));
+    }
+}

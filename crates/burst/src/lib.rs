@@ -1,0 +1,46 @@
+//! Burst-mode (generalized fundamental-mode) controller substrate: the
+//! front end that produces the hazard-free logic equations the technology
+//! mapper consumes (paper Figure 1 and §2.1).
+//!
+//! * [`BurstSpec`] — burst-mode state machines with validation of the
+//!   entry-vector and maximal-set well-formedness conditions;
+//! * [`expand`] — flow-table expansion into per-signal specified functions
+//!   under a one-hot state assignment (locally-clocked style);
+//! * [`hazard_free_cover`] — hazard-free two-level synthesis for the
+//!   specified transitions (simplified Nowick/Dill, waveform-certified);
+//! * [`benchmark`] — deterministic reconstructions of the paper's Table 5
+//!   benchmark suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_burst::{expand, figure1_example, hazard_free_cover};
+//!
+//! let spec = figure1_example();
+//! let flow = expand(&spec)?;
+//! for f in &flow.functions {
+//!     let cover = hazard_free_cover(f)?;
+//!     assert!(!cover.is_empty());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod flow;
+mod minimize;
+mod simulate;
+mod spec;
+mod text;
+
+pub use benchmarks::{
+    all_benchmarks, benchmark, benchmark_spec, benchmark_with_transitions, BenchmarkDef,
+    BENCHMARKS,
+};
+pub use flow::{expand, FlowTable, SpecFunction, SpecTransition, TransKind};
+pub use minimize::{hazard_free_cover, SynthesisError};
+pub use spec::{figure1_example, BurstEdge, BurstSpec, EntryVectors, SpecError, StateId};
+pub use simulate::{simulate_machine, CombinationalBlock, SimulationError};
+pub use text::{parse_bms, to_bms, to_dot};

@@ -1,0 +1,204 @@
+//! Hazard-free two-level synthesis for the specified transitions of a
+//! burst-mode function — the role the paper's input flow assigns to the
+//! hazard-free minimizer of Nowick & Dill (paper ref. [12]).
+//!
+//! The implementation follows the structure of that work, simplified to
+//! the fixed interior-value assignment made by [`crate::flow`]:
+//!
+//! * **legality** — an implicant may intersect the transition space of a
+//!   dynamic transition only if it contains the transition's 1-valued
+//!   endpoint (so every gate involved switches monotonically); for a
+//!   specified static-0 transition no implicant may touch the space at all
+//!   (automatic, since the space is OFF);
+//! * **required cubes** — each static-1 transition space must lie inside a
+//!   *single* chosen cube (Eichelberger's condition), and the ON-set must
+//!   be fully covered;
+//! * candidates are legality-constrained prime expansions of the specified
+//!   ON cubes.
+//!
+//! Every synthesized cover is re-verified against all specified transitions
+//! with the exact waveform oracle before being returned; a violation is a
+//! hard error, not a silent degradation.
+
+use crate::flow::{SpecFunction, SpecTransition, TransKind};
+use asyncmap_bff::Expr;
+use asyncmap_cube::{Cover, Cube, VarId};
+use asyncmap_hazard::wave_eval;
+use std::error::Error;
+use std::fmt;
+
+/// Failure to synthesize a hazard-free cover.
+#[derive(Debug, Clone)]
+pub struct SynthesisError {
+    /// Function name.
+    pub function: String,
+    /// Description of the failed requirement.
+    pub message: String,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hazard-free synthesis failed for {}: {}",
+            self.function, self.message
+        )
+    }
+}
+
+impl Error for SynthesisError {}
+
+/// Synthesizes a two-level cover of `spec` that is hazard-free for every
+/// specified transition (unspecified points are implemented as 0).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] when the requirements are unsatisfiable for
+/// this specification (e.g. conflicting dynamic transitions) — the
+/// waveform verification runs on every result, so a returned cover is
+/// certified.
+pub fn hazard_free_cover(spec: &SpecFunction) -> Result<Cover, SynthesisError> {
+    let on = spec.on.without_contained_cubes();
+    if on.is_empty() {
+        return Err(SynthesisError {
+            function: spec.name.clone(),
+            message: "function has an empty ON-set".into(),
+        });
+    }
+    // Legality-constrained prime expansion of each structural ON cube.
+    let mut chosen = Cover::zero(spec.nvars);
+    for cube in on.cubes() {
+        let expanded = legal_expand(cube, &on, &spec.transitions);
+        if !chosen.cubes().contains(&expanded) {
+            chosen.push(expanded);
+        }
+    }
+    let chosen = chosen.without_contained_cubes();
+
+    verify(&chosen, spec)?;
+    Ok(chosen)
+}
+
+/// Greedily widens `cube` (dropping literals in ascending variable order)
+/// while it remains an implicant of `on` and legal for every dynamic
+/// transition.
+fn legal_expand(cube: &Cube, on: &Cover, transitions: &[SpecTransition]) -> Cube {
+    debug_assert!(is_legal(cube, transitions), "structural cube illegal");
+    let mut out = cube.clone();
+    for v in 0..on.nvars() {
+        let v = VarId(v);
+        if out.literal(v).is_none() {
+            continue;
+        }
+        let wider = out.without_var(v);
+        if on.covers_cube(&wider) && is_legal(&wider, transitions) {
+            out = wider;
+        }
+    }
+    out
+}
+
+/// The legality test: `cube` may intersect a dynamic transition space only
+/// if it contains the 1-valued endpoint.
+fn is_legal(cube: &Cube, transitions: &[SpecTransition]) -> bool {
+    transitions.iter().all(|t| {
+        let one_end = match t.kind {
+            TransKind::Rise => &t.end,
+            TransKind::Fall => &t.start,
+            TransKind::Static1 | TransKind::Static0 => return true,
+        };
+        cube.intersect(&t.space).is_none() || cube.contains(&Cube::minterm(one_end))
+    })
+}
+
+/// Certifies a cover against every specified transition with the waveform
+/// oracle.
+fn verify(cover: &Cover, spec: &SpecFunction) -> Result<(), SynthesisError> {
+    let expr = Expr::from_cover(cover);
+    for (i, t) in spec.transitions.iter().enumerate() {
+        // Endpoint values must match the specification.
+        let (want_start, want_end) = match t.kind {
+            TransKind::Static1 => (true, true),
+            TransKind::Static0 => (false, false),
+            TransKind::Rise => (false, true),
+            TransKind::Fall => (true, false),
+        };
+        let w = wave_eval(&expr, &t.start, &t.end);
+        if w.start != want_start || w.end != want_end {
+            return Err(SynthesisError {
+                function: spec.name.clone(),
+                message: format!("transition {i}: endpoint values {w} do not match {:?}", t.kind),
+            });
+        }
+        if w.hazard {
+            return Err(SynthesisError {
+                function: spec.name.clone(),
+                message: format!("transition {i} ({:?}) is hazardous: {w}", t.kind),
+            });
+        }
+        // Static-1 spaces additionally need single-cube coverage (the wave
+        // check implies it, but assert the Eichelberger condition
+        // explicitly for clearer failures).
+        if t.kind == TransKind::Static1 && !cover.single_cube_contains(&t.space) {
+            return Err(SynthesisError {
+                function: spec.name.clone(),
+                message: format!("transition {i}: static-1 space not held by one cube"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::expand;
+    use crate::spec::figure1_example;
+
+    #[test]
+    fn figure1_functions_synthesize_hazard_free() {
+        let spec = figure1_example();
+        let flow = expand(&spec).unwrap();
+        for f in &flow.functions {
+            let cover = hazard_free_cover(f).unwrap();
+            assert!(!cover.is_empty(), "{} is empty", f.name);
+            // ON-set fully covered.
+            for c in f.on.cubes() {
+                assert!(cover.covers_cube(c), "{}: {:?} uncovered", f.name, c);
+            }
+            // Nothing specified-OFF is covered.
+            for c in f.off.cubes() {
+                for m in c.minterms() {
+                    assert!(!cover.eval(&m), "{}: OFF point covered", f.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static1_spaces_get_single_cube() {
+        let spec = figure1_example();
+        let flow = expand(&spec).unwrap();
+        for f in &flow.functions {
+            let cover = hazard_free_cover(f).unwrap();
+            for t in &f.transitions {
+                if t.kind == TransKind::Static1 {
+                    assert!(cover.single_cube_contains(&t.space));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_on_set_is_an_error() {
+        let f = SpecFunction {
+            name: "z".into(),
+            nvars: 2,
+            on: Cover::zero(2),
+            off: Cover::zero(2),
+            transitions: vec![],
+        };
+        let err = hazard_free_cover(&f).unwrap_err();
+        assert!(err.to_string().contains("empty ON-set"));
+    }
+}

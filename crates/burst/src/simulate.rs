@@ -1,0 +1,244 @@
+//! Fundamental-mode simulation of a synthesized (or mapped) controller
+//! against its burst-mode specification: the closed-loop architecture of
+//! the paper's Figure 1, with the combinational block provided as a
+//! callback so both the golden equations and a technology-mapped netlist
+//! can be exercised.
+//!
+//! The simulator drives every specified edge, applying the input burst
+//! one signal at a time in several different orders (burst-mode allows any
+//! order), letting the feedback loop settle after each step, and checking:
+//!
+//! * mid-burst, the state and outputs hold their entry values (outputs
+//!   commit only on burst completion);
+//! * after the burst, the machine settles in the target state with the
+//!   target outputs within a bounded number of feedback iterations.
+
+use crate::spec::{BurstSpec, SpecError};
+use asyncmap_cube::Bits;
+
+/// The combinational block under test: given `(inputs ++ state bits)`
+/// returns `(outputs, next-state bits)`.
+pub trait CombinationalBlock {
+    /// Evaluates the block at a total state.
+    fn eval(&self, total: &Bits) -> (Bits, Bits);
+}
+
+impl<F> CombinationalBlock for F
+where
+    F: Fn(&Bits) -> (Bits, Bits),
+{
+    fn eval(&self, total: &Bits) -> (Bits, Bits) {
+        self(total)
+    }
+}
+
+/// A violation found during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationError {
+    /// Human-readable description of the failing step.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fundamental-mode simulation failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Maximum feedback-settling iterations per input step.
+const SETTLE_LIMIT: usize = 8;
+
+/// Simulates every edge of `spec` on `block` (a one-hot-encoded
+/// combinational implementation), trying `orders` different permutations
+/// of each input burst.
+///
+/// # Errors
+///
+/// Returns [`SimulationError`] on the first mismatch against the
+/// specification, or [`SpecError`] (wrapped) if the spec itself is
+/// invalid.
+pub fn simulate_machine(
+    spec: &BurstSpec,
+    block: &impl CombinationalBlock,
+    orders: usize,
+) -> Result<(), SimulationError> {
+    let entry = spec.validate().map_err(|e: SpecError| SimulationError {
+        message: e.message,
+    })?;
+    let ni = spec.num_inputs();
+    let ns = spec.num_states;
+    let one_hot = |s: usize| {
+        let mut b = Bits::new(ns);
+        b.set(s, true);
+        b
+    };
+    let total = |v: &Bits, code: &Bits| {
+        let mut t = Bits::new(ni + ns);
+        for i in 0..ni {
+            t.set(i, v.get(i));
+        }
+        for s in 0..ns {
+            t.set(ni + s, code.get(s));
+        }
+        t
+    };
+
+    for (edge_index, e) in spec.edges.iter().enumerate() {
+        let v_entry = entry.inputs[e.from.0].as_ref().expect("validated").clone();
+        let o_entry = entry.outputs[e.from.0].as_ref().expect("validated").clone();
+        let o_exit = o_entry.xor(&e.output_burst);
+        let changing: Vec<usize> = e.input_burst.iter_ones().collect();
+        for order in burst_orders(&changing, orders) {
+            let mut v = v_entry.clone();
+            let mut code = one_hot(e.from.0);
+            // Sanity: stable at entry.
+            settle(block, &total(&v, &code), &mut code, ni, ns).map_err(|m| SimulationError {
+                message: format!("edge {edge_index}: entry not stable: {m}"),
+            })?;
+            for (step, &i) in order.iter().enumerate() {
+                v.flip(i);
+                let complete = step + 1 == order.len();
+                let t = total(&v, &code);
+                let (outs, _) = block.eval(&t);
+                settle(block, &total(&v, &code), &mut code, ni, ns).map_err(|m| {
+                    SimulationError {
+                        message: format!("edge {edge_index}, step {step}: {m}"),
+                    }
+                })?;
+                let expect_outs = if complete { &o_exit } else { &o_entry };
+                let expect_state = if complete { e.to.0 } else { e.from.0 };
+                if &outs != expect_outs {
+                    return Err(SimulationError {
+                        message: format!(
+                            "edge {edge_index}, step {step}: outputs {outs:?}, expected {expect_outs:?}"
+                        ),
+                    });
+                }
+                if code != one_hot(expect_state) {
+                    return Err(SimulationError {
+                        message: format!(
+                            "edge {edge_index}, step {step}: state {code:?}, expected state {expect_state}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Iterates the feedback loop until the state code is a fixpoint.
+fn settle(
+    block: &impl CombinationalBlock,
+    start_total: &Bits,
+    code: &mut Bits,
+    ni: usize,
+    ns: usize,
+) -> Result<(), String> {
+    let mut total = start_total.clone();
+    for _ in 0..SETTLE_LIMIT {
+        let (_, next) = block.eval(&total);
+        if next == *code {
+            return Ok(());
+        }
+        *code = next.clone();
+        for s in 0..ns {
+            total.set(ni + s, next.get(s));
+        }
+    }
+    Err(format!("feedback did not settle within {SETTLE_LIMIT} steps"))
+}
+
+/// Deterministic selection of change orders: identity, reverse, and
+/// rotations.
+fn burst_orders(changing: &[usize], orders: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let n = changing.len();
+    for k in 0..orders.max(1) {
+        let mut o: Vec<usize> = changing.to_vec();
+        if k % 2 == 1 {
+            o.reverse();
+        }
+        o.rotate_left((k / 2) % n.max(1));
+        if !out.contains(&o) {
+            out.push(o);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::expand;
+    use crate::minimize::hazard_free_cover;
+    use crate::spec::figure1_example;
+    use asyncmap_cube::Cover;
+
+    /// Golden block: evaluate the synthesized covers directly.
+    struct GoldenBlock {
+        outputs: Vec<Cover>,
+        state_bits: Vec<Cover>,
+    }
+
+    impl CombinationalBlock for GoldenBlock {
+        fn eval(&self, total: &Bits) -> (Bits, Bits) {
+            let mut outs = Bits::new(self.outputs.len());
+            for (i, c) in self.outputs.iter().enumerate() {
+                outs.set(i, c.eval(total));
+            }
+            let mut code = Bits::new(self.state_bits.len());
+            for (i, c) in self.state_bits.iter().enumerate() {
+                code.set(i, c.eval(total));
+            }
+            (outs, code)
+        }
+    }
+
+    fn golden(spec: &BurstSpec) -> GoldenBlock {
+        let flow = expand(spec).unwrap();
+        let no = spec.num_outputs();
+        let covers: Vec<Cover> = flow
+            .functions
+            .iter()
+            .map(|f| hazard_free_cover(f).unwrap())
+            .collect();
+        GoldenBlock {
+            outputs: covers[..no].to_vec(),
+            state_bits: covers[no..].to_vec(),
+        }
+    }
+
+    #[test]
+    fn figure1_machine_runs_its_bursts() {
+        let spec = figure1_example();
+        let block = golden(&spec);
+        simulate_machine(&spec, &block, 4).unwrap();
+    }
+
+    #[test]
+    fn benchmark_machines_run_their_bursts() {
+        for name in ["vanbek-opt", "dme-fast", "chu-ad-opt", "dme"] {
+            let spec = crate::benchmark_spec(name);
+            let block = golden(&spec);
+            simulate_machine(&spec, &block, 4)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn broken_block_is_caught() {
+        let spec = figure1_example();
+        // A block that never raises y.
+        let block = |total: &Bits| {
+            let golden = golden(&figure1_example());
+            let (mut outs, code) = golden.eval(total);
+            outs.set(0, false);
+            (outs, code)
+        };
+        let err = simulate_machine(&spec, &block, 1).unwrap_err();
+        assert!(err.message.contains("outputs"));
+    }
+}

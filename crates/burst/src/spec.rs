@@ -1,0 +1,272 @@
+//! Burst-mode machine specifications (paper Figure 1): states connected by
+//! transitions labeled with an *input burst* (a nonempty set of input
+//! changes, in any order) and an *output burst*.
+//!
+//! Validity conditions enforced here:
+//!
+//! * **entry-vector consistency** — every path into a state arrives with
+//!   the same input vector (burst-mode well-formedness);
+//! * **maximal set property** — no input burst out of a state is a subset
+//!   of another from the same state (so burst completion is unambiguous);
+//! * output consistency — every path into a state arrives with the same
+//!   output values.
+
+use asyncmap_cube::Bits;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+/// One burst-mode transition.
+#[derive(Debug, Clone)]
+pub struct BurstEdge {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Input burst: bit `i` set means input `i` changes.
+    pub input_burst: Bits,
+    /// Output burst: bit `o` set means output `o` changes.
+    pub output_burst: Bits,
+}
+
+/// A burst-mode specification.
+#[derive(Debug, Clone)]
+pub struct BurstSpec {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Input signal names.
+    pub input_names: Vec<String>,
+    /// Output signal names.
+    pub output_names: Vec<String>,
+    /// Number of states (state 0 is initial).
+    pub num_states: usize,
+    /// The transitions.
+    pub edges: Vec<BurstEdge>,
+    /// Input vector on entry to state 0.
+    pub initial_inputs: Bits,
+    /// Output values on entry to state 0.
+    pub initial_outputs: Bits,
+}
+
+/// Validation failure for a burst-mode spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid burst-mode spec: {}", self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+/// Per-state entry values derived by propagating bursts from the initial
+/// state.
+#[derive(Debug, Clone)]
+pub struct EntryVectors {
+    /// Entry input vector per state (`None` = unreachable).
+    pub inputs: Vec<Option<Bits>>,
+    /// Entry output values per state.
+    pub outputs: Vec<Option<Bits>>,
+}
+
+impl BurstSpec {
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.output_names.len()
+    }
+
+    /// Validates the spec and computes per-state entry vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on empty bursts, dangling states, inconsistent
+    /// entry vectors, subset bursts from a common state, or unreachable
+    /// states.
+    pub fn validate(&self) -> Result<EntryVectors, SpecError> {
+        let err = |m: String| SpecError { message: m };
+        if self.initial_inputs.len() != self.num_inputs()
+            || self.initial_outputs.len() != self.num_outputs()
+        {
+            return Err(err("initial vector width mismatch".into()));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.from.0 >= self.num_states || e.to.0 >= self.num_states {
+                return Err(err(format!("edge {i} references undefined state")));
+            }
+            if e.input_burst.len() != self.num_inputs()
+                || e.output_burst.len() != self.num_outputs()
+            {
+                return Err(err(format!("edge {i} has wrong burst width")));
+            }
+            if e.input_burst.is_zero() {
+                return Err(err(format!("edge {i} has an empty input burst")));
+            }
+            if e.from == e.to {
+                return Err(err(format!("edge {i} is a self-loop")));
+            }
+        }
+        // Maximal set property.
+        for s in 0..self.num_states {
+            let bursts: Vec<&Bits> = self
+                .edges
+                .iter()
+                .filter(|e| e.from.0 == s)
+                .map(|e| &e.input_burst)
+                .collect();
+            for (i, a) in bursts.iter().enumerate() {
+                for (j, b) in bursts.iter().enumerate() {
+                    if i != j && a.is_subset(b) {
+                        return Err(err(format!(
+                            "state {s}: input burst {i} is a subset of burst {j}"
+                        )));
+                    }
+                }
+            }
+        }
+        // Entry-vector propagation (fixpoint over edges).
+        let mut inputs: Vec<Option<Bits>> = vec![None; self.num_states];
+        let mut outputs: Vec<Option<Bits>> = vec![None; self.num_states];
+        inputs[0] = Some(self.initial_inputs.clone());
+        outputs[0] = Some(self.initial_outputs.clone());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in &self.edges {
+                let (Some(vi), Some(vo)) = (inputs[e.from.0].clone(), outputs[e.from.0].clone())
+                else {
+                    continue;
+                };
+                let ni = vi.xor(&e.input_burst);
+                let no = vo.xor(&e.output_burst);
+                match &inputs[e.to.0] {
+                    None => {
+                        inputs[e.to.0] = Some(ni);
+                        outputs[e.to.0] = Some(no);
+                        changed = true;
+                    }
+                    Some(existing) => {
+                        if *existing != ni {
+                            return Err(err(format!(
+                                "state {} has inconsistent entry inputs",
+                                e.to.0
+                            )));
+                        }
+                        if outputs[e.to.0].as_ref() != Some(&no) {
+                            return Err(err(format!(
+                                "state {} has inconsistent entry outputs",
+                                e.to.0
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = inputs.iter().position(Option::is_none) {
+            return Err(err(format!("state {s} is unreachable")));
+        }
+        Ok(EntryVectors { inputs, outputs })
+    }
+}
+
+/// The Figure-1-style two-state example used by the quickstart: an
+/// `a+ b+ / y+` burst followed by `a- b- / y-`.
+pub fn figure1_example() -> BurstSpec {
+    let mut burst_in = Bits::new(2);
+    burst_in.set(0, true);
+    burst_in.set(1, true);
+    let mut burst_out = Bits::new(1);
+    burst_out.set(0, true);
+    BurstSpec {
+        name: "figure1".to_owned(),
+        input_names: vec!["a".into(), "b".into()],
+        output_names: vec!["y".into()],
+        num_states: 2,
+        edges: vec![
+            BurstEdge {
+                from: StateId(0),
+                to: StateId(1),
+                input_burst: burst_in.clone(),
+                output_burst: burst_out.clone(),
+            },
+            BurstEdge {
+                from: StateId(1),
+                to: StateId(0),
+                input_burst: burst_in,
+                output_burst: burst_out,
+            },
+        ],
+        initial_inputs: Bits::new(2),
+        initial_outputs: Bits::new(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_validates() {
+        let spec = figure1_example();
+        let entry = spec.validate().unwrap();
+        // State 1 is entered with a=b=1, y=1.
+        let v1 = entry.inputs[1].as_ref().unwrap();
+        assert!(v1.get(0) && v1.get(1));
+        assert!(entry.outputs[1].as_ref().unwrap().get(0));
+    }
+
+    #[test]
+    fn empty_burst_rejected() {
+        let mut spec = figure1_example();
+        spec.edges[0].input_burst = Bits::new(2);
+        let e = spec.validate().unwrap_err();
+        assert!(e.to_string().contains("empty input burst"));
+    }
+
+    #[test]
+    fn subset_burst_rejected() {
+        let mut spec = figure1_example();
+        // Add a second edge from state 0 whose burst {a} ⊂ {a,b}.
+        let mut small = Bits::new(2);
+        small.set(0, true);
+        spec.num_states = 3;
+        spec.edges.push(BurstEdge {
+            from: StateId(0),
+            to: StateId(2),
+            input_burst: small,
+            output_burst: Bits::new(1),
+        });
+        let e = spec.validate().unwrap_err();
+        assert!(e.to_string().contains("subset"));
+    }
+
+    #[test]
+    fn inconsistent_entry_rejected() {
+        let mut spec = figure1_example();
+        // Returning edge toggles only a: state 0 re-entered with b=1.
+        let mut only_a = Bits::new(2);
+        only_a.set(0, true);
+        spec.edges[1].input_burst = only_a;
+        let e = spec.validate().unwrap_err();
+        assert!(e.to_string().contains("inconsistent entry inputs"));
+    }
+
+    #[test]
+    fn unreachable_state_rejected() {
+        let mut spec = figure1_example();
+        spec.num_states = 3;
+        let e = spec.validate().unwrap_err();
+        assert!(e.to_string().contains("unreachable"));
+    }
+}

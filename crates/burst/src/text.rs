@@ -1,0 +1,337 @@
+//! A text format for burst-mode specifications, in the spirit of the
+//! `.bms` files consumed by the burst-mode synthesis tools the paper's
+//! flow builds on.
+//!
+//! ```text
+//! machine figure1
+//! inputs a b
+//! outputs y
+//! states 2
+//! # from to  input burst / output burst
+//! edge 0 1  a+ b+ / y+
+//! edge 1 0  a- b- / y-
+//! ```
+//!
+//! Signal directions (`+`/`-`) are accepted on parse for readability but
+//! only the *set of changing signals* is stored; [`BurstSpec::validate`]
+//! recomputes actual directions from the entry vectors, and the writer
+//! emits them faithfully.
+
+use crate::spec::{BurstEdge, BurstSpec, SpecError, StateId};
+use asyncmap_cube::Bits;
+use std::fmt::Write as _;
+
+/// Parses the text format described in the module docs.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] with a line-numbered message on malformed input.
+/// # Examples
+///
+/// ```
+/// let spec = asyncmap_burst::parse_bms("
+/// machine figure1
+/// inputs a b
+/// outputs y
+/// states 2
+/// edge 0 1  a+ b+ / y+
+/// edge 1 0  a- b- / y-
+/// ")?;
+/// assert!(spec.validate().is_ok());
+/// # Ok::<(), asyncmap_burst::SpecError>(())
+/// ```
+pub fn parse_bms(text: &str) -> Result<BurstSpec, SpecError> {
+    let mut name: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut num_states: Option<usize> = None;
+    let mut initial_inputs: Option<Bits> = None;
+    let mut initial_outputs: Option<Bits> = None;
+    let mut edges: Vec<BurstEdge> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| SpecError {
+            message: format!("line {}: {m}", lineno + 1),
+        };
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("machine") => {
+                name = Some(
+                    tokens
+                        .next()
+                        .ok_or_else(|| err("missing machine name".into()))?
+                        .to_owned(),
+                );
+            }
+            Some("inputs") => inputs.extend(tokens.map(str::to_owned)),
+            Some("outputs") => outputs.extend(tokens.map(str::to_owned)),
+            Some("states") => {
+                let n: usize = tokens
+                    .next()
+                    .ok_or_else(|| err("missing state count".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad state count: {e}")))?;
+                num_states = Some(n);
+            }
+            Some("initial-inputs") => {
+                initial_inputs = Some(parse_vector(tokens.next(), inputs.len(), &err)?);
+            }
+            Some("initial-outputs") => {
+                initial_outputs = Some(parse_vector(tokens.next(), outputs.len(), &err)?);
+            }
+            Some("edge") => {
+                let from: usize = tokens
+                    .next()
+                    .ok_or_else(|| err("missing source state".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad source state: {e}")))?;
+                let to: usize = tokens
+                    .next()
+                    .ok_or_else(|| err("missing target state".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad target state: {e}")))?;
+                let rest: Vec<&str> = tokens.collect();
+                let mut parts = rest.splitn(2, |t| *t == "/");
+                let in_tokens: Vec<&str> = parts.next().unwrap_or_default().to_vec();
+                let out_tokens: Vec<&str> = parts.next().unwrap_or_default().to_vec();
+                let input_burst = parse_burst(&in_tokens, &inputs, &err)?;
+                let output_burst = parse_burst(&out_tokens, &outputs, &err)?;
+                edges.push(BurstEdge {
+                    from: StateId(from),
+                    to: StateId(to),
+                    input_burst,
+                    output_burst,
+                });
+            }
+            Some(other) => return Err(err(format!("unknown directive {other:?}"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let name = name.ok_or(SpecError {
+        message: "missing `machine` directive".into(),
+    })?;
+    let num_states = num_states.ok_or(SpecError {
+        message: "missing `states` directive".into(),
+    })?;
+    Ok(BurstSpec {
+        name,
+        initial_inputs: initial_inputs.unwrap_or_else(|| Bits::new(inputs.len())),
+        initial_outputs: initial_outputs.unwrap_or_else(|| Bits::new(outputs.len())),
+        input_names: inputs,
+        output_names: outputs,
+        num_states,
+        edges,
+    })
+}
+
+fn parse_vector(
+    token: Option<&str>,
+    len: usize,
+    err: &impl Fn(String) -> SpecError,
+) -> Result<Bits, SpecError> {
+    let token = token.ok_or_else(|| err("missing bit vector".into()))?;
+    if token.len() != len {
+        return Err(err(format!(
+            "vector {token:?} has {} bits, expected {len}",
+            token.len()
+        )));
+    }
+    let mut b = Bits::new(len);
+    for (i, ch) in token.chars().enumerate() {
+        match ch {
+            '0' => {}
+            '1' => b.set(i, true),
+            other => return Err(err(format!("bad vector bit {other:?}"))),
+        }
+    }
+    Ok(b)
+}
+
+fn parse_burst(
+    tokens: &[&str],
+    names: &[String],
+    err: &impl Fn(String) -> SpecError,
+) -> Result<Bits, SpecError> {
+    let mut burst = Bits::new(names.len());
+    for tok in tokens {
+        let base = tok.trim_end_matches(['+', '-', '~']);
+        if base.is_empty() || base.len() == tok.len() {
+            return Err(err(format!(
+                "burst token {tok:?} must be <signal>+/-/~"
+            )));
+        }
+        let idx = names
+            .iter()
+            .position(|n| n == base)
+            .ok_or_else(|| err(format!("unknown signal {base:?}")))?;
+        if burst.get(idx) {
+            return Err(err(format!("signal {base:?} listed twice in a burst")));
+        }
+        burst.set(idx, true);
+    }
+    Ok(burst)
+}
+
+/// Serializes a spec to the text format, with `+`/`-` directions derived
+/// from the entry vectors.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the spec does not validate (directions would
+/// be meaningless).
+pub fn to_bms(spec: &BurstSpec) -> Result<String, SpecError> {
+    let entry = spec.validate()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "machine {}", spec.name);
+    let _ = writeln!(out, "inputs {}", spec.input_names.join(" "));
+    let _ = writeln!(out, "outputs {}", spec.output_names.join(" "));
+    let _ = writeln!(out, "states {}", spec.num_states);
+    let _ = writeln!(out, "initial-inputs {}", vector(&spec.initial_inputs));
+    let _ = writeln!(out, "initial-outputs {}", vector(&spec.initial_outputs));
+    for e in &spec.edges {
+        let vi = entry.inputs[e.from.0].as_ref().expect("validated");
+        let vo = entry.outputs[e.from.0].as_ref().expect("validated");
+        let ins = burst_tokens(&e.input_burst, vi, &spec.input_names);
+        let outs = burst_tokens(&e.output_burst, vo, &spec.output_names);
+        let _ = writeln!(out, "edge {} {}  {} / {}", e.from.0, e.to.0, ins, outs);
+    }
+    Ok(out)
+}
+
+fn vector(b: &Bits) -> String {
+    (0..b.len())
+        .map(|i| if b.get(i) { '1' } else { '0' })
+        .collect()
+}
+
+fn burst_tokens(burst: &Bits, entry: &Bits, names: &[String]) -> String {
+    let toks: Vec<String> = burst
+        .iter_ones()
+        .map(|i| {
+            // The signal leaves its entry value: entry 0 → rising (+).
+            format!("{}{}", names[i], if entry.get(i) { '-' } else { '+' })
+        })
+        .collect();
+    toks.join(" ")
+}
+
+/// Renders a spec as a Graphviz `dot` digraph (states as nodes, bursts as
+/// edge labels) for visual inspection of machines like Figure 1.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the spec does not validate.
+pub fn to_dot(spec: &BurstSpec) -> Result<String, SpecError> {
+    let entry = spec.validate()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", spec.name.replace('-', "_"));
+    let _ = writeln!(out, "  rankdir=LR; node [shape=circle];");
+    for s in 0..spec.num_states {
+        let v = entry.inputs[s].as_ref().expect("validated");
+        let _ = writeln!(out, "  s{s} [label=\"s{s}\\n{}\"];", vector(v));
+    }
+    for e in &spec.edges {
+        let vi = entry.inputs[e.from.0].as_ref().expect("validated");
+        let vo = entry.outputs[e.from.0].as_ref().expect("validated");
+        let ins = burst_tokens(&e.input_burst, vi, &spec.input_names);
+        let outs = burst_tokens(&e.output_burst, vo, &spec.output_names);
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{} / {}\"];",
+            e.from.0, e.to.0, ins, outs
+        );
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_example;
+
+    const FIGURE1: &str = "\
+machine figure1
+inputs a b
+outputs y
+states 2
+# the two bursts of the paper's Figure 1
+edge 0 1  a+ b+ / y+
+edge 1 0  a- b- / y-
+";
+
+    #[test]
+    fn parse_figure1() {
+        let spec = parse_bms(FIGURE1).unwrap();
+        assert_eq!(spec.name, "figure1");
+        assert_eq!(spec.num_states, 2);
+        assert_eq!(spec.edges.len(), 2);
+        spec.validate().unwrap();
+        // Same machine as the built-in example.
+        let builtin = figure1_example();
+        assert_eq!(spec.edges[0].input_burst, builtin.edges[0].input_burst);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let spec = figure1_example();
+        let text = to_bms(&spec).unwrap();
+        let back = parse_bms(&text).unwrap();
+        assert_eq!(back.num_states, spec.num_states);
+        assert_eq!(back.edges.len(), spec.edges.len());
+        for (a, b) in back.edges.iter().zip(&spec.edges) {
+            assert_eq!(a.input_burst, b.input_burst);
+            assert_eq!(a.output_burst, b.output_burst);
+        }
+    }
+
+    #[test]
+    fn writer_emits_directions() {
+        let text = to_bms(&figure1_example()).unwrap();
+        assert!(text.contains("a+ b+ / y+"));
+        assert!(text.contains("a- b- / y-"));
+    }
+
+    #[test]
+    fn benchmark_specs_roundtrip() {
+        for name in ["dme-fast", "chu-ad-opt"] {
+            let spec = crate::benchmark_spec(name);
+            let text = to_bms(&spec).unwrap();
+            let back = parse_bms(&text).unwrap();
+            back.validate().unwrap();
+            assert_eq!(back.edges.len(), spec.edges.len());
+        }
+    }
+
+    #[test]
+    fn dot_export_has_states_and_edges() {
+        let dot = to_dot(&figure1_example()).unwrap();
+        assert!(dot.starts_with("digraph figure1 {"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("a+ b+ / y+"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse_bms("machine x\nstates 2\nedge 0 1 zz+ /\n").unwrap_err();
+        assert!(e.message.contains("line 3"), "{e}");
+        let e2 = parse_bms("inputs a\n").unwrap_err();
+        assert!(e2.message.contains("machine"));
+        let e3 = parse_bms("machine x\ninputs a\nstates 1\nedge 0 0 a /\n").unwrap_err();
+        assert!(e3.message.contains("burst token"), "{e3}");
+    }
+
+    #[test]
+    fn duplicate_burst_signal_rejected() {
+        let e =
+            parse_bms("machine x\ninputs a\noutputs y\nstates 2\nedge 0 1 a+ a- / y+\n")
+                .unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Cluster (cut) enumeration: the candidate subnetworks of a cone that the
+//! matcher compares against library cells.
+//!
+//! A cluster rooted at gate `g` is the tree of base gates from `g` down to
+//! a chosen *cut* of leaf signals. Because a cone is a tree of gates, a
+//! cluster is uniquely identified by its leaf set, and enumeration is a
+//! bounded product of the fanin cut sets. Bounds follow CERES: a maximum
+//! gate depth (the paper's tables use "depth of 5") and a maximum leaf
+//! count (the widest library cell).
+
+use asyncmap_bff::Expr;
+use asyncmap_cube::{VarId, VarTable};
+use asyncmap_network::{Cone, GateOp, Network, NodeKind, SignalId};
+use std::collections::{HashMap, HashSet};
+
+/// A candidate subnetwork for matching.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The gate whose output the cluster computes.
+    pub root: SignalId,
+    /// Leaf signals, deduplicated in first-visit order.
+    pub leaves: Vec<SignalId>,
+    /// The cluster's structure over local variables (`leaves[i]` =
+    /// variable `i`).
+    pub expr: Expr,
+    /// Number of gates the cluster covers.
+    pub num_gates: usize,
+}
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterLimits {
+    /// Maximum gate depth of a cluster (paper: 5).
+    pub max_depth: usize,
+    /// Maximum number of distinct leaves (the widest library cell).
+    pub max_leaves: usize,
+    /// Cap on cuts kept per gate (guards pathological cones).
+    pub max_cuts_per_gate: usize,
+}
+
+impl Default for ClusterLimits {
+    fn default() -> Self {
+        ClusterLimits {
+            max_depth: 5,
+            max_leaves: 8,
+            max_cuts_per_gate: 200,
+        }
+    }
+}
+
+/// Enumerates the clusters rooted at every gate of `cone`, keyed by root
+/// signal.
+pub fn enumerate_clusters(
+    net: &Network,
+    cone: &Cone,
+    limits: &ClusterLimits,
+) -> HashMap<SignalId, Vec<Cluster>> {
+    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    // cuts[g] = leaf sets of clusters rooted at g, each sorted.
+    let mut cuts: HashMap<SignalId, Vec<Vec<SignalId>>> = HashMap::new();
+    for &g in &cone.gates {
+        // cone.gates is in topological (ascending id) order.
+        let NodeKind::Gate { fanin, .. } = net.node(g) else {
+            unreachable!("cone gate is not a gate")
+        };
+        let mut gate_cuts: Vec<Vec<SignalId>> = Vec::new();
+        let fanin_options: Vec<Vec<Vec<SignalId>>> = fanin
+            .iter()
+            .map(|&f| {
+                let mut options = vec![vec![f]]; // stop at the fanin signal
+                if cone_gates.contains(&f) {
+                    if let Some(sub) = cuts.get(&f) {
+                        options.extend(sub.iter().cloned());
+                    }
+                }
+                options
+            })
+            .collect();
+        cross_product(&fanin_options, &mut gate_cuts, limits.max_leaves);
+        // The trivial cut (the gate's own fanin) must always survive the
+        // cap: it guarantees every gate is coverable by a base cell.
+        let mut trivial: Vec<SignalId> = fanin.clone();
+        trivial.sort();
+        trivial.dedup();
+        gate_cuts.sort();
+        gate_cuts.dedup();
+        gate_cuts.retain(|c| *c != trivial);
+        gate_cuts.truncate(limits.max_cuts_per_gate.saturating_sub(1));
+        gate_cuts.insert(0, trivial);
+        cuts.insert(g, gate_cuts);
+    }
+    // Materialize clusters and apply the depth bound.
+    let mut out: HashMap<SignalId, Vec<Cluster>> = HashMap::new();
+    for &g in &cone.gates {
+        let mut clusters = Vec::new();
+        for cut in &cuts[&g] {
+            let cut_set: HashSet<SignalId> = cut.iter().copied().collect();
+            if let Some(cluster) = build_cluster(net, g, &cut_set, limits) {
+                clusters.push(cluster);
+            }
+        }
+        out.insert(g, clusters);
+    }
+    out
+}
+
+fn cross_product(options: &[Vec<Vec<SignalId>>], out: &mut Vec<Vec<SignalId>>, max_leaves: usize) {
+    fn rec(
+        options: &[Vec<Vec<SignalId>>],
+        idx: usize,
+        acc: &mut Vec<SignalId>,
+        out: &mut Vec<Vec<SignalId>>,
+        max_leaves: usize,
+    ) {
+        if idx == options.len() {
+            let mut cut = acc.clone();
+            cut.sort();
+            cut.dedup();
+            if cut.len() <= max_leaves {
+                out.push(cut);
+            }
+            return;
+        }
+        for choice in &options[idx] {
+            let mark = acc.len();
+            acc.extend(choice.iter().copied());
+            rec(options, idx + 1, acc, out, max_leaves);
+            acc.truncate(mark);
+        }
+    }
+    let mut acc = Vec::new();
+    rec(options, 0, &mut acc, out, max_leaves);
+}
+
+/// Builds the cluster for a given cut, returning `None` when the depth
+/// bound is exceeded.
+fn build_cluster(
+    net: &Network,
+    root: SignalId,
+    cut: &HashSet<SignalId>,
+    limits: &ClusterLimits,
+) -> Option<Cluster> {
+    let mut leaves: Vec<SignalId> = Vec::new();
+    let mut leaf_vars: HashMap<SignalId, VarId> = HashMap::new();
+    let mut num_gates = 0usize;
+    let expr = walk(
+        net,
+        root,
+        cut,
+        0,
+        limits.max_depth,
+        &mut leaves,
+        &mut leaf_vars,
+        &mut num_gates,
+    )?;
+    Some(Cluster {
+        root,
+        leaves,
+        expr,
+        num_gates,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    net: &Network,
+    signal: SignalId,
+    cut: &HashSet<SignalId>,
+    depth: usize,
+    max_depth: usize,
+    leaves: &mut Vec<SignalId>,
+    leaf_vars: &mut HashMap<SignalId, VarId>,
+    num_gates: &mut usize,
+) -> Option<Expr> {
+    if depth > 0 && cut.contains(&signal) {
+        let v = *leaf_vars.entry(signal).or_insert_with(|| {
+            leaves.push(signal);
+            VarId(leaves.len() - 1)
+        });
+        return Some(Expr::Var(v));
+    }
+    if depth >= max_depth {
+        return None;
+    }
+    let NodeKind::Gate { op, fanin } = net.node(signal) else {
+        // Reached a primary input that is not in the cut: the cut is
+        // malformed for this walk.
+        unreachable!("walk hit a non-cut input signal");
+    };
+    *num_gates += 1;
+    let mut args = Vec::with_capacity(fanin.len());
+    for &f in fanin {
+        args.push(walk(
+            net, f, cut, depth + 1, max_depth, leaves, leaf_vars, num_gates,
+        )?);
+    }
+    Some(match op {
+        GateOp::And => Expr::and(args),
+        GateOp::Or => Expr::or(args),
+        GateOp::Inv => args.into_iter().next().expect("inverter fanin").not(),
+        GateOp::Buf => args.into_iter().next().expect("buffer fanin"),
+    })
+}
+
+impl Cluster {
+    /// A local variable table naming the cluster leaves after their network
+    /// signals.
+    pub fn local_vars(&self, net: &Network) -> VarTable {
+        VarTable::from_names(self.leaves.iter().map(|&s| net.name(s).to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::Cover;
+    use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+
+    fn cone_of(text: &str, names: &[&str]) -> (Network, Cone) {
+        let vars = VarTable::from_names(names.iter().copied());
+        let f = Cover::parse(text, &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        assert_eq!(cones.len(), 1);
+        let cone = cones[0].clone();
+        (net, cone)
+    }
+
+    #[test]
+    fn every_gate_has_its_trivial_cluster() {
+        let (net, cone) = cone_of("ab + a'c", &["a", "b", "c"]);
+        let clusters = enumerate_clusters(&net, &cone, &ClusterLimits::default());
+        for g in &cone.gates {
+            let list = &clusters[g];
+            assert!(
+                list.iter().any(|c| c.num_gates == 1),
+                "gate {g} lacks its single-gate cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn root_cluster_can_cover_whole_cone() {
+        let (net, cone) = cone_of("ab + a'c", &["a", "b", "c"]);
+        let clusters = enumerate_clusters(&net, &cone, &ClusterLimits::default());
+        let at_root = &clusters[&cone.root];
+        let full = at_root
+            .iter()
+            .find(|c| c.num_gates == cone.num_gates())
+            .expect("whole-cone cluster missing");
+        // Function check: full cluster computes ab + a'c over its leaves.
+        let local = full.local_vars(&net);
+        let want = Cover::parse_tokens("a*b + a'*c", &local).unwrap();
+        for m in 0..8usize {
+            let mut bits = asyncmap_cube::Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(full.expr.eval(&bits), want.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn depth_bound_limits_clusters() {
+        let (net, cone) = cone_of("abcd + a'b'c'd'", &["a", "b", "c", "d"]);
+        let tight = ClusterLimits {
+            max_depth: 1,
+            ..ClusterLimits::default()
+        };
+        let clusters = enumerate_clusters(&net, &cone, &tight);
+        for list in clusters.values() {
+            for c in list {
+                assert_eq!(c.num_gates, 1, "depth-1 cluster covers one gate");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_limit_enforced() {
+        let (net, cone) = cone_of("abcd + a'b'c'd'", &["a", "b", "c", "d"]);
+        let limits = ClusterLimits {
+            max_leaves: 3,
+            ..ClusterLimits::default()
+        };
+        let clusters = enumerate_clusters(&net, &cone, &limits);
+        for list in clusters.values() {
+            for c in list {
+                assert!(c.leaves.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_input_is_one_leaf() {
+        // f = ab + ab': input a feeds two AND gates inside the cone.
+        let (net, cone) = cone_of("ab + ab'", &["a", "b"]);
+        let clusters = enumerate_clusters(&net, &cone, &ClusterLimits::default());
+        let at_root = &clusters[&cone.root];
+        let full = at_root.iter().max_by_key(|c| c.num_gates).unwrap();
+        // Leaves are a and b only (a deduplicated).
+        assert!(full.leaves.len() <= 3); // a, b, and possibly the INV output
+    }
+}

@@ -1,0 +1,335 @@
+//! Covering: selecting a set of matched cells that realizes a cone at
+//! minimum area (the `find_best_cover` step of the paper's `tmap` /
+//! `find-best-async-cover` of `async_tmap`).
+//!
+//! Cones are trees of base gates, so minimum-area covering is a linear
+//! dynamic program over the gates in topological order: the best cost of a
+//! gate is the cheapest match rooted there plus the best costs of the
+//! match's gate leaves.
+
+use crate::cluster::{enumerate_clusters, Cluster, ClusterLimits};
+use crate::matcher::Matcher;
+use crate::tmap::Objective;
+use asyncmap_network::{Cone, Network, SignalId};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// One chosen cell instance of a cone cover.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Index of the cell in the library.
+    pub cell_index: usize,
+    /// The subject-network signal this instance produces.
+    pub output: SignalId,
+    /// Subject-network signals bound to the cell pins, in pin order.
+    pub inputs: Vec<SignalId>,
+}
+
+/// A cover of one cone.
+#[derive(Debug, Clone)]
+pub struct ConeCover {
+    /// The cone's root signal.
+    pub root: SignalId,
+    /// Chosen instances, leaves-to-root order.
+    pub instances: Vec<Instance>,
+    /// Total cell area of the cover.
+    pub area: f64,
+}
+
+/// Error: a gate could not be covered by any library cell.
+#[derive(Debug, Clone)]
+pub struct CoverError {
+    /// The uncoverable gate.
+    pub gate: SignalId,
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no library cell covers gate {}", self.gate)
+    }
+}
+
+impl Error for CoverError {}
+
+#[derive(Debug, Clone)]
+struct Choice {
+    cell_index: usize,
+    /// Subject signals bound to the cell pins, in pin order.
+    pin_signals: Vec<SignalId>,
+    /// Gate leaves of the winning cluster (sub-problems to recurse into).
+    gate_leaves: Vec<SignalId>,
+    cell_area: f64,
+    /// Total cell area of the sub-solution rooted here.
+    total_area: f64,
+    /// Critical-path cell delay of the sub-solution rooted here.
+    total_delay: f64,
+}
+
+impl Choice {
+    fn score(&self, objective: Objective) -> (f64, f64) {
+        match objective {
+            Objective::Area => (self.total_area, self.total_delay),
+            Objective::Delay => (self.total_delay, self.total_area),
+        }
+    }
+}
+
+/// Covers `cone` with minimum total cell area, using `matcher` to find
+/// acceptable matches under its hazard policy.
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match (a library without
+/// INV/AND2/OR2 equivalents).
+pub fn cover_cone(
+    net: &Network,
+    cone: &Cone,
+    matcher: &mut Matcher<'_>,
+    limits: &ClusterLimits,
+) -> Result<ConeCover, CoverError> {
+    cover_cone_with(net, cone, matcher, limits, Objective::Area)
+}
+
+/// Like [`cover_cone`], selecting by the given objective (minimum total
+/// cell area, or minimum critical-path cell delay with area as the
+/// tie-break).
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match.
+pub fn cover_cone_with(
+    net: &Network,
+    cone: &Cone,
+    matcher: &mut Matcher<'_>,
+    limits: &ClusterLimits,
+    objective: Objective,
+) -> Result<ConeCover, CoverError> {
+    let clusters = enumerate_clusters(net, cone, limits);
+    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    let mut best: HashMap<SignalId, Choice> = HashMap::new();
+    for &g in &cone.gates {
+        let mut best_here: Option<Choice> = None;
+        for cluster in &clusters[&g] {
+            let gate_leaves: Vec<SignalId> = cluster
+                .leaves
+                .iter()
+                .copied()
+                .filter(|l| cone_gates.contains(l))
+                .collect();
+            // All gate leaves must already have solutions (they precede g
+            // topologically).
+            let leaf_area: f64 = gate_leaves
+                .iter()
+                .map(|l| best.get(l).map_or(f64::INFINITY, |c| c.total_area))
+                .sum();
+            if !leaf_area.is_finite() {
+                continue;
+            }
+            let leaf_delay: f64 = gate_leaves
+                .iter()
+                .map(|l| best[l].total_delay)
+                .fold(0.0, f64::max);
+            for m in matcher.find_matches(cluster) {
+                let cell = &matcher.library().cells()[m.cell_index];
+                let candidate = Choice {
+                    cell_index: m.cell_index,
+                    pin_signals: m
+                        .pin_to_leaf
+                        .iter()
+                        .map(|&l| cluster.leaves[l])
+                        .collect(),
+                    gate_leaves: gate_leaves.clone(),
+                    cell_area: cell.area(),
+                    total_area: cell.area() + leaf_area,
+                    total_delay: cell.delay() + leaf_delay,
+                };
+                if best_here
+                    .as_ref()
+                    .is_none_or(|b| candidate.score(objective) < b.score(objective))
+                {
+                    best_here = Some(candidate);
+                }
+            }
+        }
+        match best_here {
+            Some(choice) => {
+                best.insert(g, choice);
+            }
+            None => return Err(CoverError { gate: g }),
+        }
+    }
+    Ok(reconstruct(cone, &best))
+}
+
+/// A "designer-style" structural cover used as the hand-mapped baseline of
+/// Table 3: at each gate, greedily take the match covering the most gates
+/// (ties broken by larger area — a designer picking big familiar cells),
+/// without hazard filtering.
+pub fn hand_cover(
+    net: &Network,
+    cone: &Cone,
+    matcher: &mut Matcher<'_>,
+    limits: &ClusterLimits,
+) -> Result<ConeCover, CoverError> {
+    let clusters = enumerate_clusters(net, cone, limits);
+    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    let mut instances = Vec::new();
+    let mut area = 0.0;
+    let mut work = vec![cone.root];
+    while let Some(g) = work.pop() {
+        let mut chosen: Option<(&Cluster, crate::matcher::Match, f64)> = None;
+        for cluster in &clusters[&g] {
+            for m in matcher.find_matches(cluster) {
+                let cell_area = matcher.library().cells()[m.cell_index].area();
+                let better = match &chosen {
+                    None => true,
+                    Some((cc, _, ca)) => {
+                        cluster.num_gates > cc.num_gates
+                            || (cluster.num_gates == cc.num_gates && cell_area > *ca)
+                    }
+                };
+                if better {
+                    chosen = Some((cluster, m, cell_area));
+                }
+            }
+        }
+        let Some((cluster, m, cell_area)) = chosen else {
+            return Err(CoverError { gate: g });
+        };
+        area += cell_area;
+        instances.push(Instance {
+            cell_index: m.cell_index,
+            output: g,
+            inputs: m.pin_to_leaf.iter().map(|&l| cluster.leaves[l]).collect(),
+        });
+        for &l in &cluster.leaves {
+            if cone_gates.contains(&l) {
+                work.push(l);
+            }
+        }
+    }
+    instances.reverse();
+    Ok(ConeCover {
+        root: cone.root,
+        instances,
+        area,
+    })
+}
+
+fn reconstruct(cone: &Cone, best: &HashMap<SignalId, Choice>) -> ConeCover {
+    let mut instances = Vec::new();
+    let mut area = 0.0;
+    let mut work = vec![cone.root];
+    while let Some(g) = work.pop() {
+        let choice = &best[&g];
+        area += choice.cell_area;
+        instances.push(Instance {
+            cell_index: choice.cell_index,
+            output: g,
+            inputs: choice.pin_signals.clone(),
+        });
+        work.extend(choice.gate_leaves.iter().copied());
+    }
+    instances.reverse();
+    ConeCover {
+        root: cone.root,
+        instances,
+        area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::HazardPolicy;
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_library::builtin;
+    use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+
+    fn setup(text: &str, names: &[&str]) -> (asyncmap_network::Network, Vec<Cone>) {
+        let vars = VarTable::from_names(names.iter().copied());
+        let f = Cover::parse(text, &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        (net, cones)
+    }
+
+    #[test]
+    fn covers_simple_cone_with_one_cell() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let (net, cones) = setup("a' + b'", &["a", "b"]);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        // One NAND2 beats INV+INV+OR2 on area.
+        assert_eq!(cover.instances.len(), 1);
+        assert!(lib.cells()[cover.instances[0].cell_index]
+            .name()
+            .starts_with("NAND2"));
+    }
+
+    #[test]
+    fn async_cover_preserves_cone_hazard_freedom() {
+        // The mapper may use the hazardous MUX2 on the inner ab + a'c
+        // subnetwork (whose structure has exactly the mux's hazards,
+        // Theorem 3.2) but never in a way that loses the protection of the
+        // redundant consensus cube bc: the mapped cone as a whole must
+        // have a subset of the original cone's hazards.
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let (net, cones) = setup("ab + a'c + bc", &["a", "b", "c"]);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        let (orig, _) = cones[0].to_expr(&net);
+        let mapped = crate::design::mapped_cone_expr(&net, &cones[0], &cover, &lib);
+        assert!(asyncmap_hazard::hazards_subset(
+            &mapped,
+            &orig,
+            cones[0].leaves.len()
+        ));
+        // In particular the full-cone MUX2 replacement (which drops bc and
+        // introduces a static-1 hazard) must have been rejected: the
+        // mapped structure still holds b=c=1 steady while a changes.
+        let mut one = asyncmap_cube::Bits::new(3);
+        one.set(1, true);
+        one.set(2, true);
+        let mut other = one.clone();
+        other.set(0, true);
+        assert!(!asyncmap_hazard::wave_eval(&mapped, &one, &other).hazard);
+        // The sync cover, by contrast, is free to take the bare mux.
+        let mut sync = Matcher::new(&lib, HazardPolicy::Ignore);
+        let sync_cover =
+            cover_cone(&net, &cones[0], &mut sync, &ClusterLimits::default()).unwrap();
+        assert!(sync_cover.area <= cover.area);
+    }
+
+    #[test]
+    fn dp_cost_equals_sum_of_instance_areas() {
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let (net, cones) = setup("ab' + cd + a'd'", &["a", "b", "c", "d"]);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        let sum: f64 = cover
+            .instances
+            .iter()
+            .map(|i| lib.cells()[i.cell_index].area())
+            .sum();
+        assert!((cover.area - sum).abs() < 1e-9);
+        assert!(!cover.instances.is_empty());
+    }
+
+    #[test]
+    fn hand_cover_is_no_smaller_than_dp() {
+        let mut lib = builtin::gdt();
+        lib.annotate_hazards();
+        let (net, cones) = setup("ab + a'c + bc", &["a", "b", "c"]);
+        let mut m1 = Matcher::new(&lib, HazardPolicy::Ignore);
+        let dp = cover_cone(&net, &cones[0], &mut m1, &ClusterLimits::default()).unwrap();
+        let mut m2 = Matcher::new(&lib, HazardPolicy::Ignore);
+        let hand = hand_cover(&net, &cones[0], &mut m2, &ClusterLimits::default()).unwrap();
+        assert!(hand.area >= dp.area - 1e-9);
+    }
+}

@@ -1,0 +1,338 @@
+//! Mapped designs: cover assembly, area/delay reporting and verification.
+
+use crate::cover::{ConeCover, Instance};
+use asyncmap_bdd::{Manager, Ref};
+use asyncmap_bff::Expr;
+use asyncmap_cube::VarId;
+use asyncmap_library::Library;
+use asyncmap_network::{Cone, Network, NodeKind, SignalId};
+use std::collections::HashMap;
+
+/// Counters describing one mapping run (the overhead decomposition behind
+/// Tables 2 and 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapStats {
+    /// Hazard-containment checks performed during matching.
+    pub hazard_checks: usize,
+    /// Matches rejected by the hazard filter.
+    pub hazard_rejects: usize,
+    /// Cones mapped.
+    pub cones: usize,
+    /// Base gates in the subject network.
+    pub subject_gates: usize,
+    /// Fanout buffers added.
+    pub buffers: usize,
+}
+
+/// The result of technology mapping one design against one library.
+#[derive(Debug)]
+pub struct MappedDesign {
+    /// Library name the design was mapped to.
+    pub library_name: String,
+    /// The subject (decomposed) network.
+    pub subject: Network,
+    /// The cones of the subject network, aligned with `covers`.
+    pub cones: Vec<Cone>,
+    /// One cover per cone.
+    pub covers: Vec<ConeCover>,
+    /// Total cell area, including fanout buffers.
+    pub area: f64,
+    /// Critical-path delay through the chosen cells.
+    pub delay: f64,
+    /// Run counters.
+    pub stats: MapStats,
+}
+
+impl MappedDesign {
+    /// Total number of cell instances (excluding buffers).
+    pub fn num_instances(&self) -> usize {
+        self.covers.iter().map(|c| c.instances.len()).sum()
+    }
+
+    /// Evaluates the mapped netlist (through the chosen cells' functions,
+    /// not the subject gates) at a primary-input assignment, returning the
+    /// value of every primary output in declaration order.
+    pub fn eval_mapped(&self, library: &Library, inputs: &asyncmap_cube::Bits) -> Vec<bool> {
+        let net = &self.subject;
+        debug_assert_eq!(inputs.len(), net.inputs().len());
+        let mut values: HashMap<SignalId, bool> = HashMap::new();
+        for (i, &s) in net.inputs().iter().enumerate() {
+            values.insert(s, inputs.get(i));
+        }
+        // Covers in topological order of their roots; instances are
+        // leaves-to-root within each cover.
+        let mut order: Vec<usize> = (0..self.covers.len()).collect();
+        order.sort_by_key(|&i| self.covers[i].root);
+        for i in order {
+            for inst in &self.covers[i].instances {
+                let cell = &library.cells()[inst.cell_index];
+                let mut pins = asyncmap_cube::Bits::new(cell.num_inputs());
+                for (p, sig) in inst.inputs.iter().enumerate() {
+                    let v = *values
+                        .get(sig)
+                        .unwrap_or_else(|| panic!("undriven signal {sig} in mapped netlist"));
+                    pins.set(p, v);
+                }
+                values.insert(inst.output, cell.bff().eval(&pins));
+            }
+        }
+        net.outputs()
+            .iter()
+            .map(|(_, s)| values.get(s).copied().unwrap_or(false))
+            .collect()
+    }
+
+    /// Checks that every cone's cover computes exactly the cone's function
+    /// (BDD equivalence over the cone leaves).
+    pub fn verify_function(&self, library: &Library) -> bool {
+        self.cones
+            .iter()
+            .zip(&self.covers)
+            .all(|(cone, cover)| verify_cone_function(&self.subject, cone, cover, library))
+    }
+
+    /// Checks hazard containment cone by cone:
+    /// `hazards(mapped cone) ⊆ hazards(subject cone)`, via the exhaustive
+    /// waveform sweep. Cones wider than the sweep limit are skipped
+    /// (their safety follows from the per-match checks and the composition
+    /// theorem, paper Theorem 3.2/Lemma 4.5).
+    pub fn verify_hazards(&self, library: &Library) -> bool {
+        self.cones.iter().zip(&self.covers).all(|(cone, cover)| {
+            if cone.leaves.len() > asyncmap_hazard::EXHAUSTIVE_VAR_LIMIT {
+                return true;
+            }
+            let (orig, _) = cone.to_expr(&self.subject);
+            let mapped = mapped_cone_expr(&self.subject, cone, cover, library);
+            asyncmap_hazard::hazards_subset(&mapped, &orig, cone.leaves.len())
+        })
+    }
+}
+
+/// Builds the mapped cone's logic as an expression over the cone's local
+/// leaf variables (`cone.leaves[i]` = variable `i`), by composing the
+/// chosen cells' BFFs. This is the *structure* of the mapped cone, suitable
+/// for hazard analysis.
+pub fn mapped_cone_expr(
+    net: &Network,
+    cone: &Cone,
+    cover: &ConeCover,
+    library: &Library,
+) -> Expr {
+    let leaf_var: HashMap<SignalId, VarId> = cone
+        .leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, VarId(i)))
+        .collect();
+    let by_output: HashMap<SignalId, &Instance> =
+        cover.instances.iter().map(|i| (i.output, i)).collect();
+    let _ = net;
+    build_expr(cover.root, &leaf_var, &by_output, library)
+}
+
+fn build_expr(
+    signal: SignalId,
+    leaf_var: &HashMap<SignalId, VarId>,
+    by_output: &HashMap<SignalId, &Instance>,
+    library: &Library,
+) -> Expr {
+    if let Some(&v) = leaf_var.get(&signal) {
+        return Expr::Var(v);
+    }
+    let inst = by_output
+        .get(&signal)
+        .unwrap_or_else(|| panic!("signal {signal} neither leaf nor instance output"));
+    let cell = &library.cells()[inst.cell_index];
+    let args: Vec<Expr> = inst
+        .inputs
+        .iter()
+        .map(|&s| build_expr(s, leaf_var, by_output, library))
+        .collect();
+    substitute_exprs(cell.bff(), &args)
+}
+
+/// Replaces variable `i` of `bff` with `args[i]`.
+fn substitute_exprs(bff: &Expr, args: &[Expr]) -> Expr {
+    match bff {
+        Expr::Const(b) => Expr::Const(*b),
+        Expr::Var(v) => args[v.index()].clone(),
+        Expr::Not(e) => substitute_exprs(e, args).not(),
+        Expr::And(es) => Expr::and(es.iter().map(|e| substitute_exprs(e, args)).collect()),
+        Expr::Or(es) => Expr::or(es.iter().map(|e| substitute_exprs(e, args)).collect()),
+    }
+}
+
+/// BDD of an expression over `mgr`'s variable space.
+pub fn bdd_of_expr(mgr: &mut Manager, expr: &Expr) -> Ref {
+    match expr {
+        Expr::Const(true) => Ref::ONE,
+        Expr::Const(false) => Ref::ZERO,
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Not(e) => {
+            let inner = bdd_of_expr(mgr, e);
+            mgr.not(inner)
+        }
+        Expr::And(es) => {
+            let mut acc = Ref::ONE;
+            for e in es {
+                let r = bdd_of_expr(mgr, e);
+                acc = mgr.and(acc, r);
+            }
+            acc
+        }
+        Expr::Or(es) => {
+            let mut acc = Ref::ZERO;
+            for e in es {
+                let r = bdd_of_expr(mgr, e);
+                acc = mgr.or(acc, r);
+            }
+            acc
+        }
+    }
+}
+
+/// `true` iff the cover computes exactly the cone's function.
+pub fn verify_cone_function(
+    net: &Network,
+    cone: &Cone,
+    cover: &ConeCover,
+    library: &Library,
+) -> bool {
+    let (orig, _) = cone.to_expr(net);
+    let mapped = mapped_cone_expr(net, cone, cover, library);
+    let mut mgr = Manager::new(cone.leaves.len());
+    bdd_of_expr(&mut mgr, &orig) == bdd_of_expr(&mut mgr, &mapped)
+}
+
+/// Assembles covers into a [`MappedDesign`]: totals area (adding a fanout
+/// buffer at every multi-fanout cone root when the library provides one)
+/// and computes the critical-path delay through the chosen cells.
+pub fn assemble(
+    library: &Library,
+    subject: Network,
+    cones: Vec<Cone>,
+    covers: Vec<ConeCover>,
+    mut stats: MapStats,
+    add_buffers: bool,
+) -> MappedDesign {
+    assert_eq!(cones.len(), covers.len());
+    stats.cones = cones.len();
+    stats.subject_gates = subject.num_gates();
+    let mut area: f64 = covers.iter().map(|c| c.area).sum();
+    // Fanout buffers (included in automatic mapping per Table 3's note).
+    let buffer_cell = library
+        .cells()
+        .iter()
+        .filter(|c| c.name().starts_with("BUF"))
+        .min_by(|a, b| a.area().total_cmp(&b.area()));
+    let fanout = subject.fanout_counts();
+    let mut buffer_delay_by_root: HashMap<SignalId, f64> = HashMap::new();
+    if add_buffers {
+        if let Some(buf) = buffer_cell {
+            for cover in &covers {
+                if fanout[cover.root.index()] >= 2 {
+                    area += buf.area();
+                    stats.buffers += 1;
+                    buffer_delay_by_root.insert(cover.root, buf.delay());
+                }
+            }
+        }
+    }
+    // Arrival-time propagation.
+    let mut arrival: HashMap<SignalId, f64> = HashMap::new();
+    for s in subject.signals() {
+        if matches!(subject.node(s), NodeKind::Input) {
+            arrival.insert(s, 0.0);
+        }
+    }
+    let mut order: Vec<usize> = (0..covers.len()).collect();
+    order.sort_by_key(|&i| covers[i].root);
+    for i in order {
+        let cover = &covers[i];
+        for inst in &cover.instances {
+            let cell = &library.cells()[inst.cell_index];
+            let worst = inst
+                .inputs
+                .iter()
+                .map(|s| arrival.get(s).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            arrival.insert(inst.output, worst + cell.delay());
+        }
+        if let Some(extra) = buffer_delay_by_root.get(&cover.root) {
+            if let Some(a) = arrival.get_mut(&cover.root) {
+                *a += extra;
+            }
+        }
+    }
+    let delay = subject
+        .outputs()
+        .iter()
+        .map(|(_, s)| arrival.get(s).copied().unwrap_or(0.0))
+        .fold(0.0f64, f64::max);
+    MappedDesign {
+        library_name: library.name().to_owned(),
+        subject,
+        cones,
+        covers,
+        area,
+        delay,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterLimits;
+    use crate::cover::cover_cone;
+    use crate::matcher::{HazardPolicy, Matcher};
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_library::builtin;
+    use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+
+    fn mapped(text: &str, names: &[&str]) -> (MappedDesign, Library) {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let vars = VarTable::from_names(names.iter().copied());
+        let f = Cover::parse(text, &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let covers: Vec<ConeCover> = cones
+            .iter()
+            .map(|c| cover_cone(&net, c, &mut matcher, &ClusterLimits::default()).unwrap())
+            .collect();
+        let design = assemble(&lib, net, cones, covers, MapStats::default(), true);
+        (design, lib)
+    }
+
+    #[test]
+    fn mapped_design_verifies_function_and_hazards() {
+        let (design, lib) = mapped("ab + a'c + bc", &["a", "b", "c"]);
+        assert!(design.verify_function(&lib));
+        assert!(design.verify_hazards(&lib));
+        assert!(design.area > 0.0);
+        assert!(design.delay > 0.0);
+        assert!(design.num_instances() > 0);
+    }
+
+    #[test]
+    fn mapped_cone_expr_composes_cells() {
+        let (design, lib) = mapped("a' + b'", &["a", "b"]);
+        let cone = &design.cones[0];
+        let cover = &design.covers[0];
+        let expr = mapped_cone_expr(&design.subject, cone, cover, &lib);
+        // NAND2 = (a*b)'.
+        let n = cone.leaves.len();
+        let tt = crate::matcher::truth_table_of(&expr, n);
+        assert!(tt.get(0) && !tt.get(3));
+    }
+
+    #[test]
+    fn delay_is_positive_and_additive() {
+        let (d1, _) = mapped("ab", &["a", "b"]);
+        let (d2, _) = mapped("abcd + a'b'c'd'", &["a", "b", "c", "d"]);
+        assert!(d2.delay >= d1.delay);
+    }
+}

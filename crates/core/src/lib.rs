@@ -1,0 +1,64 @@
+//! The hazard-aware technology mapper — the primary contribution of
+//! *Siegel, De Micheli, Dill, "Automatic Technology Mapping for Generalized
+//! Fundamental-Mode Asynchronous Designs"* (CSL-TR-93-580 / DAC'93).
+//!
+//! The mapper follows the classical three-phase CERES structure
+//! (decompose → partition → match/cover) with the paper's asynchronous
+//! modifications:
+//!
+//! * decomposition restricted to the associative and DeMorgan laws
+//!   (`async_tech_decomp`, hazard-preserving);
+//! * Boolean (structure-blind) matching augmented with the acceptance rule
+//!   of Theorem 3.2 — a hazardous library element may cover a subnetwork
+//!   only if `hazards(element) ⊆ hazards(subnetwork)`;
+//! * minimum-area dynamic-programming covering per single-output cone.
+//!
+//! [`tmap`] is the synchronous baseline, [`async_tmap`] the asynchronous
+//! mapper, and [`hand_map`] the greedy designer-style baseline used in the
+//! paper's Table 3 comparison. Every [`MappedDesign`] can re-verify itself:
+//! functional equivalence per cone (BDD) and hazard containment (waveform
+//! sweep).
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_core::{async_tmap, MapOptions};
+//! use asyncmap_cube::{Cover, VarTable};
+//! use asyncmap_library::builtin;
+//! use asyncmap_network::EquationSet;
+//!
+//! // Figure 3's function, with the consensus cube keeping it hazard-free.
+//! let vars = VarTable::from_names(["a", "b", "c"]);
+//! let f = Cover::parse("ab + a'c + bc", &vars)?;
+//! let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+//!
+//! let mut lib = builtin::cmos3();
+//! lib.annotate_hazards();
+//! let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+//! assert!(design.verify_function(&lib));
+//! assert!(design.verify_hazards(&lib));
+//! # Ok::<(), asyncmap_cube::ParseSopError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod cover;
+mod design;
+mod export;
+mod hdc;
+mod matcher;
+mod report;
+mod tmap;
+
+pub use cluster::{enumerate_clusters, Cluster, ClusterLimits};
+pub use cover::{cover_cone, cover_cone_with, hand_cover, ConeCover, CoverError, Instance};
+pub use design::{
+    assemble, bdd_of_expr, mapped_cone_expr, verify_cone_function, MapStats, MappedDesign,
+};
+pub use export::to_verilog;
+pub use hdc::{cone_certified, hdc_tmap, Transition};
+pub use report::{cell_usage, render_report, CellUsage};
+pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher};
+pub use tmap::{async_tmap, hand_map, tmap, MapOptions, Objective};

@@ -1,0 +1,469 @@
+//! Boolean matching of clusters against library cells, with the
+//! asynchronous hazard filter of §3.2.2.
+//!
+//! Matching is CERES-style Boolean (function-based, structure-blind):
+//! a cell matches a cluster when some pin permutation makes their functions
+//! equal. Candidates are pruned with cheap signatures (support size, onset
+//! count, per-input cofactor sizes) before the permutation search.
+//!
+//! Because Boolean matching ignores structure, it can propose structurally
+//! *worse* implementations (paper Figure 3): the asynchronous matcher
+//! therefore accepts a hazardous cell only when
+//! `hazards(cell) ⊆ hazards(cluster)` under the pin binding
+//! ([`asyncmap_hazard::hazards_subset`]).
+
+use crate::cluster::Cluster;
+use asyncmap_bff::Expr;
+use asyncmap_cube::{Bits, Phase, VarId};
+use asyncmap_hazard::hazards_subset;
+use asyncmap_library::Library;
+use std::collections::HashMap;
+
+/// Precomputed matching data for one library cell.
+#[derive(Debug, Clone)]
+struct CellEntry {
+    index: usize,
+    ninputs: usize,
+    truth: Bits,
+    onset: u32,
+    input_sigs: Vec<u32>,
+    hazardous: bool,
+}
+
+/// A successful match: a cell plus the binding of cell pins to cluster
+/// leaves.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Index of the cell in the library.
+    pub cell_index: usize,
+    /// `pin_to_leaf[p]` = index into the cluster's (support-reduced) leaf
+    /// list bound to cell pin `p`.
+    pub pin_to_leaf: Vec<usize>,
+}
+
+/// How the matcher treats hazardous cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardPolicy {
+    /// Synchronous flow: structure is ignored (paper `tmap`).
+    Ignore,
+    /// Asynchronous flow: a hazardous cell must satisfy
+    /// `hazards(cell) ⊆ hazards(cluster)` (paper `async_tmap`).
+    SubsetCheck,
+}
+
+/// The matcher: owns per-cell signatures and a cache of hazard decisions.
+#[derive(Debug)]
+pub struct Matcher<'lib> {
+    library: &'lib Library,
+    entries: Vec<CellEntry>,
+    policy: HazardPolicy,
+    hazard_cache: HashMap<(usize, Expr, Expr), bool>,
+    /// Number of hazard-containment checks performed (for the overhead
+    /// accounting of Table 4).
+    pub hazard_checks: usize,
+    /// Number of matches rejected by the hazard filter.
+    pub hazard_rejects: usize,
+}
+
+impl<'lib> Matcher<'lib> {
+    /// Builds a matcher over `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is [`HazardPolicy::SubsetCheck`] and the library
+    /// has not been hazard-annotated.
+    pub fn new(library: &'lib Library, policy: HazardPolicy) -> Self {
+        if policy == HazardPolicy::SubsetCheck {
+            assert!(
+                library.is_annotated(),
+                "asynchronous matching requires an annotated library"
+            );
+        }
+        let entries = library
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| {
+                let truth = cell.truth_table();
+                let ninputs = cell.num_inputs();
+                CellEntry {
+                    index,
+                    ninputs,
+                    onset: truth.count_ones(),
+                    input_sigs: (0..ninputs).map(|v| input_signature(&truth, ninputs, v)).collect(),
+                    truth,
+                    hazardous: if policy == HazardPolicy::SubsetCheck {
+                        cell.is_hazardous()
+                    } else {
+                        false
+                    },
+                }
+            })
+            .collect();
+        Matcher {
+            library,
+            entries,
+            policy,
+            hazard_cache: HashMap::new(),
+            hazard_checks: 0,
+            hazard_rejects: 0,
+        }
+    }
+
+    /// The library this matcher works over.
+    pub fn library(&self) -> &'lib Library {
+        self.library
+    }
+
+    /// Finds all acceptable matches for `cluster` (paper
+    /// `asyncmatchingroutine` when the policy is
+    /// [`HazardPolicy::SubsetCheck`]).
+    ///
+    /// Returns matches over the cluster's *support*: leaves the cluster
+    /// function does not depend on are not bound to any pin.
+    pub fn find_matches(&mut self, cluster: &Cluster) -> Vec<Match> {
+        let nleaves = cluster.leaves.len();
+        let full_truth = truth_table_of(&cluster.expr, nleaves);
+        let support: Vec<usize> = (0..nleaves)
+            .filter(|&v| depends_on(&full_truth, nleaves, v))
+            .collect();
+        if support.is_empty() {
+            return Vec::new(); // constant cluster: nothing to match
+        }
+        let truth = project(&full_truth, nleaves, &support);
+        let n = support.len();
+        let onset = truth.count_ones();
+        let sigs: Vec<u32> = (0..n).map(|v| input_signature(&truth, n, v)).collect();
+
+        let mut out = Vec::new();
+        for e in 0..self.entries.len() {
+            let entry = &self.entries[e];
+            if entry.ninputs != n || entry.onset != onset {
+                continue;
+            }
+            let Some(pin_to_local) = permute_match(&entry.truth, &entry.input_sigs, &truth, &sigs, n)
+            else {
+                continue;
+            };
+            let cell_index = entry.index;
+            let hazardous = entry.hazardous;
+            // Map pins to the cluster's full leaf indices.
+            let pin_to_leaf: Vec<usize> = pin_to_local.iter().map(|&l| support[l]).collect();
+            if self.policy == HazardPolicy::SubsetCheck && hazardous {
+                let candidate = instantiate(
+                    self.library.cells()[cell_index].bff(),
+                    &pin_to_leaf,
+                );
+                self.hazard_checks += 1;
+                let key = (cell_index, candidate.clone(), cluster.expr.clone());
+                let reference = &cluster.expr;
+                let ok = if let Some(&cached) = self.hazard_cache.get(&key) {
+                    cached
+                } else {
+                    let ok = hazards_subset(&candidate, reference, nleaves);
+                    self.hazard_cache.insert(key, ok);
+                    ok
+                };
+                if !ok {
+                    self.hazard_rejects += 1;
+                    continue;
+                }
+            }
+            out.push(Match {
+                cell_index,
+                pin_to_leaf,
+            });
+        }
+        out
+    }
+}
+
+/// Rewrites a cell BFF into the cluster's variable space using the pin
+/// binding.
+pub fn instantiate(bff: &Expr, pin_to_leaf: &[usize]) -> Expr {
+    bff.substitute(&|v: VarId| (VarId(pin_to_leaf[v.index()]), Phase::Pos))
+}
+
+/// Truth table of `expr` over `n` local variables.
+pub fn truth_table_of(expr: &Expr, n: usize) -> Bits {
+    let size = 1usize << n;
+    let mut out = Bits::new(size);
+    let mut assignment = Bits::new(n);
+    for m in 0..size {
+        for v in 0..n {
+            assignment.set(v, (m >> v) & 1 == 1);
+        }
+        if expr.eval(&assignment) {
+            out.set(m, true);
+        }
+    }
+    out
+}
+
+fn depends_on(truth: &Bits, n: usize, v: usize) -> bool {
+    let size = 1usize << n;
+    let bit = 1usize << v;
+    (0..size).any(|m| m & bit == 0 && truth.get(m) != truth.get(m | bit))
+}
+
+/// Projects a truth table onto a support subset (the function must not
+/// depend on dropped variables).
+fn project(truth: &Bits, n: usize, support: &[usize]) -> Bits {
+    let k = support.len();
+    let mut out = Bits::new(1 << k);
+    for m in 0..(1usize << k) {
+        let mut full = 0usize;
+        for (i, &v) in support.iter().enumerate() {
+            if (m >> i) & 1 == 1 {
+                full |= 1 << v;
+            }
+        }
+        let _ = n;
+        if truth.get(full) {
+            out.set(m, true);
+        }
+    }
+    out
+}
+
+/// Signature of input `v`: the number of onset minterms with `v = 1`
+/// packed with the number with `v = 0` (permutation-invariant).
+fn input_signature(truth: &Bits, n: usize, v: usize) -> u32 {
+    let size = 1usize << n;
+    let bit = 1usize << v;
+    let mut with = 0u32;
+    let mut without = 0u32;
+    for m in 0..size {
+        if truth.get(m) {
+            if m & bit != 0 {
+                with += 1;
+            } else {
+                without += 1;
+            }
+        }
+    }
+    (with << 16) | without
+}
+
+/// Backtracking pin-permutation search: find `pin_to_local` such that
+/// `cell(x_{σ(0)}, …) = cluster(x_0, …)`.
+fn permute_match(
+    cell_truth: &Bits,
+    cell_sigs: &[u32],
+    cluster_truth: &Bits,
+    cluster_sigs: &[u32],
+    n: usize,
+) -> Option<Vec<usize>> {
+    let mut assignment: Vec<Option<usize>> = vec![None; n]; // pin -> local var
+    let mut used = vec![false; n];
+    if backtrack(
+        cell_truth,
+        cell_sigs,
+        cluster_truth,
+        cluster_sigs,
+        n,
+        0,
+        &mut assignment,
+        &mut used,
+    ) {
+        Some(assignment.into_iter().map(|a| a.expect("complete")).collect())
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    cell_truth: &Bits,
+    cell_sigs: &[u32],
+    cluster_truth: &Bits,
+    cluster_sigs: &[u32],
+    n: usize,
+    pin: usize,
+    assignment: &mut Vec<Option<usize>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if pin == n {
+        return verify_permutation(cell_truth, cluster_truth, assignment, n);
+    }
+    for local in 0..n {
+        if used[local] || cell_sigs[pin] != cluster_sigs[local] {
+            continue;
+        }
+        assignment[pin] = Some(local);
+        used[local] = true;
+        if backtrack(
+            cell_truth,
+            cell_sigs,
+            cluster_truth,
+            cluster_sigs,
+            n,
+            pin + 1,
+            assignment,
+            used,
+        ) {
+            return true;
+        }
+        assignment[pin] = None;
+        used[local] = false;
+    }
+    false
+}
+
+fn verify_permutation(
+    cell_truth: &Bits,
+    cluster_truth: &Bits,
+    assignment: &[Option<usize>],
+    n: usize,
+) -> bool {
+    let size = 1usize << n;
+    for m in 0..size {
+        // Build the cell-input index corresponding to cluster minterm m:
+        // pin p reads local variable assignment[p].
+        let mut cell_m = 0usize;
+        for (p, local) in assignment.iter().enumerate() {
+            let local = local.expect("complete assignment");
+            if (m >> local) & 1 == 1 {
+                cell_m |= 1 << p;
+            }
+        }
+        if cell_truth.get(cell_m) != cluster_truth.get(m) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{enumerate_clusters, ClusterLimits};
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_library::builtin;
+    use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+
+    fn root_clusters(text: &str, names: &[&str]) -> (asyncmap_network::Network, Vec<Cluster>) {
+        let vars = VarTable::from_names(names.iter().copied());
+        let f = Cover::parse(text, &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        let clusters = enumerate_clusters(&net, &cones[0], &ClusterLimits::default());
+        let list = clusters[&cones[0].root].clone();
+        (net, list)
+    }
+
+    #[test]
+    fn nand_cluster_matches_nand_cell() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        // f = (ab)' decomposes to INV(AND(a,b)); the 2-gate root cluster
+        // must match NAND2.
+        let (_, clusters) = root_clusters("a' + b'", &["a", "b"]);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let mut matched_nand = false;
+        for c in &clusters {
+            for m in matcher.find_matches(c) {
+                if lib.cells()[m.cell_index].name().starts_with("NAND2") {
+                    matched_nand = true;
+                }
+            }
+        }
+        assert!(matched_nand);
+    }
+
+    #[test]
+    fn permutation_binding_is_correct() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        // f = a + b'c → OAI-ish structures; check every reported match
+        // really computes the cluster function under its binding.
+        let (_, clusters) = root_clusters("a + b'c", &["a", "b", "c"]);
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let mut total = 0;
+        for c in &clusters {
+            for m in matcher.find_matches(c) {
+                total += 1;
+                let cell = &lib.cells()[m.cell_index];
+                let inst = instantiate(cell.bff(), &m.pin_to_leaf);
+                let n = c.leaves.len();
+                assert_eq!(
+                    truth_table_of(&inst, n),
+                    truth_table_of(&c.expr, n),
+                    "bad binding for {}",
+                    cell.name()
+                );
+            }
+        }
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn figure3_mux_rejected_for_hazard_free_cluster() {
+        // The cluster computing ab + a'c *with the redundant consensus
+        // cube bc* (hazard-free structure) must NOT be matched by the
+        // hazardous two-cube MUX2 cell in async mode, but IS matched in
+        // sync mode.
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let (_, clusters) = root_clusters("ab + a'c + bc", &["a", "b", "c"]);
+        let full = clusters.iter().max_by_key(|c| c.num_gates).unwrap();
+
+        let mut sync = Matcher::new(&lib, HazardPolicy::Ignore);
+        let sync_names: Vec<&str> = sync
+            .find_matches(full)
+            .into_iter()
+            .map(|m| lib.cells()[m.cell_index].name())
+            .collect();
+        assert!(sync_names.contains(&"MUX2"), "sync: {sync_names:?}");
+
+        let mut async_m = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let async_names: Vec<&str> = async_m
+            .find_matches(full)
+            .into_iter()
+            .map(|m| lib.cells()[m.cell_index].name())
+            .collect();
+        assert!(!async_names.contains(&"MUX2"), "async: {async_names:?}");
+        assert!(async_m.hazard_rejects > 0);
+    }
+
+    #[test]
+    fn hazardous_cell_accepted_when_cluster_shares_hazards() {
+        // The two-cube mux cluster (sa + s'b without consensus) has
+        // exactly the MUX2 cell's hazards: the match must be accepted.
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let (_, clusters) = root_clusters("sa + s'b", &["s", "a", "b"]);
+        let full = clusters.iter().max_by_key(|c| c.num_gates).unwrap();
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let names: Vec<&str> = matcher
+            .find_matches(full)
+            .into_iter()
+            .map(|m| lib.cells()[m.cell_index].name())
+            .collect();
+        assert!(names.contains(&"MUX2"), "{names:?}");
+    }
+
+    #[test]
+    fn constant_cluster_matches_nothing() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let mut vars = VarTable::new();
+        let expr = Expr::parse("a + a'", &mut vars).unwrap();
+        let cluster = Cluster {
+            root: asyncmap_network::SignalId(0),
+            leaves: vec![asyncmap_network::SignalId(0)],
+            expr,
+            num_gates: 1,
+        };
+        assert!(matcher.find_matches(&cluster).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an annotated library")]
+    fn async_matcher_requires_annotation() {
+        let lib = builtin::cmos3();
+        let _ = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+    }
+}

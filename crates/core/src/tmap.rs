@@ -1,0 +1,206 @@
+//! Top-level mapping procedures: the paper's `tmap` (synchronous baseline)
+//! and `async_tmap` (hazard-aware asynchronous mapper), plus the
+//! designer-style `hand_map` baseline used by Table 3.
+
+use crate::cluster::ClusterLimits;
+use crate::cover::{cover_cone_with, hand_cover, ConeCover, CoverError};
+use crate::design::{assemble, MapStats, MappedDesign};
+use crate::matcher::{HazardPolicy, Matcher};
+use asyncmap_library::Library;
+use asyncmap_network::{async_tech_decomp, partition, sync_tech_decomp, EquationSet};
+
+/// The covering objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize total cell area (the paper's tables).
+    #[default]
+    Area,
+    /// Minimize critical-path cell delay, breaking ties by area.
+    Delay,
+}
+
+/// Options shared by the mapping procedures.
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Cluster enumeration limits (the paper's tables use depth 5).
+    pub limits: ClusterLimits,
+    /// Insert fanout buffers at multi-fanout cone roots (on for automatic
+    /// mapping, off for the hand-mapped baseline — Table 3's note).
+    pub add_buffers: bool,
+    /// Covering objective (area by default, as in the paper).
+    pub objective: Objective,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            limits: ClusterLimits::default(),
+            add_buffers: true,
+            objective: Objective::Area,
+        }
+    }
+}
+
+/// The synchronous mapping procedure (paper §3.1 `tmap`):
+/// simplifying decomposition, partitioning, Boolean matching and
+/// minimum-area covering — no hazard awareness.
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match.
+pub fn tmap(
+    eqs: &EquationSet,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<MappedDesign, CoverError> {
+    let subject = sync_tech_decomp(eqs);
+    run(subject, library, HazardPolicy::Ignore, options, false)
+}
+
+/// The asynchronous mapping procedure (paper §3.2 `async_tmap`):
+/// hazard-preserving decomposition (`async_tech_decomp`), partitioning,
+/// and matching in which a hazardous library element is accepted only when
+/// its hazards are a subset of the subnetwork's.
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match.
+///
+/// # Panics
+///
+/// Panics if `library` has not been hazard-annotated
+/// ([`Library::annotate_hazards`]).
+pub fn async_tmap(
+    eqs: &EquationSet,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<MappedDesign, CoverError> {
+    let subject = async_tech_decomp(eqs);
+    run(subject, library, HazardPolicy::SubsetCheck, options, false)
+}
+
+/// A "designer-style" structural mapping without hazard filtering: the
+/// hand-mapped baseline of Table 3 (greedy biggest-cell-first cover on the
+/// hazard-preserving decomposition, no fanout buffers).
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match.
+pub fn hand_map(
+    eqs: &EquationSet,
+    library: &Library,
+    options: &MapOptions,
+) -> Result<MappedDesign, CoverError> {
+    let subject = async_tech_decomp(eqs);
+    run(subject, library, HazardPolicy::Ignore, options, true)
+}
+
+fn run(
+    subject: asyncmap_network::Network,
+    library: &Library,
+    policy: HazardPolicy,
+    options: &MapOptions,
+    greedy: bool,
+) -> Result<MappedDesign, CoverError> {
+    let cones = partition(&subject);
+    let mut matcher = Matcher::new(library, policy);
+    let mut covers: Vec<ConeCover> = Vec::with_capacity(cones.len());
+    for cone in &cones {
+        let cover = if greedy {
+            hand_cover(&subject, cone, &mut matcher, &options.limits)?
+        } else {
+            cover_cone_with(&subject, cone, &mut matcher, &options.limits, options.objective)?
+        };
+        covers.push(cover);
+    }
+    let stats = MapStats {
+        hazard_checks: matcher.hazard_checks,
+        hazard_rejects: matcher.hazard_rejects,
+        ..MapStats::default()
+    };
+    let add_buffers = options.add_buffers && !greedy;
+    Ok(assemble(library, subject, cones, covers, stats, add_buffers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_library::builtin;
+
+    fn figure3_eqs() -> EquationSet {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        EquationSet::new(vars, vec![("f".to_owned(), f)])
+    }
+
+    #[test]
+    fn sync_vs_async_on_figure3() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let eqs = figure3_eqs();
+        let sync = tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        let asy = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        // The sync mapper simplifies away bc and can use the hazardous mux:
+        // smaller area, but it loses the hazard freedom.
+        assert!(sync.area <= asy.area);
+        assert!(asy.verify_function(&lib));
+        assert!(asy.verify_hazards(&lib));
+        // The async mapper performed (and possibly rejected) hazard checks.
+        assert!(asy.stats.hazard_checks > 0);
+        assert_eq!(sync.stats.hazard_checks, 0);
+    }
+
+    #[test]
+    fn hand_map_no_smaller_than_async() {
+        let mut lib = builtin::gdt();
+        lib.annotate_hazards();
+        let eqs = figure3_eqs();
+        let hand = hand_map(&eqs, &lib, &MapOptions::default()).unwrap();
+        let auto = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(hand.area + 1e-9 >= auto.area - auto.stats.buffers as f64 * 100.0);
+        assert!(hand.verify_function(&lib));
+    }
+
+    #[test]
+    fn multi_output_design_maps() {
+        let vars = VarTable::from_names(["a", "b", "c", "d"]);
+        let f = Cover::parse("ab + c'd", &vars).unwrap();
+        let g = Cover::parse("a'b' + cd'", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f), ("g".to_owned(), g)]);
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(design.verify_function(&lib));
+        assert!(design.verify_hazards(&lib));
+        assert_eq!(design.subject.outputs().len(), 2);
+    }
+
+    #[test]
+    fn delay_objective_trades_area_for_speed() {
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let eqs = asyncmap_burst::benchmark("dme");
+        let area_opts = MapOptions::default();
+        let delay_opts = MapOptions {
+            objective: Objective::Delay,
+            ..MapOptions::default()
+        };
+        let by_area = async_tmap(&eqs, &lib, &area_opts).unwrap();
+        let by_delay = async_tmap(&eqs, &lib, &delay_opts).unwrap();
+        assert!(by_delay.delay <= by_area.delay + 1e-9);
+        assert!(by_delay.area + 1e-9 >= by_area.area);
+        assert!(by_delay.verify_function(&lib));
+        assert!(by_delay.verify_hazards(&lib));
+    }
+
+    #[test]
+    fn actel_mapping_rejects_unsafe_modules() {
+        let mut lib = builtin::actel();
+        lib.annotate_hazards();
+        let eqs = figure3_eqs();
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(design.verify_function(&lib));
+        assert!(design.verify_hazards(&lib));
+    }
+}

@@ -1,0 +1,336 @@
+//! A compact, growable bit vector used for the `USED`/`PHASE` encoding of
+//! cubes (paper, Figure 5 and §4.1.1).
+//!
+//! The vector is a thin wrapper over `Vec<u64>` words. All binary operations
+//! require both operands to have the same length; this is enforced with
+//! `debug_assert!` because the cube layer already guarantees it.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-width bit vector.
+///
+/// `Bits` is the storage type behind [`crate::Cube`]'s `USED` and `PHASE`
+/// vectors. Bit `i` corresponds to variable `i` of the enclosing
+/// [`crate::VarTable`].
+///
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::Bits;
+/// let mut b = Bits::new(70);
+/// b.set(3, true);
+/// b.set(69, true);
+/// assert!(b.get(3) && b.get(69) && !b.get(4));
+/// assert_eq!(b.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero bit vector holding `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bits {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates an all-one bit vector holding `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bits {
+            len,
+            words: vec![!0u64; len.div_ceil(WORD_BITS)],
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let m = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterator over indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// `self & other`, element-wise.
+    pub fn and(&self, other: &Bits) -> Bits {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self | other`, element-wise.
+    pub fn or(&self, other: &Bits) -> Bits {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// `self ^ other`, element-wise.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// `self & !other`, element-wise.
+    pub fn and_not(&self, other: &Bits) -> Bits {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// Bitwise complement (restricted to the vector's width).
+    pub fn not(&self) -> Bits {
+        let mut out = Bits {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// `true` if every set bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &Bits) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` if `self` and `other` share no set bit.
+    pub fn is_disjoint(&self, other: &Bits) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    fn zip_with(&self, other: &Bits, f: impl Fn(u64, u64) -> u64) -> Bits {
+        debug_assert_eq!(self.len, other.len, "bit vector length mismatch");
+        Bits {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bits`], produced by
+/// [`Bits::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bits: &'a Bits,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * WORD_BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.bits.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let b = Bits::new(100);
+        assert!(b.is_zero());
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.first_one().is_none());
+    }
+
+    #[test]
+    fn ones_has_all_bits() {
+        let b = Bits::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(0) && b.get(69));
+    }
+
+    #[test]
+    fn ones_tail_is_masked() {
+        // A complement of ones must be exactly zero even with a partial word.
+        let b = Bits::ones(65);
+        assert!(b.not().is_zero());
+    }
+
+    #[test]
+    fn set_get_flip_across_words() {
+        let mut b = Bits::new(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        b.flip(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let mut b = Bits::new(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            b.set(i, true);
+        }
+        let collected: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Bits::new(80);
+        let mut b = Bits::new(80);
+        a.set(1, true);
+        a.set(70, true);
+        b.set(1, true);
+        b.set(2, true);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2, 70]);
+        assert_eq!(a.xor(&b).iter_ones().collect::<Vec<_>>(), vec![2, 70]);
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![70]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = Bits::new(10);
+        let mut b = Bits::new(10);
+        a.set(3, true);
+        b.set(3, true);
+        b.set(4, true);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = Bits::new(10);
+        c.set(5, true);
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn first_one_positions() {
+        let mut b = Bits::new(130);
+        b.set(127, true);
+        assert_eq!(b.first_one(), Some(127));
+        b.set(3, true);
+        assert_eq!(b.first_one(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bits::new(8).get(8);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Bits::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,718 @@
+//! Sum-of-products covers and the Boolean operations the hazard algorithms
+//! need: tautology checking, semantic containment, complementation, prime
+//! generation and irredundancy.
+//!
+//! A [`Cover`] is a list of [`Cube`]s over a common variable space and
+//! denotes their union. Unlike a canonical function representation, the
+//! *list structure matters*: a redundant cube changes the hazard behavior of
+//! the corresponding two-level AND–OR circuit even though it does not change
+//! the function (paper, Figure 3). None of the operations here silently
+//! simplify a cover; simplification is always an explicit call.
+
+use crate::{Bits, Cube, ParseSopError, Phase, VarId, VarTable};
+use std::fmt;
+
+/// A sum-of-products cover: an ordered list of cubes over `nvars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::{Cover, VarTable};
+/// let vars = VarTable::from_names(["w", "x", "y", "z"]);
+/// let f = Cover::parse("w'xz + w'xy + xyz", &vars)?;
+/// assert_eq!(f.len(), 3);
+/// assert!(!f.is_tautology());
+/// # Ok::<(), asyncmap_cube::ParseSopError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cover {
+    nvars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The single-universe-cube cover (constant 1) over `nvars` variables.
+    pub fn one(nvars: usize) -> Self {
+        Cover {
+            nvars,
+            cubes: vec![Cube::universe(nvars)],
+        }
+    }
+
+    /// Builds a cover from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube's space width differs from `nvars`.
+    pub fn from_cubes(nvars: usize, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.nvars(), nvars, "cube width mismatch in Cover::from_cubes");
+        }
+        Cover { nvars, cubes }
+    }
+
+    /// Parses an SOP in letter syntax (`"w'xz + w'xy + xyz"`); `"0"` parses
+    /// to the empty cover and `"1"` to the universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown variables, malformed literals, or a
+    /// contradictory product.
+    pub fn parse(text: &str, vars: &VarTable) -> Result<Self, ParseSopError> {
+        let cubes = crate::parse::parse_sop_with(text, vars, crate::parse::parse_cube_letters)?;
+        Ok(Cover {
+            nvars: vars.len(),
+            cubes,
+        })
+    }
+
+    /// Parses an SOP in token syntax (multi-character variable names
+    /// separated by whitespace or `*`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cover::parse`].
+    pub fn parse_tokens(text: &str, vars: &VarTable) -> Result<Self, ParseSopError> {
+        let cubes = crate::parse::parse_sop_with(text, vars, crate::parse::parse_cube_tokens)?;
+        Ok(Cover {
+            nvars: vars.len(),
+            cubes,
+        })
+    }
+
+    /// Number of variables in the cover's space.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of cubes (product terms).
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// `true` if the cover has no cubes (denotes constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes of the cover, in order.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's width differs from the cover's.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.nvars(), self.nvars, "cube width mismatch in push");
+        self.cubes.push(cube);
+    }
+
+    /// Total number of literals over all cubes.
+    pub fn num_literals(&self) -> u32 {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Evaluates the cover at a full assignment.
+    pub fn eval(&self, assignment: &Bits) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// `true` if some single cube of the cover contains `cube`.
+    ///
+    /// This is the *structural* containment test used by the static-1
+    /// algorithm (`cubeContainedInExpr`): a transition is hazard-free only
+    /// when one gate holds the output through it.
+    pub fn single_cube_contains(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.contains(cube))
+    }
+
+    /// Cofactor with respect to a single literal.
+    pub fn cofactor(&self, v: VarId, phase: Phase) -> Cover {
+        Cover {
+            nvars: self.nvars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor(v, phase))
+                .collect(),
+        }
+    }
+
+    /// Cofactor with respect to every literal of `cube`.
+    pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
+        let mut out = self.clone();
+        for (v, p) in cube.literals() {
+            out = out.cofactor(v, p);
+        }
+        out
+    }
+
+    /// Semantic tautology test (`f ≡ 1`) via unate reduction and Shannon
+    /// expansion.
+    pub fn is_tautology(&self) -> bool {
+        // Fast accepts/rejects.
+        if self.cubes.iter().any(Cube::is_universe) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        if self.nvars < 63 {
+            let total: u64 = self.cubes.iter().map(Cube::num_minterms).sum();
+            if total < (1u64 << self.nvars) {
+                return false;
+            }
+        }
+        // Unate reduction: if v appears in only one phase, f is a tautology
+        // iff the cofactor against that phase's complement is.
+        let (pos_counts, neg_counts) = self.literal_counts();
+        for v in 0..self.nvars {
+            let (p, n) = (pos_counts[v], neg_counts[v]);
+            if p + n == 0 {
+                continue;
+            }
+            if n == 0 {
+                return self.cofactor(VarId(v), Phase::Neg).is_tautology();
+            }
+            if p == 0 {
+                return self.cofactor(VarId(v), Phase::Pos).is_tautology();
+            }
+        }
+        // Shannon on the most binate variable.
+        let v = self.most_binate_var(&pos_counts, &neg_counts);
+        self.cofactor(v, Phase::Pos).is_tautology()
+            && self.cofactor(v, Phase::Neg).is_tautology()
+    }
+
+    /// Semantic containment of a cube: `true` iff every minterm of `cube`
+    /// is covered (possibly by several cubes jointly). Equivalently, `cube`
+    /// is an implicant of the function.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        self.cofactor_cube(cube).is_tautology()
+    }
+
+    /// Alias of [`Cover::covers_cube`] with the implicant vocabulary of the
+    /// paper.
+    pub fn is_implicant(&self, cube: &Cube) -> bool {
+        self.covers_cube(cube)
+    }
+
+    /// `true` iff `cube` is a *prime* implicant: an implicant no literal of
+    /// which can be removed.
+    pub fn is_prime(&self, cube: &Cube) -> bool {
+        self.covers_cube(cube)
+            && cube
+                .literals()
+                .all(|(v, _)| !self.covers_cube(&cube.without_var(v)))
+    }
+
+    /// Expands `cube` to a prime implicant by greedily dropping literals
+    /// (lowest variable index first) while it remains an implicant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cube` is not an implicant of the cover.
+    pub fn expand_to_prime(&self, cube: &Cube) -> Cube {
+        assert!(
+            self.covers_cube(cube),
+            "expand_to_prime called on a non-implicant"
+        );
+        let mut out = cube.clone();
+        for i in 0..self.nvars {
+            let v = VarId(i);
+            if out.literal(v).is_some() {
+                let wider = out.without_var(v);
+                if self.covers_cube(&wider) {
+                    out = wider;
+                }
+            }
+        }
+        out
+    }
+
+    /// All prime implicants of the function, computed by iterated consensus
+    /// (Quine's method) followed by removal of non-maximal cubes.
+    ///
+    /// The result is a set (sorted, deduplicated). Exponential in the worst
+    /// case; intended for library cells and mapper clusters, which are small.
+    /// # Examples
+    ///
+    /// ```
+    /// use asyncmap_cube::{Cover, Cube, VarTable};
+    /// let vars = VarTable::from_names(["a", "b", "c"]);
+    /// let primes = Cover::parse("ab + a'c", &vars)?.all_primes();
+    /// assert!(primes.contains(&Cube::parse("bc", &vars)?)); // the consensus
+    /// assert_eq!(primes.len(), 3);
+    /// # Ok::<(), asyncmap_cube::ParseSopError>(())
+    /// ```
+    pub fn all_primes(&self) -> Vec<Cube> {
+        let mut set: Vec<Cube> = Vec::new();
+        for c in &self.cubes {
+            insert_maximal(&mut set, c.clone());
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot = set.clone();
+            for i in 0..snapshot.len() {
+                for j in (i + 1)..snapshot.len() {
+                    if let Some(cons) = snapshot[i].adjacency(&snapshot[j]) {
+                        if insert_maximal(&mut set, cons) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        set.sort();
+        set
+    }
+
+    /// Removes cubes that are semantically covered by the rest of the cover
+    /// (single left-to-right pass). The resulting cover is irredundant and
+    /// denotes the same function.
+    pub fn irredundant(&self) -> Cover {
+        let mut kept: Vec<Cube> = self.cubes.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i].clone();
+            let rest = Cover {
+                nvars: self.nvars,
+                cubes: kept
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| c.clone())
+                    .collect(),
+            };
+            if rest.covers_cube(&candidate) {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Cover {
+            nvars: self.nvars,
+            cubes: kept,
+        }
+    }
+
+    /// Removes exact duplicates and cubes strictly contained in another
+    /// single cube (structural cleanup, function unchanged and — unlike
+    /// [`Cover::irredundant`] — static-hazard behavior unchanged, because a
+    /// single-cube-contained term can never be the sole cover of a
+    /// transition).
+    pub fn without_contained_cubes(&self) -> Cover {
+        let mut kept: Vec<Cube> = Vec::new();
+        for c in &self.cubes {
+            if kept.iter().any(|k| k.contains(c)) {
+                continue;
+            }
+            kept.retain(|k| !c.contains(k));
+            kept.push(c.clone());
+        }
+        Cover {
+            nvars: self.nvars,
+            cubes: kept,
+        }
+    }
+
+    /// The complement of the function, as a new cover (recursive Shannon
+    /// expansion with single-cube special case).
+    pub fn complement(&self) -> Cover {
+        if self.cubes.is_empty() {
+            return Cover::one(self.nvars);
+        }
+        if self.cubes.iter().any(Cube::is_universe) {
+            return Cover::zero(self.nvars);
+        }
+        if self.cubes.len() == 1 {
+            // De Morgan on a single product: one cube per complemented literal.
+            let cube = &self.cubes[0];
+            let cubes = cube
+                .literals()
+                .map(|(v, p)| Cube::from_literals(self.nvars, [(v, p.flipped())]))
+                .collect();
+            return Cover {
+                nvars: self.nvars,
+                cubes,
+            };
+        }
+        let (pos, neg) = self.literal_counts();
+        let v = self.most_binate_var(&pos, &neg);
+        let comp_pos = self.cofactor(v, Phase::Pos).complement();
+        let comp_neg = self.cofactor(v, Phase::Neg).complement();
+        let mut cubes = Vec::with_capacity(comp_pos.len() + comp_neg.len());
+        for c in comp_pos.cubes {
+            if let Some(c2) = c.intersect(&Cube::from_literals(self.nvars, [(v, Phase::Pos)])) {
+                cubes.push(c2);
+            }
+        }
+        for c in comp_neg.cubes {
+            if let Some(c2) = c.intersect(&Cube::from_literals(self.nvars, [(v, Phase::Neg)])) {
+                cubes.push(c2);
+            }
+        }
+        Cover {
+            nvars: self.nvars,
+            cubes,
+        }
+        .without_contained_cubes()
+    }
+
+    /// `true` iff `self` and `other` denote the same function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covers live in different spaces.
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        assert_eq!(self.nvars, other.nvars, "cover space mismatch");
+        self.cubes.iter().all(|c| other.covers_cube(c))
+            && other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// `true` iff `f ⊆ g` as sets of minterms.
+    pub fn implies(&self, other: &Cover) -> bool {
+        assert_eq!(self.nvars, other.nvars, "cover space mismatch");
+        self.cubes.iter().all(|c| other.covers_cube(c))
+    }
+
+    /// Disjunction of two covers (cube lists concatenated; no
+    /// simplification).
+    pub fn or(&self, other: &Cover) -> Cover {
+        assert_eq!(self.nvars, other.nvars, "cover space mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend(other.cubes.iter().cloned());
+        Cover {
+            nvars: self.nvars,
+            cubes,
+        }
+    }
+
+    /// Conjunction of two covers (pairwise cube intersections; no
+    /// simplification beyond dropping empty products).
+    pub fn and(&self, other: &Cover) -> Cover {
+        assert_eq!(self.nvars, other.nvars, "cover space mismatch");
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    cubes.push(c);
+                }
+            }
+        }
+        Cover {
+            nvars: self.nvars,
+            cubes,
+        }
+    }
+
+    /// The truth table of the function as a bit vector of `2^nvars` entries
+    /// (entry `m` is `f` at the assignment whose bit `i` is bit `i` of `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 24` (the table would be too large).
+    pub fn truth_table(&self) -> Bits {
+        assert!(
+            self.nvars <= 24,
+            "truth_table limited to 24 variables, got {}",
+            self.nvars
+        );
+        let size = 1usize << self.nvars;
+        let mut out = Bits::new(size);
+        let mut assignment = Bits::new(self.nvars);
+        for m in 0..size {
+            for v in 0..self.nvars {
+                assignment.set(v, (m >> v) & 1 == 1);
+            }
+            if self.eval(&assignment) {
+                out.set(m, true);
+            }
+        }
+        out
+    }
+
+    /// Number of minterms of the function (semantic, not the sum over
+    /// cubes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 24`.
+    pub fn count_minterms(&self) -> u64 {
+        u64::from(self.truth_table().count_ones())
+    }
+
+    /// Identifiers of the variables actually used by some cube.
+    pub fn support(&self) -> Vec<VarId> {
+        let mut used = Bits::new(self.nvars);
+        for c in &self.cubes {
+            used = used.or(c.used());
+        }
+        used.iter_ones().map(VarId).collect()
+    }
+
+    /// Renders the cover with variable names from `vars`
+    /// (`"w'xz + w'xy"`, `"0"` when empty).
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> DisplayCover<'a> {
+        DisplayCover { cover: self, vars }
+    }
+
+    fn literal_counts(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut pos = vec![0u32; self.nvars];
+        let mut neg = vec![0u32; self.nvars];
+        for c in &self.cubes {
+            for (v, p) in c.literals() {
+                if p.is_pos() {
+                    pos[v.index()] += 1;
+                } else {
+                    neg[v.index()] += 1;
+                }
+            }
+        }
+        (pos, neg)
+    }
+
+    fn most_binate_var(&self, pos: &[u32], neg: &[u32]) -> VarId {
+        // Prefer variables appearing in both phases; among those, the one in
+        // the most cubes. Falls back to the most frequent variable.
+        let mut best: Option<(bool, u32, usize)> = None;
+        for v in 0..self.nvars {
+            let (p, n) = (pos[v], neg[v]);
+            if p + n == 0 {
+                continue;
+            }
+            let key = (p > 0 && n > 0, p + n, usize::MAX - v);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, inv_v) = best.expect("most_binate_var on constant cover");
+        VarId(usize::MAX - inv_v)
+    }
+}
+
+fn insert_maximal(set: &mut Vec<Cube>, cube: Cube) -> bool {
+    if set.iter().any(|c| c.contains(&cube)) {
+        return false;
+    }
+    set.retain(|c| !cube.contains(c));
+    set.push(cube);
+    true
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({} vars, {:?})", self.nvars, self.cubes)
+    }
+}
+
+/// Helper returned by [`Cover::display`].
+#[derive(Debug)]
+pub struct DisplayCover<'a> {
+    cover: &'a Cover,
+    vars: &'a VarTable,
+}
+
+impl fmt::Display for DisplayCover<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cover.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cover.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", c.display(self.vars))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars4() -> VarTable {
+        VarTable::from_names(["w", "x", "y", "z"])
+    }
+
+    fn cover(text: &str, vars: &VarTable) -> Cover {
+        Cover::parse(text, vars).unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let vars = vars4();
+        let f = cover("w'xz + xyz", &vars);
+        assert_eq!(f.display(&vars).to_string(), "w'xz + xyz");
+        assert_eq!(Cover::zero(4).display(&vars).to_string(), "0");
+    }
+
+    #[test]
+    fn tautology_of_var_and_complement() {
+        let vars = VarTable::from_names(["a"]);
+        assert!(cover("a + a'", &vars).is_tautology());
+        assert!(!cover("a", &vars).is_tautology());
+        assert!(Cover::one(1).is_tautology());
+        assert!(!Cover::zero(1).is_tautology());
+    }
+
+    #[test]
+    fn tautology_needs_shannon() {
+        // ab + a'b + ab' + a'b' is a tautology that requires splitting.
+        let vars = VarTable::from_names(["a", "b"]);
+        assert!(cover("ab + a'b + ab' + a'b'", &vars).is_tautology());
+        assert!(!cover("ab + a'b + ab'", &vars).is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_joint_coverage() {
+        // bc is covered by ab + a'c jointly? abc in ab; a'bc in a'c -> yes.
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab + a'c", &vars);
+        let bc = Cube::parse("bc", &vars).unwrap();
+        assert!(f.covers_cube(&bc));
+        assert!(!f.single_cube_contains(&bc));
+        let b = Cube::parse("b", &vars).unwrap();
+        assert!(!f.covers_cube(&b));
+    }
+
+    #[test]
+    fn prime_detection_and_expansion() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab + a'c + bc", &vars);
+        let abc = Cube::parse("abc", &vars).unwrap();
+        assert!(!f.is_prime(&abc));
+        let prime = f.expand_to_prime(&abc);
+        assert!(f.is_prime(&prime));
+        assert!(prime.contains(&abc));
+        assert!(f.is_prime(&Cube::parse("ab", &vars).unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-implicant")]
+    fn expand_non_implicant_panics() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = cover("ab", &vars);
+        f.expand_to_prime(&Cube::parse("a'b", &vars).unwrap());
+    }
+
+    #[test]
+    fn all_primes_of_consensus_example() {
+        // f = ab + a'c has primes ab, a'c, bc.
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let primes = cover("ab + a'c", &vars).all_primes();
+        let want = ["ab", "a'c", "bc"]
+            .iter()
+            .map(|t| Cube::parse(t, &vars).unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(primes.len(), 3);
+        for w in &want {
+            assert!(primes.contains(w), "missing prime {w:?}");
+        }
+    }
+
+    #[test]
+    fn all_primes_needs_iteration() {
+        // f = a'b' + bc' + ac: the consensus chain generates a'c', ab, b'c...
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let primes = cover("a'b' + bc' + ac", &vars).all_primes();
+        assert_eq!(primes.len(), 6, "cyclic function has 6 primes: {primes:?}");
+    }
+
+    #[test]
+    fn irredundant_removes_consensus_cube() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab + a'c + bc", &vars);
+        let g = f.irredundant();
+        assert_eq!(g.len(), 2);
+        assert!(g.equivalent(&f));
+    }
+
+    #[test]
+    fn without_contained_cubes_keeps_redundant_consensus() {
+        // bc is redundant but not single-cube-contained: must be kept,
+        // because dropping it would introduce a static-1 hazard (Fig. 3).
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab + a'c + bc + abc", &vars);
+        let g = f.without_contained_cubes();
+        assert_eq!(g.len(), 3);
+        assert!(g.cubes().contains(&Cube::parse("bc", &vars).unwrap()));
+    }
+
+    #[test]
+    fn complement_is_involutive_and_disjoint() {
+        let vars = vars4();
+        let f = cover("w'xz + w'xy + xyz", &vars);
+        let g = f.complement();
+        // f | g must be a tautology, f & g must be empty (cube
+        // intersection already rules out zero-minterm products, so the AND
+        // must literally hold no cubes).
+        assert!(f.or(&g).is_tautology());
+        assert!(f.and(&g).is_empty(), "complement overlaps function");
+        assert!(g.complement().equivalent(&f));
+    }
+
+    #[test]
+    fn equivalence_and_implication() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab + a'c", &vars);
+        let g = cover("ab + a'c + bc", &vars);
+        assert!(f.equivalent(&g));
+        assert!(f.implies(&g));
+        let h = cover("ab", &vars);
+        assert!(h.implies(&f));
+        assert!(!f.implies(&h));
+        assert!(!f.equivalent(&h));
+    }
+
+    #[test]
+    fn truth_table_and_counts() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = cover("ab + a'b'", &vars); // XNOR
+        let tt = f.truth_table();
+        assert_eq!(tt.len(), 4);
+        assert!(tt.get(0) && tt.get(3));
+        assert!(!tt.get(1) && !tt.get(2));
+        assert_eq!(f.count_minterms(), 2);
+    }
+
+    #[test]
+    fn support_reports_used_vars() {
+        let vars = vars4();
+        let f = cover("w'x + xz", &vars);
+        let s = f.support();
+        assert_eq!(s, vec![VarId(0), VarId(1), VarId(3)]);
+    }
+
+    #[test]
+    fn and_or_cofactor() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = cover("ab", &vars);
+        let g = cover("bc + a'", &vars);
+        let h = f.and(&g);
+        assert!(h.equivalent(&cover("abc", &vars)));
+        let o = f.or(&g);
+        assert_eq!(o.len(), 3);
+        let cof = o.cofactor(VarId(0), Phase::Pos);
+        assert!(cof.equivalent(&cover("b + bc", &vars)));
+    }
+
+    #[test]
+    fn complement_of_constants() {
+        assert!(Cover::zero(3).complement().is_tautology());
+        assert!(Cover::one(3).complement().is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Text parsing of cubes and sum-of-products expressions.
+//!
+//! Two syntaxes are supported:
+//!
+//! * **letter syntax** — every alphabetic character is a single-letter
+//!   variable, a trailing `'` complements it, whitespace and `*` are
+//!   ignored. This matches how the paper writes functions
+//!   (`f = w'xz + w'xy + xyz`).
+//! * **token syntax** — identifiers may be multi-character and must be
+//!   separated by whitespace or `*`; `'` still complements.
+
+use crate::{Cube, Phase, VarId, VarTable};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a cube or SOP expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSopError {
+    message: String,
+}
+
+impl ParseSopError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseSopError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SOP expression: {}", self.message)
+    }
+}
+
+impl Error for ParseSopError {}
+
+fn push_literal(
+    literals: &mut Vec<(VarId, Phase)>,
+    v: VarId,
+    phase: Phase,
+    name: &str,
+) -> Result<(), ParseSopError> {
+    if let Some((_, existing)) = literals.iter().find(|(id, _)| *id == v) {
+        if *existing != phase {
+            return Err(ParseSopError::new(format!(
+                "variable {name:?} appears with both phases in one product"
+            )));
+        }
+        return Ok(());
+    }
+    literals.push((v, phase));
+    Ok(())
+}
+
+/// Parses a single product term in letter syntax (see module docs).
+pub fn parse_cube_letters(text: &str, vars: &VarTable) -> Result<Cube, ParseSopError> {
+    let text = text.trim();
+    if text == "1" {
+        return Ok(Cube::universe(vars.len()));
+    }
+    let mut literals: Vec<(VarId, Phase)> = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch.is_whitespace() || ch == '*' {
+            continue;
+        }
+        if !ch.is_alphabetic() {
+            return Err(ParseSopError::new(format!(
+                "unexpected character {ch:?} in product {text:?}"
+            )));
+        }
+        let name = ch.to_string();
+        let v = vars
+            .lookup(&name)
+            .ok_or_else(|| ParseSopError::new(format!("unknown variable {name:?}")))?;
+        let phase = if chars.peek() == Some(&'\'') {
+            chars.next();
+            Phase::Neg
+        } else {
+            Phase::Pos
+        };
+        push_literal(&mut literals, v, phase, &name)?;
+    }
+    if literals.is_empty() {
+        return Err(ParseSopError::new(format!("empty product term {text:?}")));
+    }
+    Ok(Cube::from_literals(vars.len(), literals))
+}
+
+/// Parses a single product term in token syntax (see module docs).
+pub fn parse_cube_tokens(text: &str, vars: &VarTable) -> Result<Cube, ParseSopError> {
+    let text = text.trim();
+    if text == "1" {
+        return Ok(Cube::universe(vars.len()));
+    }
+    let mut literals: Vec<(VarId, Phase)> = Vec::new();
+    for tok in text.split(|c: char| c.is_whitespace() || c == '*') {
+        if tok.is_empty() {
+            continue;
+        }
+        let (name, phase) = match tok.strip_suffix('\'') {
+            Some(base) => (base, Phase::Neg),
+            None => (tok, Phase::Pos),
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(ParseSopError::new(format!("malformed literal {tok:?}")));
+        }
+        let v = vars
+            .lookup(name)
+            .ok_or_else(|| ParseSopError::new(format!("unknown variable {name:?}")))?;
+        push_literal(&mut literals, v, phase, name)?;
+    }
+    if literals.is_empty() {
+        return Err(ParseSopError::new(format!("empty product term {text:?}")));
+    }
+    Ok(Cube::from_literals(vars.len(), literals))
+}
+
+/// Splits an SOP string on `+` and parses each product with `parse_term`.
+pub(crate) fn parse_sop_with(
+    text: &str,
+    vars: &VarTable,
+    parse_term: impl Fn(&str, &VarTable) -> Result<Cube, ParseSopError>,
+) -> Result<Vec<Cube>, ParseSopError> {
+    let text = text.trim();
+    if text == "0" || text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split('+').map(|t| parse_term(t, vars)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letter_syntax_parses_paper_style() {
+        let vars = VarTable::from_names(["w", "x", "y", "z"]);
+        let c = parse_cube_letters("w'x y*z", &vars).unwrap();
+        assert_eq!(c.display(&vars).to_string(), "w'xyz");
+    }
+
+    #[test]
+    fn token_syntax_handles_multichar_names() {
+        let vars = VarTable::from_names(["sel", "din0", "din1"]);
+        let c = parse_cube_tokens("sel' * din1", &vars).unwrap();
+        assert_eq!(c.display(&vars).to_string(), "sel'*din1");
+    }
+
+    #[test]
+    fn duplicate_same_phase_is_idempotent() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let c = parse_cube_letters("aab", &vars).unwrap();
+        assert_eq!(c.num_literals(), 2);
+    }
+
+    #[test]
+    fn contradictory_literal_is_error() {
+        let vars = VarTable::from_names(["a", "b"]);
+        assert!(parse_cube_letters("aa'b", &vars).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let vars = VarTable::from_names(["a"]);
+        let err = parse_cube_letters("q", &vars).unwrap_err();
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn constant_one_is_universe() {
+        let vars = VarTable::from_names(["a"]);
+        assert!(parse_cube_letters("1", &vars).unwrap().is_universe());
+    }
+
+    #[test]
+    fn garbage_is_error() {
+        let vars = VarTable::from_names(["a"]);
+        assert!(parse_cube_letters("a&b", &vars).is_err());
+        assert!(parse_cube_tokens("a&b", &vars).is_err());
+    }
+}

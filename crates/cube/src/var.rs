@@ -1,0 +1,164 @@
+//! Variable identifiers and the name table mapping them to strings.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a Boolean variable inside a [`VarTable`].
+///
+/// The numeric value is the bit position used by [`crate::Cube`]'s
+/// `USED`/`PHASE` vectors.
+///
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::{VarId, VarTable};
+/// let mut vars = VarTable::new();
+/// let a = vars.intern("a");
+/// assert_eq!(a, VarId(0));
+/// assert_eq!(vars.name(a), "a");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The bit index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A bidirectional map between variable names and [`VarId`]s.
+///
+/// Every cube-space (a function's input variables) is described by one
+/// `VarTable`; cubes built against the table use `table.len()` bits.
+///
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::VarTable;
+/// let mut vars = VarTable::new();
+/// let a = vars.intern("a");
+/// let b = vars.intern("b");
+/// assert_eq!(vars.intern("a"), a); // idempotent
+/// assert_eq!(vars.len(), 2);
+/// assert_eq!(vars.lookup("b"), Some(b));
+/// assert_eq!(vars.lookup("zz"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarTable {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table with variables named by `names`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` contains duplicates.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            let n = n.into();
+            assert!(
+                t.lookup(&n).is_none(),
+                "duplicate variable name {n:?} in VarTable::from_names"
+            );
+            t.intern(&n);
+        }
+        t
+    }
+
+    /// Returns the id for `name`, creating a fresh variable if unseen.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id for `name` if it exists.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of variables in the table.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the table holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over `(VarId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_sequential_ids() {
+        let mut t = VarTable::new();
+        assert_eq!(t.intern("x"), VarId(0));
+        assert_eq!(t.intern("y"), VarId(1));
+        assert_eq!(t.intern("x"), VarId(0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_names_orders_ids() {
+        let t = VarTable::from_names(["w", "x", "y", "z"]);
+        assert_eq!(t.lookup("w"), Some(VarId(0)));
+        assert_eq!(t.lookup("z"), Some(VarId(3)));
+        assert_eq!(t.name(VarId(2)), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable name")]
+    fn from_names_rejects_duplicates() {
+        VarTable::from_names(["a", "a"]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let t = VarTable::from_names(["a", "b"]);
+        let v: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

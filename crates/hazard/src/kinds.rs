@@ -1,0 +1,269 @@
+//! Hazard descriptors and hazard reports.
+//!
+//! A descriptor identifies a *family of hazardous transitions* of one
+//! implementation structure:
+//!
+//! * [`Hazard::Static1`] — a 1→1 transition span not held by any single
+//!   gate (§4.1.1);
+//! * [`Hazard::Static0`] — a 0→0 transition glitching through a vacuous
+//!   product (§4.1.2);
+//! * [`Hazard::DynamicMic`] — a multi-input-change dynamic hazard: a
+//!   function-hazard-free transition space intersected by a gate that does
+//!   not hold the settling endpoint (§4.2.1, Theorem 4.1);
+//! * [`Hazard::DynamicSic`] — a single-input-change dynamic hazard from a
+//!   reconvergent vacuous product (§4.2.3).
+
+use asyncmap_cube::{Cover, Cube, VarId, VarTable};
+use std::fmt;
+
+/// One logic hazard of an implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hazard {
+    /// Static logic 1-hazard: the transitions inside `span` (a 1-1
+    /// transition region, i.e. an implicant) are not covered by any single
+    /// gate.
+    Static1 {
+        /// The uncovered transition region.
+        span: Cube,
+    },
+    /// Static logic 0-hazard: with the inputs in `condition`, a change of
+    /// `var` can pulse the output through a vacuous product.
+    Static0 {
+        /// The variable whose change excites the hazard.
+        var: VarId,
+        /// Assignments of the remaining variables that sensitize the pulse.
+        condition: Cover,
+    },
+    /// Multi-input-change dynamic logic hazard on the transition space
+    /// `space = T[zero_end, one_end]`.
+    DynamicMic {
+        /// The minimal function-hazard-free transition space.
+        space: Cube,
+        /// Endpoints where the function is 0.
+        zero_end: Cube,
+        /// Endpoints where the function is 1 (the settling side).
+        one_end: Cube,
+    },
+    /// Single-input-change dynamic logic hazard: with the inputs in
+    /// `condition`, the change of `var` that moves the output in the
+    /// `rising` direction can glitch.
+    DynamicSic {
+        /// The changing variable.
+        var: VarId,
+        /// `true` when the output transition is 0→1.
+        rising: bool,
+        /// Sensitizing assignments of the remaining variables.
+        condition: Cover,
+    },
+}
+
+impl Hazard {
+    /// Coarse class of the hazard, for reporting.
+    pub fn kind(&self) -> HazardKind {
+        match self {
+            Hazard::Static1 { .. } => HazardKind::Static1,
+            Hazard::Static0 { .. } => HazardKind::Static0,
+            Hazard::DynamicMic { .. } => HazardKind::DynamicMic,
+            Hazard::DynamicSic { .. } => HazardKind::DynamicSic,
+        }
+    }
+
+    /// Renders the hazard with variable names from `vars`.
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> DisplayHazard<'a> {
+        DisplayHazard { hazard: self, vars }
+    }
+}
+
+/// The four hazard classes of the paper's taxonomy (logic hazards only;
+/// function hazards are implementation-independent and never reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HazardKind {
+    /// Static logic 1-hazard.
+    Static1,
+    /// Static logic 0-hazard.
+    Static0,
+    /// Multi-input-change dynamic logic hazard.
+    DynamicMic,
+    /// Single-input-change dynamic logic hazard.
+    DynamicSic,
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HazardKind::Static1 => write!(f, "static-1"),
+            HazardKind::Static0 => write!(f, "static-0"),
+            HazardKind::DynamicMic => write!(f, "dynamic (m.i.c.)"),
+            HazardKind::DynamicSic => write!(f, "dynamic (s.i.c.)"),
+        }
+    }
+}
+
+/// Helper returned by [`Hazard::display`].
+#[derive(Debug)]
+pub struct DisplayHazard<'a> {
+    hazard: &'a Hazard,
+    vars: &'a VarTable,
+}
+
+impl fmt::Display for DisplayHazard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hazard {
+            Hazard::Static1 { span } => {
+                write!(f, "static-1 over {}", span.display(self.vars))
+            }
+            Hazard::Static0 { var, condition } => write!(
+                f,
+                "static-0 on {} when {}",
+                self.vars.name(*var),
+                condition.display(self.vars)
+            ),
+            Hazard::DynamicMic {
+                space,
+                zero_end,
+                one_end,
+            } => write!(
+                f,
+                "dynamic m.i.c. in T[{}, {}] (space {})",
+                zero_end.display(self.vars),
+                one_end.display(self.vars),
+                space.display(self.vars)
+            ),
+            Hazard::DynamicSic {
+                var,
+                rising,
+                condition,
+            } => write!(
+                f,
+                "dynamic s.i.c. on {} ({}) when {}",
+                self.vars.name(*var),
+                if *rising { "0→1" } else { "1→0" },
+                condition.display(self.vars)
+            ),
+        }
+    }
+}
+
+/// The full logic-hazard characterization of one implementation structure
+/// (a library cell's BFF or a mapped subnetwork), as computed by
+/// [`crate::analyze_expr`].
+#[derive(Debug, Clone)]
+pub struct HazardReport {
+    /// Width of the variable space the descriptors live in.
+    pub nvars: usize,
+    /// Static 1-hazards.
+    pub static1: Vec<Hazard>,
+    /// Static 0-hazards.
+    pub static0: Vec<Hazard>,
+    /// Multi-input-change dynamic hazards.
+    pub dynamic_mic: Vec<Hazard>,
+    /// Single-input-change dynamic hazards.
+    pub dynamic_sic: Vec<Hazard>,
+    /// The hazard-preserving two-level flattening of the structure (proper
+    /// products only), used by the per-transition checks.
+    pub flat: Cover,
+}
+
+impl HazardReport {
+    /// Total number of hazard descriptors.
+    pub fn total(&self) -> usize {
+        self.static1.len() + self.static0.len() + self.dynamic_mic.len() + self.dynamic_sic.len()
+    }
+
+    /// `true` when the structure has no logic hazards of any class.
+    pub fn is_hazard_free(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Iterator over all descriptors, static hazards first.
+    pub fn iter(&self) -> impl Iterator<Item = &Hazard> {
+        self.static1
+            .iter()
+            .chain(&self.static0)
+            .chain(&self.dynamic_mic)
+            .chain(&self.dynamic_sic)
+    }
+
+    /// One-line summary such as `"2 static-1, 1 dynamic (m.i.c.)"`, or
+    /// `"hazard-free"`.
+    pub fn summary(&self) -> String {
+        if self.is_hazard_free() {
+            return "hazard-free".to_owned();
+        }
+        let mut parts = Vec::new();
+        for (list, kind) in [
+            (&self.static1, HazardKind::Static1),
+            (&self.static0, HazardKind::Static0),
+            (&self.dynamic_mic, HazardKind::DynamicMic),
+            (&self.dynamic_sic, HazardKind::DynamicSic),
+        ] {
+            if !list.is_empty() {
+                parts.push(format!("{} {kind}", list.len()));
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::Cube;
+
+    fn sample_report() -> HazardReport {
+        let vars = VarTable::from_names(["a", "b"]);
+        HazardReport {
+            nvars: 2,
+            static1: vec![Hazard::Static1 {
+                span: Cube::parse("b", &vars).unwrap(),
+            }],
+            static0: vec![],
+            dynamic_mic: vec![],
+            dynamic_sic: vec![Hazard::DynamicSic {
+                var: VarId(0),
+                rising: true,
+                condition: Cover::parse("b", &vars).unwrap(),
+            }],
+            flat: Cover::parse("ab + a'b", &vars).unwrap(),
+        }
+    }
+
+    #[test]
+    fn totals_and_summary() {
+        let r = sample_report();
+        assert_eq!(r.total(), 2);
+        assert!(!r.is_hazard_free());
+        assert_eq!(r.summary(), "1 static-1, 1 dynamic (s.i.c.)");
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_names_variables() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let h = Hazard::Static1 {
+            span: Cube::parse("b", &vars).unwrap(),
+        };
+        assert_eq!(h.display(&vars).to_string(), "static-1 over b");
+        assert_eq!(h.kind(), HazardKind::Static1);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(HazardKind::DynamicMic.to_string(), "dynamic (m.i.c.)");
+        assert_eq!(HazardKind::Static0.to_string(), "static-0");
+    }
+
+    #[test]
+    fn empty_report_is_hazard_free() {
+        let r = HazardReport {
+            nvars: 1,
+            static1: vec![],
+            static0: vec![],
+            dynamic_mic: vec![],
+            dynamic_sic: vec![],
+            flat: Cover::zero(1),
+        };
+        assert!(r.is_hazard_free());
+        assert_eq!(r.summary(), "hazard-free");
+    }
+}

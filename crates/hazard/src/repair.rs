@@ -1,0 +1,166 @@
+//! Hazard removal — the paper notes (§4) that the analysis algorithms
+//! "can also be extended to hazard-removal algorithms"; this module does so
+//! for the two repairable classes:
+//!
+//! * **static 1-hazards** are removed by adding the missing consensus
+//!   primes (the classical cure: cover every uncovered adjacency with a
+//!   single gate);
+//! * **m.i.c. dynamic hazards created by redundant gates** are removed by
+//!   deleting redundant cubes whose only effect is to pulse (when such a
+//!   deletion does not reintroduce a static hazard).
+//!
+//! Not every hazard is removable in two-level logic — Example 4.2.2's
+//! dynamic hazard "can only be eliminated by implementing the function with
+//! a single gate" — so the repair functions report what remains.
+
+use crate::static1::{static_1_complete, static1_subset};
+use crate::Hazard;
+use asyncmap_cube::{Cover, Cube};
+
+/// Result of a repair pass.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// The repaired cover.
+    pub cover: Cover,
+    /// Cubes that were added.
+    pub added: Vec<Cube>,
+    /// Cubes that were removed.
+    pub removed: Vec<Cube>,
+}
+
+/// Removes every static logic 1-hazard from a two-level cover by adding
+/// the uncovered prime implicants (Eichelberger's condition: all primes
+/// present ⟺ m.i.c. static-1 hazard-free).
+///
+/// The returned cover denotes the same function. Note the trade-off the
+/// test `figure3_repair_adds_dynamic_hazards` documents: added consensus
+/// gates can create new *dynamic* m.i.c. hazards.
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::{Cover, VarTable};
+/// use asyncmap_hazard::{is_static_1_hazard_free, repair_static1};
+///
+/// let vars = VarTable::from_names(["a", "b", "c"]);
+/// let f = Cover::parse("ab + a'c", &vars)?;
+/// let repaired = repair_static1(&f);
+/// assert!(is_static_1_hazard_free(&repaired.cover));
+/// assert_eq!(repaired.added.len(), 1); // the consensus bc
+/// # Ok::<(), asyncmap_cube::ParseSopError>(())
+/// ```
+pub fn repair_static1(f: &Cover) -> Repair {
+    let mut cover = f.clone();
+    let mut added = Vec::new();
+    for h in static_1_complete(f) {
+        let Hazard::Static1 { span } = h else {
+            continue;
+        };
+        if !cover.single_cube_contains(&span) {
+            cover.push(span.clone());
+            added.push(span);
+        }
+    }
+    Repair {
+        cover,
+        added,
+        removed: Vec::new(),
+    }
+}
+
+/// Removes semantically redundant cubes whose deletion does not lose any
+/// single-cube coverage (so no static 1-hazard appears): the gates that
+/// can only ever pulse. Returns the pruned cover.
+pub fn prune_pulsing_redundancy(f: &Cover) -> Repair {
+    let mut kept: Vec<Cube> = f.cubes().to_vec();
+    let mut removed = Vec::new();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i].clone();
+        let rest = Cover::from_cubes(
+            f.nvars(),
+            kept.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect(),
+        );
+        // Deletable iff function-preserving and static-hazard-preserving:
+        // the remainder must still single-cube-cover everything the full
+        // cover did.
+        if rest.covers_cube(&candidate) && static1_subset(&rest, f) {
+            removed.push(candidate);
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Repair {
+        cover: Cover::from_cubes(f.nvars(), kept),
+        added: Vec::new(),
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_mic_dyn_haz_2level;
+    use crate::is_static_1_hazard_free;
+    use asyncmap_cube::VarTable;
+
+    #[test]
+    fn repair_adds_the_consensus_gate() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c", &vars).unwrap();
+        let r = repair_static1(&f);
+        assert!(is_static_1_hazard_free(&r.cover));
+        assert!(r.cover.equivalent(&f));
+        assert_eq!(r.added, vec![Cube::parse("bc", &vars).unwrap()]);
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let r = repair_static1(&f);
+        assert!(r.added.is_empty());
+        assert_eq!(r.cover.len(), f.len());
+    }
+
+    #[test]
+    fn figure3_repair_adds_dynamic_hazards() {
+        // Repairing the two-cube mux adds bc — which removes the static-1
+        // hazard but creates m.i.c. dynamic hazards (the bc gate pulses on
+        // b↑c↓ bursts): removal is not free, exactly why the matcher
+        // compares rather than repairs.
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c", &vars).unwrap();
+        let before = find_mic_dyn_haz_2level(&f).len();
+        let r = repair_static1(&f);
+        let after = find_mic_dyn_haz_2level(&r.cover).len();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn prune_drops_contained_style_redundancy() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        // b + ab: ab is redundant and only ever pulses (its transitions
+        // are all covered by the single cube b).
+        let f = Cover::parse("b + ab", &vars).unwrap();
+        let r = prune_pulsing_redundancy(&f);
+        assert_eq!(r.removed, vec![Cube::parse("ab", &vars).unwrap()]);
+        assert!(r.cover.equivalent(&f));
+        assert!(find_mic_dyn_haz_2level(&r.cover).is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_hazard_protecting_cubes() {
+        // bc in ab + a'c + bc is semantically redundant but protects the
+        // static-1 transition: it must NOT be pruned.
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let r = prune_pulsing_redundancy(&f);
+        assert!(r.removed.is_empty());
+        assert_eq!(r.cover.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Eichelberger-style ternary transition simulation (paper §4.2, ref. [9]).
+//!
+//! For a combinational structure and a single input burst, set the changing
+//! inputs to `X` and evaluate: if the output resolves to a definite value,
+//! no combination of delays can glitch it. For *static* transitions this
+//! detection is exact (it flags both function and logic hazards); for
+//! dynamic transitions the output is necessarily `X` during the burst, so
+//! ternary simulation alone cannot classify them — that is what the
+//! eight-valued waveform algebra in [`crate::wave_eval`] is for.
+
+use asyncmap_bff::{burst_assignment, eval_ternary, Expr, Tern};
+use asyncmap_cube::Bits;
+
+/// Result of simulating one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TernaryOutcome {
+    /// Settled output before the burst.
+    pub before: bool,
+    /// Output during the burst (`X` = may glitch).
+    pub during: Tern,
+    /// Settled output after the burst.
+    pub after: bool,
+}
+
+impl TernaryOutcome {
+    /// `true` when the transition is static (equal endpoints) and the
+    /// output can glitch.
+    pub fn is_static_hazard(&self) -> bool {
+        self.before == self.after && self.during == Tern::X
+    }
+}
+
+/// Simulates the burst `from → to` on `expr`.
+pub fn ternary_transition(expr: &Expr, from: &Bits, to: &Bits) -> TernaryOutcome {
+    let changing = from.xor(to);
+    let mid = burst_assignment(from, &changing);
+    TernaryOutcome {
+        before: expr.eval(from),
+        during: eval_ternary(expr, &mid),
+        after: expr.eval(to),
+    }
+}
+
+/// `true` iff the static transition `from → to` (equal settled output
+/// values) can glitch on the given structure. Exact for static transitions
+/// under the arbitrary gate/wire delay model.
+pub fn has_static_hazard(expr: &Expr, from: &Bits, to: &Bits) -> bool {
+    ternary_transition(expr, from, to).is_static_hazard()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    fn bits(n: usize, m: usize) -> Bits {
+        let mut b = Bits::new(n);
+        for v in 0..n {
+            b.set(v, (m >> v) & 1 == 1);
+        }
+        b
+    }
+
+    #[test]
+    fn static_1_hazard_detected() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a*b + a'*b", &mut vars).unwrap();
+        assert!(has_static_hazard(&e, &bits(2, 0b10), &bits(2, 0b11)));
+        let fixed = Expr::parse("a*b + a'*b + b", &mut vars).unwrap();
+        assert!(!has_static_hazard(&fixed, &bits(2, 0b10), &bits(2, 0b11)));
+    }
+
+    #[test]
+    fn outcome_fields() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a + b", &mut vars).unwrap();
+        let o = ternary_transition(&e, &bits(2, 0b00), &bits(2, 0b01));
+        assert!(!o.before);
+        assert!(o.after);
+        assert_eq!(o.during, Tern::X);
+        assert!(!o.is_static_hazard());
+    }
+
+    #[test]
+    fn held_input_keeps_output_definite() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a + b", &mut vars).unwrap();
+        // b stays 1 while a changes: OR output held at 1.
+        let o = ternary_transition(&e, &bits(2, 0b10), &bits(2, 0b11));
+        assert_eq!(o.during, Tern::One);
+        assert!(!o.is_static_hazard());
+    }
+
+    #[test]
+    fn agrees_with_wave_on_static_transitions() {
+        // Cross-check the two oracles on a mix of structures.
+        let mut vars = VarTable::new();
+        let exprs = [
+            Expr::parse("a*b + a'*c", &mut vars).unwrap(),
+            Expr::parse_in("a*b + a'*c + b*c", &vars).unwrap(),
+            Expr::parse_in("(a + b)*(b' + c)", &vars).unwrap(),
+        ];
+        for e in &exprs {
+            for a in 0..8usize {
+                for b in 0..8usize {
+                    let (from, to) = (bits(3, a), bits(3, b));
+                    if e.eval(&from) != e.eval(&to) {
+                        continue;
+                    }
+                    let ternary = has_static_hazard(e, &from, &to);
+                    let wave = crate::wave_eval(e, &from, &to).is_static_hazard();
+                    assert_eq!(ternary, wave, "disagree on {a:#b}->{b:#b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Eight-valued waveform algebra: an exact per-transition hazard oracle for
+//! tree-structured expressions under the arbitrary pure-delay model.
+//!
+//! For a single input burst `α → β`, every signal in a *tree* circuit
+//! (every leaf occurrence is a distinct wire, so all delays are
+//! independent — exactly the BFF situation) behaves as one of eight
+//! waveform classes: constant 0/1, clean rise/fall, rise/fall with possible
+//! extra transitions (a **dynamic hazard**), or constant-valued with a
+//! possible pulse/dip (a **static hazard**). AND/OR/NOT act on these
+//! classes exactly:
+//!
+//! * a constant 0 (1) input masks everything at an AND (OR);
+//! * an input hazard propagates through any non-masking gate;
+//! * two clean opposite transitions meeting at an AND (OR) create a
+//!   possible pulse (dip).
+//!
+//! This is the classical eight-valued extension of Eichelberger's ternary
+//! algebra (cf. Brzozowski & Seger; Beister's unified treatment, the
+//! paper's ref. [16]); the paper's `findMicDynHazMultiLevel` step 3 uses it
+//! to discard false hazards reported by the flattened two-level filter.
+
+use asyncmap_bff::Expr;
+use asyncmap_cube::Bits;
+use std::fmt;
+
+/// A waveform class for one signal during one input burst.
+///
+/// `start`/`end` are the settled values before and after the burst;
+/// `hazard` records whether some delay assignment produces more than the
+/// minimal number of output transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wave {
+    /// Settled value before the burst.
+    pub start: bool,
+    /// Settled value after the burst.
+    pub end: bool,
+    /// `true` if extra transitions are possible (a hazard).
+    pub hazard: bool,
+}
+
+impl Wave {
+    /// Constant 0.
+    pub const C0: Wave = Wave::new(false, false, false);
+    /// Constant 1.
+    pub const C1: Wave = Wave::new(true, true, false);
+    /// Clean monotone rise.
+    pub const RISE: Wave = Wave::new(false, true, false);
+    /// Clean monotone fall.
+    pub const FALL: Wave = Wave::new(true, false, false);
+
+    const fn new(start: bool, end: bool, hazard: bool) -> Wave {
+        Wave { start, end, hazard }
+    }
+
+    /// `true` when the signal is steady (equal endpoints).
+    pub fn is_static(self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` for a static hazard (steady value with a possible glitch).
+    pub fn is_static_hazard(self) -> bool {
+        self.is_static() && self.hazard
+    }
+
+    /// `true` for a dynamic hazard (changing value with possible extra
+    /// transitions).
+    pub fn is_dynamic_hazard(self) -> bool {
+        !self.is_static() && self.hazard
+    }
+
+    /// Waveform AND. A constant-0 operand masks the other completely.
+    pub fn and(self, other: Wave) -> Wave {
+        if self == Wave::C0 || other == Wave::C0 {
+            return Wave::C0;
+        }
+        let start = self.start && other.start;
+        let end = self.end && other.end;
+        // Opposite clean transitions can overlap high: a created pulse.
+        let created =
+            self.start != self.end && other.start != other.end && self.start != other.start;
+        Wave::new(start, end, self.hazard || other.hazard || created)
+    }
+
+    /// Waveform OR. A constant-1 operand masks the other completely.
+    pub fn or(self, other: Wave) -> Wave {
+        if self == Wave::C1 || other == Wave::C1 {
+            return Wave::C1;
+        }
+        let start = self.start || other.start;
+        let end = self.end || other.end;
+        // Opposite clean transitions can both be low momentarily: a dip.
+        let created =
+            self.start != self.end && other.start != other.end && self.start != other.start;
+        Wave::new(start, end, self.hazard || other.hazard || created)
+    }
+
+    /// Waveform NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Wave {
+        Wave::new(!self.start, !self.end, self.hazard)
+    }
+}
+
+impl fmt::Display for Wave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match (self.start, self.end) {
+            (false, false) => "0",
+            (true, true) => "1",
+            (false, true) => "R",
+            (true, false) => "F",
+        };
+        write!(f, "{base}{}", if self.hazard { "*" } else { "" })
+    }
+}
+
+/// Evaluates the waveform class of `expr` for the burst from assignment
+/// `from` to assignment `to`.
+/// # Examples
+///
+/// ```
+/// use asyncmap_bff::Expr;
+/// use asyncmap_cube::{Bits, VarTable};
+/// use asyncmap_hazard::wave_eval;
+///
+/// // Figure 4a's burst w↓ x↑ with y = 1 glitches the two-level mux.
+/// let mut vars = VarTable::new();
+/// let e = Expr::parse("w*x + x'*y", &mut vars)?;
+/// let mut from = Bits::new(3);
+/// from.set(0, true); // w
+/// from.set(2, true); // y
+/// let mut to = Bits::new(3);
+/// to.set(1, true); // x
+/// to.set(2, true); // y
+/// assert!(wave_eval(&e, &from, &to).is_dynamic_hazard());
+/// # Ok::<(), asyncmap_bff::ParseBffError>(())
+/// ```
+pub fn wave_eval(expr: &Expr, from: &Bits, to: &Bits) -> Wave {
+    match expr {
+        Expr::Const(b) => {
+            if *b {
+                Wave::C1
+            } else {
+                Wave::C0
+            }
+        }
+        Expr::Var(v) => match (from.get(v.index()), to.get(v.index())) {
+            (false, false) => Wave::C0,
+            (true, true) => Wave::C1,
+            (false, true) => Wave::RISE,
+            (true, false) => Wave::FALL,
+        },
+        Expr::Not(e) => wave_eval(e, from, to).not(),
+        Expr::And(es) => es
+            .iter()
+            .map(|e| wave_eval(e, from, to))
+            .fold(Wave::C1, Wave::and),
+        Expr::Or(es) => es
+            .iter()
+            .map(|e| wave_eval(e, from, to))
+            .fold(Wave::C0, Wave::or),
+    }
+}
+
+/// `true` if the transition `from → to` can glitch in the structure of
+/// `expr` (static or dynamic hazard).
+pub fn transition_has_hazard(expr: &Expr, from: &Bits, to: &Bits) -> bool {
+    wave_eval(expr, from, to).hazard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    fn bits(n: usize, m: usize) -> Bits {
+        let mut b = Bits::new(n);
+        for v in 0..n {
+            b.set(v, (m >> v) & 1 == 1);
+        }
+        b
+    }
+
+    #[test]
+    fn algebra_basic_masking() {
+        assert_eq!(Wave::C0.and(Wave::RISE), Wave::C0);
+        assert_eq!(Wave::C1.or(Wave::FALL), Wave::C1);
+        assert_eq!(Wave::C1.and(Wave::RISE), Wave::RISE);
+        assert_eq!(Wave::C0.or(Wave::FALL), Wave::FALL);
+    }
+
+    #[test]
+    fn opposite_transitions_create_hazards() {
+        let p = Wave::RISE.and(Wave::FALL);
+        assert!(p.is_static_hazard());
+        assert_eq!(p.to_string(), "0*");
+        let d = Wave::RISE.or(Wave::FALL);
+        assert!(d.is_static_hazard());
+        assert_eq!(d.to_string(), "1*");
+        // Same-direction transitions are clean.
+        assert_eq!(Wave::RISE.and(Wave::RISE), Wave::RISE);
+        assert_eq!(Wave::FALL.or(Wave::FALL), Wave::FALL);
+    }
+
+    #[test]
+    fn hazards_propagate() {
+        let pulse = Wave::RISE.and(Wave::FALL); // 0*
+        let out = pulse.or(Wave::RISE);
+        assert!(out.is_dynamic_hazard());
+        assert_eq!(out.to_string(), "R*");
+        // But a constant-1 masks it at an OR.
+        assert_eq!(pulse.or(Wave::C1), Wave::C1);
+    }
+
+    #[test]
+    fn not_flips_endpoints_keeps_hazard() {
+        let d = Wave::new(false, true, true);
+        let n = d.not();
+        assert_eq!(n, Wave::new(true, false, true));
+        assert_eq!(Wave::RISE.not(), Wave::FALL);
+    }
+
+    #[test]
+    fn figure4a_two_level_mux_glitches() {
+        // Figure 4a two-cube structure: f = wx + x'y. Burst w↓ x↑ with
+        // y = 1: the wx gate can pulse after x'y has fallen → dynamic
+        // hazard on the falling output.
+        let mut vars = VarTable::new();
+        let e = Expr::parse("w*x + x'*y", &mut vars).unwrap();
+        // vars: w=0, x=1, y=2. α = (w=1, x=0, y=1), β = (w=0, x=1, y=1).
+        let alpha = bits(3, 0b101);
+        let beta = bits(3, 0b110);
+        let w = wave_eval(&e, &alpha, &beta);
+        assert!(w.is_dynamic_hazard());
+        assert_eq!(w.to_string(), "F*");
+    }
+
+    #[test]
+    fn figure4b_factored_mux_is_clean_for_that_burst() {
+        // Figure 4b structure for the same function: (w + x')(x + y).
+        // For the same burst the first OR falls cleanly and the second OR
+        // is held at 1 by y: no hazard.
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(w + x')*(x + y)", &mut vars).unwrap();
+        let alpha = bits(3, 0b101);
+        let beta = bits(3, 0b110);
+        let w = wave_eval(&e, &alpha, &beta);
+        assert_eq!(w, Wave::FALL);
+        assert!(!w.hazard);
+    }
+
+    #[test]
+    fn static1_hazard_seen_by_waves() {
+        // ab + a'b with b=1 and a changing: classic static-1 hazard.
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a*b + a'*b", &mut vars).unwrap();
+        let alpha = bits(2, 0b10); // a=0 b=1
+        let beta = bits(2, 0b11);
+        let w = wave_eval(&e, &alpha, &beta);
+        assert!(w.is_static_hazard());
+        // The consensus gate removes it.
+        let fixed = Expr::parse("a*b + a'*b + b", &mut vars).unwrap();
+        assert_eq!(wave_eval(&fixed, &alpha, &beta), Wave::C1);
+    }
+
+    #[test]
+    fn vacuous_pulse_seen_by_waves() {
+        // (w + x)(x' + z) at w=0, z=0: x·x' pulse on a 0 output.
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(w + x)*(x' + z)", &mut vars).unwrap();
+        // vars w=0,x=1,x... z=2? Parse order: w, x, z.
+        let alpha = bits(3, 0b000);
+        let beta = bits(3, 0b010); // x rises
+        let w = wave_eval(&e, &alpha, &beta);
+        assert!(w.is_static_hazard());
+        assert!(!w.start && !w.end);
+    }
+
+    #[test]
+    fn clean_single_gate_transition() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("a*b*c", &mut vars).unwrap();
+        let alpha = bits(3, 0b011);
+        let beta = bits(3, 0b111);
+        assert_eq!(wave_eval(&e, &alpha, &beta), Wave::RISE);
+    }
+}

@@ -1,0 +1,283 @@
+//! Built-in technology libraries modeled on the four libraries of the
+//! paper's evaluation (Table 1 / Table 2): two commercial CMOS ASIC
+//! libraries (`LSI9K`, `CMOS3`), a custom standard-cell library rich in
+//! complex AOI gates (`GDT`), and a mux-based FPGA-style library
+//! (`Actel`).
+//!
+//! The structural modeling follows the paper's findings:
+//!
+//! * ordinary complementary CMOS gates (NAND/NOR/AOI/OAI…) have *read-once*
+//!   factored forms — every input appears exactly once — and read-once
+//!   structures are logic-hazard-free, so none of them is hazardous;
+//! * multiplexer cells repeat the select literal in both phases
+//!   (`s·a + s'·b`), which loses the consensus term `a·b`: a static
+//!   1-hazard. Muxes are the only hazardous elements of the CMOS
+//!   libraries (LSI9K 12/86, CMOS3 1/30), and `GDT` has none (0/72);
+//! * the Actel-style modules are *pass-transistor mux trees*: even AND-OR
+//!   macros are built from muxes, so their BFFs repeat literals and
+//!   roughly a third of the library is hazardous (24/84).
+
+use crate::{Cell, Library};
+
+/// Drive-strength variants: suffix, area multiplier, delay multiplier.
+const DRIVES2: &[(&str, f64, f64)] = &[("", 1.0, 1.0), ("_X2", 1.6, 0.75)];
+const DRIVES3: &[(&str, f64, f64)] = &[("", 1.0, 1.0), ("_X2", 1.6, 0.75), ("_X4", 2.5, 0.6)];
+
+fn add_variants(lib: &mut Library, name: &str, bff: &str, delay: f64, drives: &[(&str, f64, f64)]) {
+    for (suffix, area_mult, delay_mult) in drives {
+        let base = Cell::from_bff(&format!("{name}{suffix}"), bff, delay * delay_mult);
+        let area = base.area() * area_mult;
+        lib.add(Cell::new(
+            &format!("{name}{suffix}"),
+            base.pins().clone(),
+            base.bff().clone(),
+            area,
+            delay * delay_mult,
+        ));
+    }
+}
+
+/// Pads a library with extra inverter/buffer drive strengths until it holds
+/// exactly `target` cells (commercial libraries carry many such variants).
+fn pad_to(lib: &mut Library, target: usize) {
+    let mut k = 8;
+    while lib.len() < target {
+        lib.add(Cell::from_bff(&format!("INV_D{k}"), "a'", 0.2 / (k as f64).sqrt()));
+        k += 1;
+    }
+    assert_eq!(lib.len(), target, "padding overshot for {}", lib.name());
+}
+
+fn add_basic_cmos(lib: &mut Library, drives: &[(&str, f64, f64)]) {
+    add_variants(lib, "NAND2", "(a*b)'", 0.30, drives);
+    add_variants(lib, "NAND3", "(a*b*c)'", 0.38, drives);
+    add_variants(lib, "NAND4", "(a*b*c*d)'", 0.46, drives);
+    add_variants(lib, "NOR2", "(a + b)'", 0.32, drives);
+    add_variants(lib, "NOR3", "(a + b + c)'", 0.42, drives);
+    add_variants(lib, "NOR4", "(a + b + c + d)'", 0.52, drives);
+}
+
+/// The LSI9K-modeled library: 86 elements, of which exactly the 12
+/// multiplexers are hazardous (paper Table 1: "Muxes, 12 of 86, 14%").
+pub fn lsi9k() -> Library {
+    let mut lib = Library::new("LSI9K");
+    add_variants(&mut lib, "INV", "a'", 0.20, DRIVES3);
+    add_variants(&mut lib, "BUF", "(a')'", 0.30, DRIVES2);
+    add_basic_cmos(&mut lib, DRIVES3);
+    add_variants(&mut lib, "AND2", "(((a*b)')')", 0.40, DRIVES2);
+    add_variants(&mut lib, "AND3", "(((a*b*c)')')", 0.48, DRIVES2);
+    add_variants(&mut lib, "OR2", "(((a + b)')')", 0.42, DRIVES2);
+    add_variants(&mut lib, "OR3", "(((a + b + c)')')", 0.52, DRIVES2);
+    add_variants(&mut lib, "AOI21", "(a*b + c)'", 0.42, DRIVES2);
+    add_variants(&mut lib, "AOI22", "(a*b + c*d)'", 0.48, DRIVES2);
+    add_variants(&mut lib, "AOI211", "(a*b + c + d)'", 0.48, DRIVES2);
+    add_variants(&mut lib, "OAI21", "((a + b)*c)'", 0.42, DRIVES2);
+    add_variants(&mut lib, "OAI22", "((a + b)*(c + d))'", 0.48, DRIVES2);
+    add_variants(&mut lib, "OAI211", "((a + b)*c*d)'", 0.48, DRIVES2);
+    add_variants(&mut lib, "AO22", "(a*b) + (c*d)", 0.52, DRIVES2);
+    add_variants(&mut lib, "OA22", "(a + b)*(c + d)", 0.52, DRIVES2);
+    add_variants(&mut lib, "XOR2", "a*b' + a'*b", 0.55, DRIVES2);
+    add_variants(&mut lib, "XNOR2", "a*b + a'*b'", 0.55, DRIVES2);
+    add_variants(&mut lib, "NAND2B", "(a'*b)'", 0.34, DRIVES2);
+    add_variants(&mut lib, "NOR2B", "(a' + b)'", 0.36, DRIVES2);
+    // The 12 hazardous multiplexers (two-cube SOP structures).
+    add_variants(&mut lib, "MUX2", "s*a + s'*b", 0.60, DRIVES3);
+    add_variants(&mut lib, "MUX2B", "s*a' + s'*b", 0.62, DRIVES2);
+    add_variants(&mut lib, "MUX2I", "(s*a + s'*b)'", 0.58, DRIVES2);
+    add_variants(&mut lib, "MUX2E", "s*a*e + s'*b*e", 0.66, DRIVES2);
+    add_variants(
+        &mut lib,
+        "MUX4",
+        "t'*s'*a + t'*s*b + t*s'*c + t*s*d",
+        0.82,
+        &[("", 1.0, 1.0), ("_X2", 1.6, 0.75), ("_X4", 2.5, 0.6)],
+    );
+    pad_to(&mut lib, 86);
+    lib
+}
+
+/// The CMOS3-modeled library: 30 elements, 1 hazardous mux (Table 1:
+/// "Muxes, 1 of 30, 3%").
+pub fn cmos3() -> Library {
+    let mut lib = Library::new("CMOS3");
+    add_variants(&mut lib, "INV", "a'", 0.22, DRIVES2);
+    lib.add(Cell::from_bff("BUF", "(a')'", 0.32));
+    add_basic_cmos(&mut lib, &[("", 1.0, 1.0)]);
+    lib.add(Cell::from_bff("AND2", "((a*b)')'", 0.44));
+    lib.add(Cell::from_bff("OR2", "((a + b)')'", 0.46));
+    lib.add(Cell::from_bff("AOI21", "(a*b + c)'", 0.46));
+    lib.add(Cell::from_bff("AOI22", "(a*b + c*d)'", 0.52));
+    lib.add(Cell::from_bff("AOI221", "(a*b + c*d + e)'", 0.58));
+    lib.add(Cell::from_bff("AOI222", "(a*b + c*d + e*f)'", 0.64));
+    lib.add(Cell::from_bff("OAI21", "((a + b)*c)'", 0.46));
+    lib.add(Cell::from_bff("OAI22", "((a + b)*(c + d))'", 0.52));
+    lib.add(Cell::from_bff("OAI221", "((a + b)*(c + d)*e)'", 0.58));
+    lib.add(Cell::from_bff("OAI222", "((a + b)*(c + d)*(e + f))'", 0.64));
+    lib.add(Cell::from_bff("XOR2", "a*b' + a'*b", 0.58));
+    lib.add(Cell::from_bff("XNOR2", "a*b + a'*b'", 0.58));
+    lib.add(Cell::from_bff("NAND2B", "(a'*b)'", 0.38));
+    lib.add(Cell::from_bff("NOR2B", "(a' + b)'", 0.40));
+    // The single hazardous mux.
+    lib.add(Cell::from_bff("MUX2", "s*a + s'*b", 0.64));
+    pad_to(&mut lib, 30);
+    lib
+}
+
+/// The GDT-modeled library: 72 elements, none hazardous — a custom
+/// standard-cell library dominated by large complex AOI/OAI gates, whose
+/// read-once complementary structures carry no logic hazards but take the
+/// longest to analyze (Table 2's 16.7 s row).
+pub fn gdt() -> Library {
+    let mut lib = Library::new("GDT");
+    add_variants(&mut lib, "INV", "a'", 0.18, DRIVES3);
+    lib.add(Cell::from_bff("BUF", "(a')'", 0.28));
+    add_variants(&mut lib, "NAND2", "(a*b)'", 0.28, DRIVES2);
+    add_variants(&mut lib, "NAND3", "(a*b*c)'", 0.36, DRIVES2);
+    add_variants(&mut lib, "NOR2", "(a + b)'", 0.30, DRIVES2);
+    add_variants(&mut lib, "NOR3", "(a + b + c)'", 0.40, DRIVES2);
+    let complex: &[(&str, &str)] = &[
+        ("AOI21", "(a*b + c)'"),
+        ("AOI22", "(a*b + c*d)'"),
+        ("AOI211", "(a*b + c + d)'"),
+        ("AOI221", "(a*b + c*d + e)'"),
+        ("AOI222", "(a*b + c*d + e*f)'"),
+        ("AOI2211", "(a*b + c*d + e + f)'"),
+        ("AOI2221", "(a*b + c*d + e*f + g)'"),
+        ("AOI2222", "(a*b + c*d + e*f + g*h)'"),
+        ("AOI321", "(a*b*c + d*e + f)'"),
+        ("OAI21", "((a + b)*c)'"),
+        ("OAI22", "((a + b)*(c + d))'"),
+        ("OAI211", "((a + b)*c*d)'"),
+        ("OAI221", "((a + b)*(c + d)*e)'"),
+        ("OAI222", "((a + b)*(c + d)*(e + f))'"),
+        ("OAI2211", "((a + b)*(c + d)*e*f)'"),
+        ("OAI2221", "((a + b)*(c + d)*(e + f)*g)'"),
+        ("OAI2222", "((a + b)*(c + d)*(e + f)*(g + h))'"),
+        ("OAI321", "((a + b + c)*(d + e)*f)'"),
+    ];
+    for (name, bff) in complex {
+        add_variants(&mut lib, name, bff, 0.5 + 0.02 * bff.len() as f64 / 10.0, DRIVES2);
+    }
+    add_variants(&mut lib, "AO22", "(a*b) + (c*d)", 0.54, DRIVES2);
+    add_variants(&mut lib, "OA22", "(a + b)*(c + d)", 0.54, DRIVES2);
+    add_variants(&mut lib, "XOR2", "a*b' + a'*b", 0.56, DRIVES2);
+    add_variants(&mut lib, "XNOR2", "a*b + a'*b'", 0.56, DRIVES2);
+    lib.add(Cell::from_bff("AND2", "((a*b)')'", 0.42));
+    lib.add(Cell::from_bff("OR2", "((a + b)')'", 0.44));
+    pad_to(&mut lib, 72);
+    lib
+}
+
+/// The Actel-Act1-modeled library: 84 elements, 24 hazardous (Table 1:
+/// "AOI's, OAI's, Muxes — 24 of 84, 29%"). Every AND-OR macro is a
+/// pass-transistor mux-tree expansion, so its BFF repeats literals and
+/// loses consensus terms.
+pub fn actel() -> Library {
+    let mut lib = Library::new("Actel");
+    // Hazard-free simple macros (single-literal-occurrence structures).
+    add_variants(&mut lib, "INV", "a'", 0.35, DRIVES2);
+    add_variants(&mut lib, "BUF", "(a')'", 0.45, DRIVES2);
+    add_variants(&mut lib, "AND2", "a*b", 0.45, DRIVES2);
+    add_variants(&mut lib, "AND3", "a*b*c", 0.50, DRIVES2);
+    add_variants(&mut lib, "AND4", "a*b*c*d", 0.55, DRIVES2);
+    add_variants(&mut lib, "NAND2", "(a*b)'", 0.45, DRIVES2);
+    add_variants(&mut lib, "NAND3", "(a*b*c)'", 0.50, DRIVES2);
+    add_variants(&mut lib, "NAND4", "(a*b*c*d)'", 0.55, DRIVES2);
+    add_variants(&mut lib, "OR2", "a + b", 0.45, DRIVES2);
+    add_variants(&mut lib, "OR3", "a + b + c", 0.50, DRIVES2);
+    add_variants(&mut lib, "OR4", "a + b + c + d", 0.55, DRIVES2);
+    add_variants(&mut lib, "NOR2", "(a + b)'", 0.45, DRIVES2);
+    add_variants(&mut lib, "NOR3", "(a + b + c)'", 0.50, DRIVES2);
+    add_variants(&mut lib, "NOR4", "(a + b + c + d)'", 0.55, DRIVES2);
+    add_variants(&mut lib, "XOR2", "a*b' + a'*b", 0.60, DRIVES2);
+    add_variants(&mut lib, "XNOR2", "a*b + a'*b'", 0.60, DRIVES2);
+    add_variants(&mut lib, "AND2B", "a'*b", 0.47, DRIVES2);
+    add_variants(&mut lib, "OR2B", "a' + b", 0.47, DRIVES2);
+    add_variants(&mut lib, "AO22", "a*b + c*d", 0.58, DRIVES2);
+    add_variants(&mut lib, "OA22", "(a + b)*(c + d)", 0.58, DRIVES2);
+    // Hazardous mux-tree macros (12 shapes × 2 drives = 24).
+    let hazardous: &[(&str, &str, f64)] = &[
+        // AND-OR macros as mux expansions: AO1 = ab + c built as
+        // mux(a; c, b + c) = a(b + c) + a'c — repeats a, loses prime c.
+        ("AO1", "a*(b + c) + a'*c", 0.55),
+        ("AO2", "a*(b + c + d) + a'*d", 0.58),
+        ("AO3", "a*(b*c + d) + a'*d", 0.58),
+        // OR-AND macros: OA1 = (a + c)·b as mux(a; b, c·b).
+        ("OA1", "a*b + a'*(c*b)", 0.55),
+        ("OA2", "a*(b*c) + a'*(d*b*c)", 0.58),
+        ("OA3", "a*b + a'*(c + d)*b", 0.58),
+        // Inverting forms.
+        ("AOI1", "(a*(b + c) + a'*c)'", 0.55),
+        ("AOI2", "(a*(b + c + d) + a'*d)'", 0.58),
+        ("OAI1", "(a*b + a'*(c*b))'", 0.55),
+        ("OAI2", "(a*b + a'*(c + d)*b)'", 0.58),
+        // Plain muxes.
+        ("MX2", "s*a + s'*b", 0.55),
+        ("MX4", "t'*(s*b + s'*a) + t*(s*d + s'*c)", 0.70),
+    ];
+    for (name, bff, delay) in hazardous {
+        add_variants(&mut lib, name, bff, *delay, DRIVES2);
+    }
+    pad_to(&mut lib, 84);
+    lib
+}
+
+/// All four built-in libraries, unannotated, in the paper's Table 1 order.
+pub fn all_libraries() -> Vec<Library> {
+    vec![lsi9k(), cmos3(), gdt(), actel()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        // Library, total elements, hazardous elements — the shape of the
+        // paper's Table 1.
+        let expect = [("LSI9K", 86, 12), ("CMOS3", 30, 1), ("GDT", 72, 0), ("Actel", 84, 24)];
+        for (name, total, hazardous) in expect {
+            let mut lib = match name {
+                "LSI9K" => lsi9k(),
+                "CMOS3" => cmos3(),
+                "GDT" => gdt(),
+                _ => actel(),
+            };
+            assert_eq!(lib.len(), total, "{name} total");
+            lib.annotate_hazards();
+            let found = lib.hazardous_cells();
+            assert_eq!(found.len(), hazardous, "{name} hazardous: {:?}",
+                found.iter().map(|c| c.name()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lsi9k_hazardous_cells_are_all_muxes() {
+        let mut lib = lsi9k();
+        lib.annotate_hazards();
+        for cell in lib.hazardous_cells() {
+            assert!(cell.name().starts_with("MUX"), "{} not a mux", cell.name());
+        }
+    }
+
+    #[test]
+    fn actel_macros_compute_expected_functions() {
+        let lib = actel();
+        // AO1 = ab + c.
+        let ao1 = lib.cell("AO1").unwrap();
+        let tt = ao1.truth_table();
+        for m in 0..8usize {
+            let (a, b, c) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            assert_eq!(tt.get(m), (a && b) || c, "AO1 at {m}");
+        }
+    }
+
+    #[test]
+    fn all_libraries_have_unique_cell_names() {
+        for lib in all_libraries() {
+            // Library::add already panics on duplicates; this exercises
+            // construction of every builtin.
+            assert!(!lib.is_empty());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Technology libraries for hazard-aware mapping: cells carrying a
+//! structural Boolean factored form, a text format, and the four built-in
+//! libraries modeled on the paper's evaluation (LSI9K, CMOS3, GDT,
+//! Actel — Table 1).
+//!
+//! The asynchronous flow annotates every cell with its full hazard
+//! characterization when the library is read ([`Library::annotate_hazards`],
+//! the extra initialization cost the paper measures in Table 2); the
+//! matcher then consults the annotation to decide whether the
+//! hazard-containment check is needed at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_library::builtin;
+//!
+//! let mut lib = builtin::cmos3();
+//! lib.annotate_hazards();
+//! let hazardous = lib.hazardous_cells();
+//! assert_eq!(hazardous.len(), 1);
+//! assert_eq!(hazardous[0].name(), "MUX2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+mod cell;
+#[allow(clippy::module_inception)]
+mod library;
+
+pub use cell::Cell;
+pub use library::{Library, ParseLibraryError};

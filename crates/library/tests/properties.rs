@@ -1,0 +1,103 @@
+//! Property tests for the library layer: the text format round-trips
+//! arbitrary libraries, and hazard annotation is deterministic and
+//! idempotent.
+
+use asyncmap_library::{Cell, Library};
+use proptest::prelude::*;
+
+/// Strategy: a random cell built from a pool of realistic BFF shapes.
+fn arb_cell(index: usize) -> impl Strategy<Value = Cell> {
+    let shapes = [
+        "a'",
+        "(a*b)'",
+        "(a + b)'",
+        "a*b",
+        "a + b",
+        "(a*b + c)'",
+        "((a + b)*c)'",
+        "s*a + s'*b",
+        "a*b + c*d",
+        "(a + b)*(c + d)",
+        "a*b' + a'*b",
+        "t'*s'*a + t'*s*b + t*s'*c + t*s*d",
+    ];
+    (0..shapes.len(), 1u32..20, 1u32..10).prop_map(move |(shape, area, delay)| {
+        let base = Cell::from_bff(
+            &format!("CELL{index}_{shape}"),
+            shapes[shape],
+            f64::from(delay) / 10.0,
+        );
+        Cell::new(
+            base.name(),
+            base.pins().clone(),
+            base.bff().clone(),
+            f64::from(area),
+            f64::from(delay) / 10.0,
+        )
+    })
+}
+
+fn arb_library() -> impl Strategy<Value = Library> {
+    prop::collection::vec(any::<u8>(), 1..10).prop_flat_map(|picks| {
+        let cells: Vec<_> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_cell(i))
+            .collect();
+        cells.prop_map(|cells| {
+            let mut lib = Library::new("RAND");
+            for c in cells {
+                if lib.cell(c.name()).is_none() {
+                    lib.add(c);
+                }
+            }
+            lib
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_format_roundtrips(lib in arb_library()) {
+        let text = lib.to_text();
+        let back = Library::parse(&text).unwrap();
+        prop_assert_eq!(back.len(), lib.len());
+        for cell in lib.cells() {
+            let loaded = back.cell(cell.name()).expect("cell survives");
+            prop_assert_eq!(loaded.num_inputs(), cell.num_inputs());
+            prop_assert_eq!(loaded.truth_table(), cell.truth_table());
+            prop_assert!((loaded.area() - cell.area()).abs() < 1e-9);
+            prop_assert!((loaded.delay() - cell.delay()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn annotation_is_deterministic_and_stable(lib in arb_library()) {
+        let mut a = lib.clone();
+        let mut b = lib;
+        a.annotate_hazards();
+        b.annotate_hazards();
+        let names_a: Vec<&str> = a.hazardous_cells().iter().map(|c| c.name()).collect();
+        let names_b: Vec<&str> = b.hazardous_cells().iter().map(|c| c.name()).collect();
+        prop_assert_eq!(names_a, names_b);
+        // Idempotent.
+        a.annotate_hazards();
+        prop_assert!(a.is_annotated());
+    }
+
+    #[test]
+    fn mux_shapes_are_the_hazardous_ones(lib in arb_library()) {
+        let mut lib = lib;
+        lib.annotate_hazards();
+        for cell in lib.hazardous_cells() {
+            // In the shape pool only the mux forms repeat a literal.
+            prop_assert!(
+                cell.name().contains("_7") || cell.name().contains("_11"),
+                "unexpected hazardous cell {}",
+                cell.name()
+            );
+        }
+    }
+}

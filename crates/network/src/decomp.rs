@@ -1,0 +1,277 @@
+//! Technology decomposition (paper §3.1.1): transforming logic equations
+//! into a network of two-input, one-output base gates.
+//!
+//! [`async_tech_decomp`] uses only the associative law and DeMorgan's law,
+//! which Unger proved hazard-preserving — the `async_tech_decomp` procedure
+//! the paper requires for asynchronous designs. [`sync_tech_decomp`] models
+//! the synchronous flow, which additionally *simplifies* each equation
+//! (removing redundant cubes); that is exactly the step that can introduce
+//! static 1-hazards (Figure 3) and is kept as the baseline for comparison.
+
+use crate::{GateOp, Network, SignalId};
+use asyncmap_bff::Expr;
+use asyncmap_cube::{Cover, Phase, VarTable};
+use std::collections::HashMap;
+
+/// A technology-independent design: named output equations (two-level SOP
+/// covers) over a shared primary-input space. This is the shape a
+/// burst-mode synthesizer hands to the technology mapper.
+#[derive(Debug, Clone)]
+pub struct EquationSet {
+    /// Names of the primary inputs; cover variable `i` is input `i`.
+    pub inputs: VarTable,
+    /// `(output name, SOP)` pairs.
+    pub equations: Vec<(String, Cover)>,
+}
+
+impl EquationSet {
+    /// Builds an equation set, checking widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an equation's variable space differs from the input table
+    /// or an equation denotes a constant function (no storage-free
+    /// controller output is constant).
+    pub fn new(inputs: VarTable, equations: Vec<(String, Cover)>) -> Self {
+        for (name, cover) in &equations {
+            assert_eq!(
+                cover.nvars(),
+                inputs.len(),
+                "equation {name:?} has wrong variable count"
+            );
+            assert!(
+                !cover.is_empty() && !cover.is_tautology(),
+                "equation {name:?} is constant"
+            );
+        }
+        EquationSet { inputs, equations }
+    }
+
+    /// Total number of cubes over all equations.
+    pub fn num_cubes(&self) -> usize {
+        self.equations.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// Total number of literals over all equations.
+    pub fn num_literals(&self) -> u32 {
+        self.equations.iter().map(|(_, c)| c.num_literals()).sum()
+    }
+}
+
+/// Decomposes the equations into two-input AND/OR gates and inverters using
+/// only hazard-preserving laws (associativity, DeMorgan). Redundant cubes
+/// are kept; nothing is shared except per-input inverters (input fanout
+/// does not alter hazard behavior).
+/// # Examples
+///
+/// ```
+/// use asyncmap_cube::{Cover, VarTable};
+/// use asyncmap_network::{async_tech_decomp, sync_tech_decomp, EquationSet};
+///
+/// let vars = VarTable::from_names(["a", "b", "c"]);
+/// let f = Cover::parse("ab + a'c + bc", &vars)?;
+/// let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+/// // The hazard-preserving decomposition keeps the redundant cube bc...
+/// let hazard_safe = async_tech_decomp(&eqs);
+/// // ...which MIS-style simplification would delete (Figure 3).
+/// let baseline = sync_tech_decomp(&eqs);
+/// assert!(hazard_safe.num_gates() > baseline.num_gates());
+/// # Ok::<(), asyncmap_cube::ParseSopError>(())
+/// ```
+pub fn async_tech_decomp(eqs: &EquationSet) -> Network {
+    decompose(eqs, false)
+}
+
+/// The synchronous decomposition baseline: equations are first made
+/// irredundant (as MIS-style simplification would), *then* decomposed. May
+/// introduce static 1-hazards relative to the source equations.
+pub fn sync_tech_decomp(eqs: &EquationSet) -> Network {
+    decompose(eqs, true)
+}
+
+fn decompose(eqs: &EquationSet, simplify: bool) -> Network {
+    let mut net = Network::new();
+    let input_ids: Vec<SignalId> = eqs
+        .inputs
+        .iter()
+        .map(|(_, name)| net.add_input(name))
+        .collect();
+    let mut inverters: HashMap<SignalId, SignalId> = HashMap::new();
+    for (name, cover) in &eqs.equations {
+        let cover = if simplify {
+            cover.irredundant()
+        } else {
+            cover.clone()
+        };
+        let mut cube_signals = Vec::with_capacity(cover.len());
+        for cube in cover.cubes() {
+            let mut literal_signals = Vec::new();
+            for (v, phase) in cube.literals() {
+                let sig = input_ids[v.index()];
+                let sig = match phase {
+                    Phase::Pos => sig,
+                    Phase::Neg => *inverters
+                        .entry(sig)
+                        .or_insert_with(|| net.add_gate(GateOp::Inv, vec![sig])),
+                };
+                literal_signals.push(sig);
+            }
+            cube_signals.push(balanced_tree(&mut net, GateOp::And, literal_signals));
+        }
+        let root = balanced_tree(&mut net, GateOp::Or, cube_signals);
+        net.mark_output(name, root);
+    }
+    net
+}
+
+/// Decomposes a single factored-form expression (over the primary inputs of
+/// `net`-to-be) into base gates, following the expression tree exactly.
+/// Returns the network and the root signal.
+pub fn decompose_expr(inputs: &VarTable, expr: &Expr, output: &str) -> Network {
+    let mut net = Network::new();
+    let input_ids: Vec<SignalId> = inputs.iter().map(|(_, name)| net.add_input(name)).collect();
+    let root = emit_expr(&mut net, &input_ids, expr);
+    net.mark_output(output, root);
+    net
+}
+
+fn emit_expr(net: &mut Network, inputs: &[SignalId], expr: &Expr) -> SignalId {
+    match expr {
+        Expr::Const(_) => panic!("cannot decompose a constant expression"),
+        Expr::Var(v) => inputs[v.index()],
+        Expr::Not(e) => {
+            let inner = emit_expr(net, inputs, e);
+            net.add_gate(GateOp::Inv, vec![inner])
+        }
+        Expr::And(es) => {
+            let signals: Vec<SignalId> = es.iter().map(|e| emit_expr(net, inputs, e)).collect();
+            balanced_tree(net, GateOp::And, signals)
+        }
+        Expr::Or(es) => {
+            let signals: Vec<SignalId> = es.iter().map(|e| emit_expr(net, inputs, e)).collect();
+            balanced_tree(net, GateOp::Or, signals)
+        }
+    }
+}
+
+/// Combines `signals` with a balanced tree of 2-input `op` gates (the
+/// associative law, applied repeatedly).
+///
+/// # Panics
+///
+/// Panics if `signals` is empty.
+fn balanced_tree(net: &mut Network, op: GateOp, mut signals: Vec<SignalId>) -> SignalId {
+    assert!(!signals.is_empty(), "balanced_tree of zero signals");
+    while signals.len() > 1 {
+        let mut next = Vec::with_capacity(signals.len().div_ceil(2));
+        let mut iter = signals.chunks(2);
+        for pair in &mut iter {
+            match pair {
+                [a, b] => next.push(net.add_gate(op, vec![*a, *b])),
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        signals = next;
+    }
+    signals[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::Bits;
+
+    fn figure3_eqs() -> EquationSet {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        EquationSet::new(vars, vec![("f".to_owned(), f)])
+    }
+
+    #[test]
+    fn async_decomp_preserves_function_and_cubes() {
+        let eqs = figure3_eqs();
+        let net = async_tech_decomp(&eqs);
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(
+                net.eval_output("f", &bits),
+                eqs.equations[0].1.eval(&bits)
+            );
+        }
+        // 3 cubes → 3 AND roots (ab, a'c, bc each 1 AND) + 2 OR + 1 INV.
+        assert_eq!(net.num_gates(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn sync_decomp_drops_redundant_cube() {
+        let eqs = figure3_eqs();
+        let async_net = async_tech_decomp(&eqs);
+        let sync_net = sync_tech_decomp(&eqs);
+        // bc is redundant: the sync decomposition loses one AND and one OR.
+        assert!(sync_net.num_gates() < async_net.num_gates());
+        // Function unchanged.
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(
+                sync_net.eval_output("f", &bits),
+                async_net.eval_output("f", &bits)
+            );
+        }
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = Cover::parse("a'b + a'b'", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        // One INV for a, one for b, 2 ANDs, 1 OR.
+        assert_eq!(net.num_gates(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn decompose_expr_follows_structure() {
+        let inputs = VarTable::from_names(["w", "x", "y"]);
+        let mut scratch = inputs.clone();
+        let e = Expr::parse("(w + x')*(x + y)", &mut scratch).unwrap();
+        let net = decompose_expr(&inputs, &e, "f");
+        // Gates: INV(x), OR(w,x'), OR(x,y), AND → 4.
+        assert_eq!(net.num_gates(), 4);
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(net.eval_output("f", &bits), e.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn multi_output_networks() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = Cover::parse("ab", &vars).unwrap();
+        let g = Cover::parse("a + b", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f), ("g".to_owned(), g)]);
+        let net = async_tech_decomp(&eqs);
+        assert_eq!(net.outputs().len(), 2);
+        let mut bits = Bits::new(2);
+        bits.set(0, true);
+        assert!(!net.eval_output("f", &bits));
+        assert!(net.eval_output("g", &bits));
+    }
+
+    #[test]
+    #[should_panic(expected = "is constant")]
+    fn constant_equation_rejected() {
+        let vars = VarTable::from_names(["a"]);
+        let f = Cover::parse("a + a'", &vars).unwrap();
+        EquationSet::new(vars, vec![("f".to_owned(), f)]);
+    }
+}

@@ -1,0 +1,314 @@
+//! The multi-level logic network: a DAG of primitive gates between primary
+//! inputs and named outputs.
+
+use asyncmap_cube::{Bits, VarId, VarTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a signal (primary input or gate output) in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub usize);
+
+impl SignalId {
+    /// Numeric index of the signal.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Primitive gate operators of the decomposed (subject) network — the base
+/// functions of §3.1 plus inverters and buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// Inverter.
+    Inv,
+    /// Buffer (used for fanout repair after mapping).
+    Buf,
+}
+
+impl GateOp {
+    /// Number of inputs the operator takes.
+    pub fn arity(self) -> usize {
+        match self {
+            GateOp::And | GateOp::Or => 2,
+            GateOp::Inv | GateOp::Buf => 1,
+        }
+    }
+}
+
+/// A node of the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input.
+    Input,
+    /// A primitive gate over previously defined signals.
+    Gate {
+        /// The operator.
+        op: GateOp,
+        /// Input signals (length = `op.arity()`).
+        fanin: Vec<SignalId>,
+    },
+}
+
+/// A combinational logic network of primitive gates.
+///
+/// Nodes are append-only and topologically ordered by construction (a gate
+/// may only reference earlier signals), which keeps evaluation and
+/// traversal linear.
+///
+/// # Examples
+///
+/// ```
+/// use asyncmap_network::{GateOp, Network};
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(GateOp::And, vec![a, b]);
+/// net.mark_output("f", g);
+/// assert_eq!(net.num_gates(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    names: VarTable,
+    nodes: Vec<NodeKind>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a primary input named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used.
+    pub fn add_input(&mut self, name: &str) -> SignalId {
+        assert!(
+            self.names.lookup(name).is_none(),
+            "duplicate signal name {name:?}"
+        );
+        let id = SignalId(self.nodes.len());
+        let interned = self.names.intern(name);
+        debug_assert_eq!(interned.index(), id.0);
+        self.nodes.push(NodeKind::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a primitive gate; the output signal gets a generated name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fanin arity does not match the operator or references
+    /// an undefined signal.
+    pub fn add_gate(&mut self, op: GateOp, fanin: Vec<SignalId>) -> SignalId {
+        assert_eq!(fanin.len(), op.arity(), "wrong fanin count for {op:?}");
+        for f in &fanin {
+            assert!(f.0 < self.nodes.len(), "undefined fanin signal {f}");
+        }
+        let id = SignalId(self.nodes.len());
+        let interned = self.names.intern(&format!("_g{}", id.0));
+        debug_assert_eq!(interned.index(), id.0);
+        self.nodes.push(NodeKind::Gate { op, fanin });
+        id
+    }
+
+    /// Declares `signal` to be the primary output `name`.
+    pub fn mark_output(&mut self, name: &str, signal: SignalId) {
+        self.outputs.push((name.to_owned(), signal));
+    }
+
+    /// The primary inputs, in creation order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// The `(name, signal)` primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// The node backing `signal`.
+    pub fn node(&self, signal: SignalId) -> &NodeKind {
+        &self.nodes[signal.0]
+    }
+
+    /// The name of `signal`.
+    pub fn name(&self, signal: SignalId) -> &str {
+        self.names.name(VarId(signal.0))
+    }
+
+    /// Total number of signals (inputs + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the network has no signals.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of gate nodes.
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Gate { .. }))
+            .count()
+    }
+
+    /// All signals in topological (creation) order.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> {
+        (0..self.nodes.len()).map(SignalId)
+    }
+
+    /// Number of gate nodes that read each signal (primary-output uses not
+    /// included).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            if let NodeKind::Gate { fanin, .. } = node {
+                for f in fanin {
+                    counts[f.0] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Evaluates every signal for the given primary-input assignment
+    /// (`inputs[i]` is the value of the `i`-th primary input in creation
+    /// order). Returns one value per signal.
+    pub fn eval(&self, inputs: &Bits) -> Vec<bool> {
+        debug_assert_eq!(inputs.len(), self.inputs.len());
+        let mut values = vec![false; self.nodes.len()];
+        let mut input_index = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                NodeKind::Input => {
+                    let v = inputs.get(input_index);
+                    input_index += 1;
+                    v
+                }
+                NodeKind::Gate { op, fanin } => {
+                    let f = |k: usize| values[fanin[k].0];
+                    match op {
+                        GateOp::And => f(0) && f(1),
+                        GateOp::Or => f(0) || f(1),
+                        GateOp::Inv => !f(0),
+                        GateOp::Buf => f(0),
+                    }
+                }
+            };
+        }
+        values
+    }
+
+    /// Evaluates the named output for a primary-input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output has that name.
+    pub fn eval_output(&self, name: &str, inputs: &Bits) -> bool {
+        let (_, sig) = self
+            .outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        self.eval(inputs)[sig.0]
+    }
+
+    /// Renames primary input positions: maps each primary input signal to
+    /// its index in the input list.
+    pub fn input_positions(&self) -> HashMap<SignalId, usize> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gate_net() -> Network {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let nb = net.add_gate(GateOp::Inv, vec![b]);
+        let and1 = net.add_gate(GateOp::And, vec![a, nb]);
+        let or1 = net.add_gate(GateOp::Or, vec![and1, c]);
+        net.mark_output("f", or1);
+        net
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let net = two_gate_net();
+        assert_eq!(net.len(), 6);
+        assert_eq!(net.num_gates(), 3);
+        assert_eq!(net.inputs().len(), 3);
+        assert_eq!(net.outputs().len(), 1);
+    }
+
+    #[test]
+    fn eval_computes_function() {
+        let net = two_gate_net();
+        // f = a·b' + c
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            let (a, b, c) = (bits.get(0), bits.get(1), bits.get(2));
+            assert_eq!(net.eval_output("f", &bits), (a && !b) || c);
+        }
+    }
+
+    #[test]
+    fn fanout_counts_gates_only() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let inv = net.add_gate(GateOp::Inv, vec![a]);
+        let and1 = net.add_gate(GateOp::And, vec![a, inv]);
+        let and2 = net.add_gate(GateOp::And, vec![inv, and1]);
+        net.mark_output("f", and2);
+        let counts = net.fanout_counts();
+        assert_eq!(counts[a.0], 2);
+        assert_eq!(counts[inv.0], 2);
+        assert_eq!(counts[and1.0], 1);
+        assert_eq!(counts[and2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong fanin count")]
+    fn arity_checked() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_gate(GateOp::And, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal name")]
+    fn duplicate_input_rejected() {
+        let mut net = Network::new();
+        net.add_input("a");
+        net.add_input("a");
+    }
+}

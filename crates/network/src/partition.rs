@@ -1,0 +1,206 @@
+//! Partitioning the decomposed network into single-output cones of logic at
+//! points of multiple fanout (paper §3.1.2). Given a hazard-free starting
+//! network, cutting at fanout points does not alter hazard behavior; it
+//! only bounds what the covering step may replace at once.
+
+use crate::{Network, NodeKind, SignalId};
+use asyncmap_bff::Expr;
+use asyncmap_cube::{VarId, VarTable};
+use std::collections::{HashMap, HashSet};
+
+/// A single-output cone of logic: the tree of gates feeding `root`, cut at
+/// primary inputs and multi-fanout signals.
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// The cone's output signal.
+    pub root: SignalId,
+    /// Leaf signals (primary inputs or other cones' roots), deduplicated
+    /// in first-visit order.
+    pub leaves: Vec<SignalId>,
+    /// Gate signals inside the cone, in topological order.
+    pub gates: Vec<SignalId>,
+}
+
+/// Splits the network into cones rooted at primary outputs and at internal
+/// multi-fanout gates. Every gate belongs to exactly one cone.
+pub fn partition(net: &Network) -> Vec<Cone> {
+    let fanout = net.fanout_counts();
+    let mut output_signals: HashSet<SignalId> = HashSet::new();
+    for (_, s) in net.outputs() {
+        output_signals.insert(*s);
+    }
+    // Cone roots: every output signal, plus every gate feeding ≥2 gates,
+    // plus every gate that both feeds a gate and is an output.
+    let mut roots: Vec<SignalId> = Vec::new();
+    for s in net.signals() {
+        if matches!(net.node(s), NodeKind::Input) {
+            continue;
+        }
+        let is_output = output_signals.contains(&s);
+        if is_output || fanout[s.index()] >= 2 {
+            roots.push(s);
+        }
+    }
+    let root_set: HashSet<SignalId> = roots.iter().copied().collect();
+    roots
+        .iter()
+        .map(|&root| build_cone(net, root, &root_set))
+        .collect()
+}
+
+fn build_cone(net: &Network, root: SignalId, root_set: &HashSet<SignalId>) -> Cone {
+    let mut leaves = Vec::new();
+    let mut seen_leaves = HashSet::new();
+    let mut gates = Vec::new();
+    collect(net, root, root, root_set, &mut leaves, &mut seen_leaves, &mut gates);
+    gates.sort();
+    Cone { root, leaves, gates }
+}
+
+fn collect(
+    net: &Network,
+    signal: SignalId,
+    root: SignalId,
+    root_set: &HashSet<SignalId>,
+    leaves: &mut Vec<SignalId>,
+    seen_leaves: &mut HashSet<SignalId>,
+    gates: &mut Vec<SignalId>,
+) {
+    let is_leaf = matches!(net.node(signal), NodeKind::Input)
+        || (signal != root && root_set.contains(&signal));
+    if is_leaf {
+        if seen_leaves.insert(signal) {
+            leaves.push(signal);
+        }
+        return;
+    }
+    gates.push(signal);
+    if let NodeKind::Gate { fanin, .. } = net.node(signal) {
+        for &f in fanin {
+            collect(net, f, root, root_set, leaves, seen_leaves, gates);
+        }
+    }
+}
+
+impl Cone {
+    /// Number of gates in the cone.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Builds the cone's logic as a BFF expression over a fresh variable
+    /// space in which variable `i` is `leaves[i]`, together with that
+    /// variable table (named after the underlying signals).
+    pub fn to_expr(&self, net: &Network) -> (Expr, VarTable) {
+        let mut vars = VarTable::new();
+        let position: HashMap<SignalId, VarId> = self
+            .leaves
+            .iter()
+            .map(|&s| (s, vars.intern(net.name(s))))
+            .collect();
+        let expr = expr_of(net, self.root, &position);
+        (expr, vars)
+    }
+}
+
+fn expr_of(net: &Network, signal: SignalId, leaves: &HashMap<SignalId, VarId>) -> Expr {
+    if let Some(&v) = leaves.get(&signal) {
+        return Expr::Var(v);
+    }
+    match net.node(signal) {
+        NodeKind::Input => unreachable!("input signal must be a cone leaf"),
+        NodeKind::Gate { op, fanin } => {
+            let args: Vec<Expr> = fanin.iter().map(|&f| expr_of(net, f, leaves)).collect();
+            match op {
+                crate::GateOp::And => Expr::and(args),
+                crate::GateOp::Or => Expr::or(args),
+                crate::GateOp::Inv => args.into_iter().next().expect("inverter fanin").not(),
+                crate::GateOp::Buf => args.into_iter().next().expect("buffer fanin"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{async_tech_decomp, EquationSet, GateOp};
+    use asyncmap_cube::{Bits, Cover};
+
+    #[test]
+    fn single_equation_single_cone() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        assert_eq!(cones.len(), 1);
+        let cone = &cones[0];
+        assert_eq!(cone.num_gates(), net.num_gates());
+        assert_eq!(cone.leaves.len(), 3);
+    }
+
+    #[test]
+    fn shared_inverter_splits_cones() {
+        // Two outputs sharing the inverter of a: the inverter feeds two
+        // gates, so it becomes its own cone... only if it is a gate with
+        // fanout ≥ 2.
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = Cover::parse("a'b", &vars).unwrap();
+        let g = Cover::parse("a'b'", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f), ("g".to_owned(), g)]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        // Cones: INV(a) (fanout 2), f's AND, g's AND... plus INV(b) has
+        // fanout 1 and stays inside g's cone.
+        assert_eq!(cones.len(), 3);
+        // Every gate appears in exactly one cone.
+        let mut all_gates: Vec<_> = cones.iter().flat_map(|c| c.gates.clone()).collect();
+        all_gates.sort();
+        all_gates.dedup();
+        assert_eq!(all_gates.len(), net.num_gates());
+    }
+
+    #[test]
+    fn cone_expr_matches_network() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let eqs = EquationSet::new(vars.clone(), vec![("f".to_owned(), f.clone())]);
+        let net = async_tech_decomp(&eqs);
+        let cones = partition(&net);
+        let (expr, local_vars) = cones[0].to_expr(&net);
+        assert_eq!(local_vars.len(), 3);
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            // Local leaf order happens to match input order here (a,b,c
+            // are all direct leaves); map values through names to be safe.
+            let mut local = Bits::new(3);
+            for (lv, name) in local_vars.iter() {
+                let global = vars.lookup(name).unwrap();
+                local.set(lv.index(), bits.get(global.index()));
+            }
+            assert_eq!(expr.eval(&local), f.eval(&bits), "mismatch at {m}");
+        }
+    }
+
+    #[test]
+    fn output_feeding_gates_becomes_root() {
+        // An output that also feeds another output's logic must be a cone
+        // root (cut point), not duplicated into the consumer cone.
+        let mut net = crate::Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let and1 = net.add_gate(GateOp::And, vec![a, b]);
+        let inv = net.add_gate(GateOp::Inv, vec![and1]);
+        net.mark_output("x", and1);
+        net.mark_output("y", inv);
+        let cones = partition(&net);
+        assert_eq!(cones.len(), 2);
+        let y_cone = cones.iter().find(|c| c.root == inv).unwrap();
+        assert_eq!(y_cone.leaves, vec![and1]);
+        assert_eq!(y_cone.num_gates(), 1);
+    }
+}

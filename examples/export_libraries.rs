@@ -1,0 +1,19 @@
+//! Writes the four built-in technology libraries to `libraries/*.lib` in
+//! the text format, so they can be inspected, edited and re-loaded with
+//! `Library::parse` (see `examples/library_audit.rs -- libraries/gdt.lib`).
+//!
+//! Run with `cargo run --example export_libraries`.
+
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("libraries");
+    fs::create_dir_all(dir)?;
+    for lib in asyncmap::library::builtin::all_libraries() {
+        let path = dir.join(format!("{}.lib", lib.name().to_lowercase()));
+        fs::write(&path, lib.to_text())?;
+        println!("wrote {} ({} cells)", path.display(), lib.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Library hazard audit: annotate each built-in technology library and
+//! report its hazardous elements — the analysis behind the paper's
+//! Table 1. Pass a path to audit a library in the text format instead.
+//!
+//! Run with `cargo run --example library_audit [-- path/to/library.txt]`.
+
+use asyncmap::prelude::*;
+use std::time::Instant;
+
+fn audit(mut lib: Library) {
+    let t = Instant::now();
+    lib.annotate_hazards();
+    let elapsed = t.elapsed();
+    let hazardous = lib.hazardous_cells();
+    println!(
+        "{:8} {:3} elements, {:2} hazardous ({:.0}%), annotated in {:.2?}",
+        lib.name(),
+        lib.len(),
+        hazardous.len(),
+        100.0 * hazardous.len() as f64 / lib.len() as f64,
+        elapsed
+    );
+    for cell in hazardous {
+        let report = cell.hazards().expect("annotated");
+        println!("    {:10} {}", cell.name(), report.summary());
+        for h in report.iter().take(2) {
+            println!("        e.g. {}", h.display(cell.pins()));
+        }
+    }
+}
+
+fn main() {
+    if let Some(path) = std::env::args().nth(1) {
+        let text = std::fs::read_to_string(&path).expect("readable library file");
+        let lib = Library::parse(&text).expect("valid library text");
+        audit(lib);
+        return;
+    }
+    for lib in asyncmap::library::builtin::all_libraries() {
+        audit(lib);
+    }
+}

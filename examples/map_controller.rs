@@ -1,0 +1,55 @@
+//! Maps one of the Table 5 benchmark controllers against all four built-in
+//! libraries, comparing the synchronous baseline, the asynchronous mapper
+//! and the designer-style hand mapping.
+//!
+//! Run with `cargo run --release --example map_controller [-- <benchmark>]`
+//! (default `dme`; see `asyncmap::burst::BENCHMARKS` for names).
+
+use asyncmap::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dme".to_owned());
+    let eqs = asyncmap::burst::benchmark(&name);
+    println!(
+        "benchmark {name}: {} signals over {} variables, {} cubes / {} literals",
+        eqs.equations.len(),
+        eqs.inputs.len(),
+        eqs.num_cubes(),
+        eqs.num_literals()
+    );
+    println!(
+        "{:8} {:>10} {:>8} {:>9} | {:>10} {:>8} {:>9} {:>7} | {:>10}",
+        "library", "sync area", "delay", "time", "async area", "delay", "time", "checks", "hand area"
+    );
+    for mut lib in asyncmap::library::builtin::all_libraries() {
+        lib.annotate_hazards();
+        let opts = MapOptions::default();
+
+        let t = Instant::now();
+        let sync = tmap(&eqs, &lib, &opts).expect("sync mappable");
+        let t_sync = t.elapsed();
+
+        let t = Instant::now();
+        let asy = async_tmap(&eqs, &lib, &opts).expect("async mappable");
+        let t_async = t.elapsed();
+
+        let hand = hand_map(&eqs, &lib, &opts).expect("hand mappable");
+
+        assert!(asy.verify_function(&lib), "{}: function broken", lib.name());
+        assert!(asy.verify_hazards(&lib), "{}: hazards introduced", lib.name());
+
+        println!(
+            "{:8} {:>10.0} {:>7.2}n {:>8.1?} | {:>10.0} {:>7.2}n {:>8.1?} {:>7} | {:>10.0}",
+            lib.name(),
+            sync.area,
+            sync.delay,
+            t_sync,
+            asy.area,
+            asy.delay,
+            t_async,
+            asy.stats.hazard_checks,
+            hand.area
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # asyncmap
+//!
+//! A from-scratch reproduction of *Siegel, De Micheli, Dill — "Automatic
+//! Technology Mapping for Generalized Fundamental-Mode Asynchronous
+//! Designs"* (Stanford CSL-TR-93-580 / DAC 1993): a hazard-aware
+//! technology mapper for burst-mode asynchronous controllers, together
+//! with every substrate it needs (cube/SOP algebra, a BDD package, Boolean
+//! factored forms, the paper's hazard-analysis algorithms, a logic-network
+//! layer, synthetic standard-cell libraries and a burst-mode synthesis
+//! front end).
+//!
+//! The facade re-exports each subsystem as a module:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`cube`] | `asyncmap-cube` | `USED`/`PHASE` cubes, covers, primes |
+//! | [`bdd`] | `asyncmap-bdd` | hash-consed ROBDDs |
+//! | [`bff`] | `asyncmap-bff` | Boolean factored forms, flattening, paths |
+//! | [`hazard`] | `asyncmap-hazard` | §4 hazard analysis + waveform oracle |
+//! | [`network`] | `asyncmap-network` | subject networks, decomposition, cones |
+//! | [`library`] | `asyncmap-library` | cells, libraries, Table 1 builtins |
+//! | [`mapper`] | `asyncmap-core` | `tmap` / `async_tmap` / `hand_map` |
+//! | [`burst`] | `asyncmap-burst` | burst-mode specs, hazard-free synthesis, Table 5 benchmarks |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asyncmap::prelude::*;
+//!
+//! // A burst-mode controller (paper Figure 1), synthesized to hazard-free
+//! // equations and mapped to a mux-rich commercial library.
+//! let eqs = asyncmap::burst::benchmark("dme-fast");
+//! let mut lib = asyncmap::library::builtin::lsi9k();
+//! lib.annotate_hazards();
+//! let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+//! assert!(design.verify_function(&lib));
+//! assert!(design.verify_hazards(&lib));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use asyncmap_bdd as bdd;
+pub use asyncmap_bff as bff;
+pub use asyncmap_burst as burst;
+pub use asyncmap_core as mapper;
+pub use asyncmap_cube as cube;
+pub use asyncmap_hazard as hazard;
+pub use asyncmap_library as library;
+pub use asyncmap_network as network;
+
+/// The most common items, for glob import.
+pub mod prelude {
+    pub use asyncmap_bff::Expr;
+    pub use asyncmap_core::{async_tmap, hand_map, hdc_tmap, tmap, MapOptions, MappedDesign, Objective};
+    pub use asyncmap_cube::{Cover, Cube, VarTable};
+    pub use asyncmap_hazard::{analyze_expr, hazards_subset, HazardReport};
+    pub use asyncmap_library::{builtin, Cell, Library};
+    pub use asyncmap_network::EquationSet;
+}

@@ -1,0 +1,155 @@
+//! The `asyncmap` command-line tool: hazard-aware technology mapping for
+//! burst-mode controllers, end to end from files.
+//!
+//! ```text
+//! asyncmap audit <library.lib>                   hazard audit (Table 1 style)
+//! asyncmap synth <machine.bms>                   hazard-free equations + dot
+//! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
+//!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
+//! ```
+
+use asyncmap::burst::{expand, hazard_free_cover, parse_bms, to_dot};
+use asyncmap::mapper::{render_report, to_verilog, Objective};
+use asyncmap::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("map") => cmd_map(&args[1..]),
+        _ => {
+            eprintln!("usage: asyncmap <audit|synth|map> ... (see crate docs)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_library(path: &str) -> Result<Library, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Library::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_spec(path: &str) -> Result<asyncmap::burst::BurstSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_bms(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("audit: missing library path")?;
+    let mut lib = load_library(path)?;
+    lib.annotate_hazards();
+    let hazardous = lib.hazardous_cells();
+    println!(
+        "{}: {} elements, {} hazardous ({:.0}%)",
+        lib.name(),
+        lib.len(),
+        hazardous.len(),
+        100.0 * hazardous.len() as f64 / lib.len().max(1) as f64
+    );
+    for cell in hazardous {
+        println!(
+            "  {:12} {}",
+            cell.name(),
+            cell.hazards().expect("annotated").summary()
+        );
+    }
+    Ok(())
+}
+
+fn synthesize(spec: &asyncmap::burst::BurstSpec) -> Result<EquationSet, String> {
+    let flow = expand(spec).map_err(|e| e.to_string())?;
+    let mut vars = VarTable::new();
+    for n in &flow.var_names {
+        vars.intern(n);
+    }
+    let mut equations = Vec::new();
+    for f in &flow.functions {
+        let cover = hazard_free_cover(f).map_err(|e| e.to_string())?;
+        equations.push((f.name.clone(), cover));
+    }
+    Ok(EquationSet::new(vars, equations))
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("synth: missing .bms path")?;
+    let spec = load_spec(path)?;
+    let eqs = synthesize(&spec)?;
+    println!("# hazard-free equations for machine {}", spec.name);
+    for (name, cover) in &eqs.equations {
+        println!("{name} = {}", cover.display(&eqs.inputs));
+    }
+    println!("\n# graphviz");
+    print!("{}", to_dot(&spec).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or("map: missing .bms path")?;
+    let lib_path = args.get(1).ok_or("map: missing library path")?;
+    let mut objective = Objective::Area;
+    let mut flow = "async";
+    let mut verilog_out: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--objective" => {
+                i += 1;
+                objective = match args.get(i).map(String::as_str) {
+                    Some("area") => Objective::Area,
+                    Some("delay") => Objective::Delay,
+                    other => return Err(format!("map: bad --objective {other:?}")),
+                };
+            }
+            "--hand" => flow = "hand",
+            "--sync" => flow = "sync",
+            "--verilog" => {
+                i += 1;
+                verilog_out = Some(
+                    args.get(i)
+                        .ok_or("map: --verilog needs a path")?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("map: unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let spec = load_spec(spec_path)?;
+    let eqs = synthesize(&spec)?;
+    let mut lib = load_library(lib_path)?;
+    lib.annotate_hazards();
+    let options = MapOptions {
+        objective,
+        ..MapOptions::default()
+    };
+    let design = match flow {
+        "hand" => hand_map(&eqs, &lib, &options),
+        "sync" => tmap(&eqs, &lib, &options),
+        _ => async_tmap(&eqs, &lib, &options),
+    }
+    .map_err(|e| e.to_string())?;
+    if !design.verify_function(&lib) {
+        return Err("internal error: mapped design is not equivalent".into());
+    }
+    if flow == "async" && !design.verify_hazards(&lib) {
+        return Err("internal error: mapped design gained hazards".into());
+    }
+    print!("{}", render_report(&design, &lib));
+    if let Some(path) = verilog_out {
+        let module = spec.name.replace('-', "_");
+        std::fs::write(&path, to_verilog(&design, &lib, &module))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! End-to-end file-format flow exercised the way the CLI drives it:
+//! a `.bms` machine and a `.lib` library from disk-shaped text, through
+//! synthesis, mapping and Verilog export.
+
+use asyncmap::burst::{expand, hazard_free_cover, parse_bms, to_bms, to_dot};
+use asyncmap::mapper::to_verilog;
+use asyncmap::prelude::*;
+
+const MACHINE: &str = "
+machine demo-ctrl
+inputs req ack
+outputs done
+states 2
+edge 0 1  req+ ack+ / done+
+edge 1 0  req- ack- / done-
+";
+
+fn synthesize(spec: &asyncmap::burst::BurstSpec) -> EquationSet {
+    let flow = expand(spec).unwrap();
+    let mut vars = VarTable::new();
+    for n in &flow.var_names {
+        vars.intern(n);
+    }
+    let equations = flow
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), hazard_free_cover(f).unwrap()))
+        .collect();
+    EquationSet::new(vars, equations)
+}
+
+#[test]
+fn bms_to_verilog_pipeline() {
+    let spec = parse_bms(MACHINE).unwrap();
+    assert_eq!(spec.name, "demo-ctrl");
+    let eqs = synthesize(&spec);
+
+    let lib_text = asyncmap::library::builtin::cmos3().to_text();
+    let mut lib = Library::parse(&lib_text).unwrap();
+    lib.annotate_hazards();
+
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    assert!(design.verify_function(&lib));
+    assert!(design.verify_hazards(&lib));
+
+    let verilog = to_verilog(&design, &lib, "demo_ctrl");
+    assert!(verilog.contains("module demo_ctrl ("));
+    assert!(verilog.contains("input  req"));
+    assert!(verilog.contains("output done"));
+    // One instance line per mapped cell.
+    let instances = verilog.lines().filter(|l| l.contains(".out(")).count();
+    assert_eq!(instances, design.num_instances());
+}
+
+#[test]
+fn bms_writer_and_dot_render_the_same_machine() {
+    let spec = parse_bms(MACHINE).unwrap();
+    let round = parse_bms(&to_bms(&spec).unwrap()).unwrap();
+    assert_eq!(round.edges.len(), spec.edges.len());
+    let dot = to_dot(&spec).unwrap();
+    assert!(dot.contains("req+ ack+ / done+"));
+    assert!(dot.contains("s1 -> s0"));
+}
+
+#[test]
+fn delay_objective_available_through_options() {
+    let spec = parse_bms(MACHINE).unwrap();
+    let eqs = synthesize(&spec);
+    let mut lib = asyncmap::library::builtin::lsi9k();
+    lib.annotate_hazards();
+    let fast = async_tmap(
+        &eqs,
+        &lib,
+        &MapOptions {
+            objective: Objective::Delay,
+            ..MapOptions::default()
+        },
+    )
+    .unwrap();
+    let small = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    assert!(fast.delay <= small.delay + 1e-9);
+}

@@ -1,0 +1,142 @@
+//! End-to-end pipeline tests: burst-mode spec → hazard-free synthesis →
+//! decomposition → hazard-aware mapping → verification, across libraries.
+
+use asyncmap::prelude::*;
+
+fn annotated(mut lib: Library) -> Library {
+    lib.annotate_hazards();
+    lib
+}
+
+#[test]
+fn small_benchmarks_map_on_all_libraries() {
+    let libs: Vec<Library> = asyncmap::library::builtin::all_libraries()
+        .into_iter()
+        .map(annotated)
+        .collect();
+    for name in ["vanbek-opt", "dme-fast", "chu-ad-opt", "dme-opt"] {
+        let eqs = asyncmap::burst::benchmark(name);
+        for lib in &libs {
+            let design = async_tmap(&eqs, lib, &MapOptions::default())
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", lib.name()));
+            assert!(
+                design.verify_function(lib),
+                "{name} on {}: function broken",
+                lib.name()
+            );
+            assert!(
+                design.verify_hazards(lib),
+                "{name} on {}: hazards introduced",
+                lib.name()
+            );
+            assert!(design.area > 0.0);
+            assert!(design.delay > 0.0);
+        }
+    }
+}
+
+#[test]
+fn sync_mapping_is_never_larger() {
+    // The synchronous mapper has strictly more freedom (simplification +
+    // unconstrained matching), so its area is a lower bound.
+    let lib = annotated(asyncmap::library::builtin::lsi9k());
+    for name in ["dme-fast", "dme", "dme-fast-opt"] {
+        let eqs = asyncmap::burst::benchmark(name);
+        let sync = tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        let asy = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(
+            sync.area <= asy.area + 1e-9,
+            "{name}: sync {} > async {}",
+            sync.area,
+            asy.area
+        );
+    }
+}
+
+#[test]
+fn hand_map_matches_or_exceeds_auto_area() {
+    let lib = annotated(asyncmap::library::builtin::gdt());
+    for name in ["dme-fast", "dme"] {
+        let eqs = asyncmap::burst::benchmark(name);
+        let hand = hand_map(&eqs, &lib, &MapOptions::default()).unwrap();
+        let auto = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(hand.verify_function(&lib));
+        // Compare without the buffer cost the hand flow omits (Table 3).
+        let auto_cells: f64 = auto.covers.iter().map(|c| c.area).sum();
+        assert!(
+            hand.area + 1e-9 >= auto_cells,
+            "{name}: hand {} < auto {}",
+            hand.area,
+            auto_cells
+        );
+    }
+}
+
+#[test]
+fn async_subject_network_keeps_redundant_cubes() {
+    // Figure 3's scenario at the network level: the async decomposition
+    // preserves the consensus cube, the sync one deletes it.
+    let vars = VarTable::from_names(["a", "b", "c"]);
+    let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+    let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+    let async_net = asyncmap::network::async_tech_decomp(&eqs);
+    let sync_net = asyncmap::network::sync_tech_decomp(&eqs);
+    assert!(async_net.num_gates() > sync_net.num_gates());
+}
+
+#[test]
+fn mapped_netlists_evaluate_correctly() {
+    // Exhaustive functional check through the subject network evaluator.
+    let lib = annotated(asyncmap::library::builtin::cmos3());
+    let eqs = asyncmap::burst::benchmark("dme-fast");
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    let ni = design.subject.inputs().len();
+    assert!(ni <= 12);
+    for m in 0..(1usize << ni) {
+        let mut bits = asyncmap_cube::Bits::new(ni);
+        for v in 0..ni {
+            bits.set(v, (m >> v) & 1 == 1);
+        }
+        for (name, cover) in &eqs.equations {
+            assert_eq!(
+                design.subject.eval_output(name, &bits),
+                cover.eval(&bits),
+                "output {name} differs at {m:#b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_reflect_hazard_activity() {
+    let lib = annotated(asyncmap::library::builtin::actel());
+    let eqs = asyncmap::burst::benchmark("dme");
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    // The Actel library is mux-rich: the filter must have been consulted.
+    assert!(design.stats.hazard_checks > 0);
+    assert!(design.stats.hazard_rejects <= design.stats.hazard_checks);
+    assert_eq!(design.stats.cones, design.cones.len());
+}
+
+#[test]
+fn figure1_spec_maps_after_synthesis() {
+    use asyncmap::burst::{expand, figure1_example, hazard_free_cover};
+    let spec = figure1_example();
+    let flow = expand(&spec).unwrap();
+    let mut vars = VarTable::new();
+    for n in &flow.var_names {
+        vars.intern(n);
+    }
+    let equations: Vec<(String, Cover)> = flow
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), hazard_free_cover(f).unwrap()))
+        .collect();
+    let eqs = EquationSet::new(vars, equations);
+    for lib in asyncmap::library::builtin::all_libraries() {
+        let lib = annotated(lib);
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+        assert!(design.verify_function(&lib), "{}", lib.name());
+        assert!(design.verify_hazards(&lib), "{}", lib.name());
+    }
+}

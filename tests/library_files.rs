@@ -1,0 +1,37 @@
+//! The shipped `libraries/*.lib` text files stay in sync with the built-in
+//! libraries and reproduce Table 1 when loaded from disk.
+
+use asyncmap::prelude::*;
+
+fn load(name: &str) -> Library {
+    let text = std::fs::read_to_string(format!("libraries/{name}.lib"))
+        .unwrap_or_else(|e| panic!("missing libraries/{name}.lib ({e}); run `cargo run --example export_libraries`"));
+    Library::parse(&text).expect("shipped library must parse")
+}
+
+#[test]
+fn shipped_files_match_builtins() {
+    for builtin in asyncmap::library::builtin::all_libraries() {
+        let from_disk = load(&builtin.name().to_lowercase());
+        assert_eq!(from_disk.name(), builtin.name());
+        assert_eq!(from_disk.len(), builtin.len());
+        for cell in builtin.cells() {
+            let loaded = from_disk
+                .cell(cell.name())
+                .unwrap_or_else(|| panic!("{}: cell {} missing", builtin.name(), cell.name()));
+            assert_eq!(loaded.num_inputs(), cell.num_inputs());
+            assert_eq!(loaded.truth_table(), cell.truth_table());
+            assert!((loaded.area() - cell.area()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn shipped_files_reproduce_table1() {
+    let expect = [("lsi9k", 12usize), ("cmos3", 1), ("gdt", 0), ("actel", 24)];
+    for (name, hazardous) in expect {
+        let mut lib = load(name);
+        lib.annotate_hazards();
+        assert_eq!(lib.hazardous_cells().len(), hazardous, "{name}");
+    }
+}
