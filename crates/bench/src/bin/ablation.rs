@@ -141,7 +141,10 @@ fn annotation_ablation() {
 fn depth_sweep() {
     header(
         "Ablation 4: cluster depth bound (async, LSI9K, design dme)",
-        &format!("{:>6} {:>10} {:>10} {:>10}", "depth", "area", "delay", "time"),
+        &format!(
+            "{:>6} {:>10} {:>10} {:>10}",
+            "depth", "area", "delay", "time"
+        ),
     );
     let mut lib = asyncmap_library::builtin::lsi9k();
     lib.annotate_hazards();

@@ -1,0 +1,185 @@
+//! Times the parallel cone-mapping engine and the shared hazard-verdict
+//! cache, emitting a machine-readable `BENCH_mapping.json`.
+//!
+//! Two experiments:
+//!
+//! * **Parallel covering** — `scsi` (41 cones) and `abcs` (30 cones) on
+//!   LSI9K, sequential vs N worker threads. The mapped designs are checked
+//!   to be identical (area, delay, instance count) before the numbers are
+//!   reported.
+//! * **Warm verdict cache** — `pe-send-ifc` on Actel (the hazard-heaviest
+//!   pairing: every cover performs hundreds of containment checks), mapped
+//!   with a cold cache vs a pre-warmed shared cache via `async_tmap_cached`.
+//!   Cache misses equal actual `hazards_subset` evaluations, so the warm
+//!   run must show strictly fewer.
+//!
+//! Usage: `speedup [--runs N] [--threads N] [--out PATH]`
+//! (defaults: 5 runs, 4 threads, `BENCH_mapping.json`).
+
+use asyncmap_bench::{header, secs, time_median, write_json, BenchRecord};
+use asyncmap_core::{async_tmap, async_tmap_cached, HazardCache, MapOptions, MappedDesign};
+use asyncmap_library::builtin;
+use std::sync::Arc;
+
+fn hit_rate(d: &MappedDesign) -> f64 {
+    let total = d.stats.cache_hits + d.stats.cache_misses;
+    if total == 0 {
+        0.0
+    } else {
+        d.stats.cache_hits as f64 / total as f64
+    }
+}
+
+/// Summary used to assert parallel and sequential mapping agree.
+fn fingerprint(d: &MappedDesign) -> (u64, u64, usize, usize) {
+    (
+        d.area.to_bits(),
+        d.delay.to_bits(),
+        d.num_instances(),
+        d.stats.hazard_rejects,
+    )
+}
+
+fn main() {
+    let mut runs = 5usize;
+    let mut threads = 4usize;
+    let mut out = "BENCH_mapping.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--runs" => runs = value("--runs").parse().expect("bad --runs"),
+            "--threads" => threads = value("--threads").parse().expect("bad --threads"),
+            "--out" => out = value("--out"),
+            other => panic!("unknown argument {other:?} (try --runs/--threads/--out)"),
+        }
+    }
+
+    let mut records = Vec::new();
+
+    header(
+        "Parallel cone covering (LSI9K)",
+        &format!(
+            "{:12} {:>8} {:>12} {:>12} {:>9}",
+            "Design", "Cones", "Sequential", "Parallel", "Speedup"
+        ),
+    );
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    for design in ["scsi", "abcs"] {
+        let eqs = asyncmap_burst::benchmark(design);
+        let seq_opts = MapOptions {
+            threads: 1,
+            ..MapOptions::default()
+        };
+        let par_opts = MapOptions {
+            threads,
+            ..MapOptions::default()
+        };
+        let seq_design = async_tmap(&eqs, &lib, &seq_opts).expect("mappable");
+        let par_design = async_tmap(&eqs, &lib, &par_opts).expect("mappable");
+        assert_eq!(
+            fingerprint(&seq_design),
+            fingerprint(&par_design),
+            "{design}: parallel mapping diverged from sequential"
+        );
+        let seq_t = time_median(runs, || {
+            async_tmap(&eqs, &lib, &seq_opts).expect("mappable")
+        });
+        let par_t = time_median(runs, || {
+            async_tmap(&eqs, &lib, &par_opts).expect("mappable")
+        });
+        println!(
+            "{:12} {:>8} {:>12} {:>12} {:>8.2}x",
+            design,
+            seq_design.stats.cones,
+            secs(seq_t),
+            secs(par_t),
+            seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9)
+        );
+        records.push(BenchRecord {
+            name: format!("{design}/seq"),
+            median: seq_t,
+            threads: 1,
+            cache_hit_rate: hit_rate(&seq_design),
+        });
+        records.push(BenchRecord {
+            name: format!("{design}/par{threads}"),
+            median: par_t,
+            threads,
+            cache_hit_rate: hit_rate(&par_design),
+        });
+    }
+
+    header(
+        "Shared hazard-verdict cache (Actel)",
+        &format!(
+            "{:12} {:>8} {:>8} {:>12} {:>12}",
+            "Design", "Checks", "Evals", "Cold", "Warm"
+        ),
+    );
+    let mut actel = builtin::actel();
+    actel.annotate_hazards();
+    for design in ["pe-send-ifc", "dme"] {
+        let eqs = asyncmap_burst::benchmark(design);
+        let opts = MapOptions {
+            threads: 1,
+            ..MapOptions::default()
+        };
+        // Cold: a fresh cache every run (async_tmap's own behavior).
+        let mut cold_design = None;
+        let cold_t = time_median(runs, || {
+            let d = async_tmap(&eqs, &actel, &opts).expect("mappable");
+            cold_design = Some(d);
+        });
+        let cold_design = cold_design.expect("ran");
+        // Warm: one shared cache, pre-warmed by a throwaway run.
+        let cache = Arc::new(HazardCache::new());
+        let _ = async_tmap_cached(&eqs, &actel, &opts, &cache).expect("mappable");
+        let mut warm_design = None;
+        let warm_t = time_median(runs, || {
+            let d = async_tmap_cached(&eqs, &actel, &opts, &cache).expect("mappable");
+            warm_design = Some(d);
+        });
+        let warm_design = warm_design.expect("ran");
+        assert_eq!(
+            fingerprint(&cold_design),
+            fingerprint(&warm_design),
+            "{design}: warm cache changed the mapped design"
+        );
+        assert!(
+            warm_design.stats.cache_misses < cold_design.stats.cache_misses,
+            "{design}: warm run must evaluate strictly fewer hazard subsets \
+             (cold {} vs warm {})",
+            cold_design.stats.cache_misses,
+            warm_design.stats.cache_misses
+        );
+        println!(
+            "{:12} {:>8} {:>3}->{:<3} {:>12} {:>12}",
+            design,
+            cold_design.stats.hazard_checks,
+            cold_design.stats.cache_misses,
+            warm_design.stats.cache_misses,
+            secs(cold_t),
+            secs(warm_t)
+        );
+        records.push(BenchRecord {
+            name: format!("{design}/cold"),
+            median: cold_t,
+            threads: 1,
+            cache_hit_rate: hit_rate(&cold_design),
+        });
+        records.push(BenchRecord {
+            name: format!("{design}/warm"),
+            median: warm_t,
+            threads: 1,
+            cache_hit_rate: hit_rate(&warm_design),
+        });
+    }
+
+    write_json(&out, &records).expect("write JSON report");
+    println!("\nwrote {} record(s) to {out}", records.len());
+}

@@ -49,5 +49,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper: async 50–60% slower in most cases; overhead grows with hazardous-element count");
+    println!(
+        "\npaper: async 50–60% slower in most cases; overhead grows with hazardous-element count"
+    );
 }

@@ -40,6 +40,57 @@ pub fn header(title: &str, columns: &str) {
     println!("{}", "-".repeat(columns.len()));
 }
 
+/// One timed configuration of the `speedup` binary, serialized into the
+/// machine-readable `BENCH_mapping.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Configuration name, e.g. `"scsi/seq"` or `"pe-send-ifc/warm"`.
+    pub name: String,
+    /// Median wall-clock time over the measured runs.
+    pub median: Duration,
+    /// Worker threads the configuration mapped with.
+    pub threads: usize,
+    /// Fraction of hazard checks answered by the verdict cache (0 when the
+    /// run performed no hazard checks).
+    pub cache_hit_rate: f64,
+}
+
+/// Serializes `records` as a JSON array (std-only writer; names are
+/// escaped for quotes and backslashes, which covers every name the
+/// binaries emit).
+pub fn records_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let name: String = r
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}, \"cache_hit_rate\": {:.6}}}{}\n",
+            name,
+            r.median.as_secs_f64(),
+            r.threads,
+            r.cache_hit_rate,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Writes `records` to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, records_to_json(records) + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,8 +103,41 @@ mod tests {
 
     #[test]
     fn time_median_is_monotone_in_work() {
-        let fast = time_median(3, || 1 + 1);
-        let slow = time_median(3, || (0..100_000).sum::<u64>());
-        assert!(slow >= fast);
+        // black_box keeps the optimizer from collapsing the loop into a
+        // closed form, which made "slow" occasionally time under "fast".
+        let fast = time_median(5, || std::hint::black_box(1u64) + 1);
+        let slow = time_median(5, || {
+            let mut acc = 0u64;
+            for i in 0..500_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert!(slow >= fast, "slow={slow:?} fast={fast:?}");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                name: "scsi/seq".into(),
+                median: Duration::from_millis(1500),
+                threads: 1,
+                cache_hit_rate: 0.0,
+            },
+            BenchRecord {
+                name: "scsi/par\"4\"".into(),
+                median: Duration::from_micros(700),
+                threads: 4,
+                cache_hit_rate: 0.25,
+            },
+        ];
+        let json = records_to_json(&records);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"median_seconds\": 1.500000000"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\\\"4\\\""));
+        assert!(json.contains("\"cache_hit_rate\": 0.250000"));
+        assert_eq!(json.matches('{').count(), 2);
     }
 }

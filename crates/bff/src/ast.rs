@@ -103,9 +103,7 @@ impl Expr {
         match self {
             Expr::Const(_) | Expr::Var(_) => 0,
             Expr::Not(e) => 1 + e.depth(),
-            Expr::And(es) | Expr::Or(es) => {
-                1 + es.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::And(es) | Expr::Or(es) => 1 + es.iter().map(Expr::depth).max().unwrap_or(0),
         }
     }
 
@@ -244,7 +242,8 @@ impl Expr {
     /// with inverters only at leaves.
     pub fn is_sop_shaped(&self) -> bool {
         fn is_literal(e: &Expr) -> bool {
-            matches!(e, Expr::Var(_)) || matches!(e, Expr::Not(inner) if matches!(**inner, Expr::Var(_)))
+            matches!(e, Expr::Var(_))
+                || matches!(e, Expr::Not(inner) if matches!(**inner, Expr::Var(_)))
         }
         fn is_product(e: &Expr) -> bool {
             is_literal(e) || matches!(e, Expr::And(es) if es.iter().all(is_literal))

@@ -154,7 +154,9 @@ impl Parser<'_> {
                     factors.push(self.factor()?);
                 }
                 // Juxtaposition: a factor can start right after another.
-                Some(Token::Ident(_)) | Some(Token::LParen) | Some(Token::Zero)
+                Some(Token::Ident(_))
+                | Some(Token::LParen)
+                | Some(Token::Zero)
                 | Some(Token::One) => {
                     factors.push(self.factor()?);
                 }

@@ -258,8 +258,7 @@ fn random_spec(d: &BenchmarkDef, seed: u64) -> Option<BurstSpec> {
         }
         let burst = vectors[s].xor(&vectors[t]);
         let clash = edges.iter().any(|e| {
-            e.from.0 == s
-                && (e.input_burst.is_subset(&burst) || burst.is_subset(&e.input_burst))
+            e.from.0 == s && (e.input_burst.is_subset(&burst) || burst.is_subset(&e.input_burst))
         });
         if clash {
             continue;

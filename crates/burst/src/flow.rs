@@ -272,14 +272,8 @@ mod tests {
         // Two edges × two phases = 4 specified transitions.
         assert_eq!(y.transitions.len(), 4);
         // y rises on the first edge, falls on the second.
-        assert!(y
-            .transitions
-            .iter()
-            .any(|t| t.kind == TransKind::Rise));
-        assert!(y
-            .transitions
-            .iter()
-            .any(|t| t.kind == TransKind::Fall));
+        assert!(y.transitions.iter().any(|t| t.kind == TransKind::Rise));
+        assert!(y.transitions.iter().any(|t| t.kind == TransKind::Fall));
     }
 
     #[test]

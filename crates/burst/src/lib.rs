@@ -36,11 +36,10 @@ mod spec;
 mod text;
 
 pub use benchmarks::{
-    all_benchmarks, benchmark, benchmark_spec, benchmark_with_transitions, BenchmarkDef,
-    BENCHMARKS,
+    all_benchmarks, benchmark, benchmark_spec, benchmark_with_transitions, BenchmarkDef, BENCHMARKS,
 };
 pub use flow::{expand, FlowTable, SpecFunction, SpecTransition, TransKind};
 pub use minimize::{hazard_free_cover, SynthesisError};
-pub use spec::{figure1_example, BurstEdge, BurstSpec, EntryVectors, SpecError, StateId};
 pub use simulate::{simulate_machine, CombinationalBlock, SimulationError};
+pub use spec::{figure1_example, BurstEdge, BurstSpec, EntryVectors, SpecError, StateId};
 pub use text::{parse_bms, to_bms, to_dot};

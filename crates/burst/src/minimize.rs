@@ -127,7 +127,10 @@ fn verify(cover: &Cover, spec: &SpecFunction) -> Result<(), SynthesisError> {
         if w.start != want_start || w.end != want_end {
             return Err(SynthesisError {
                 function: spec.name.clone(),
-                message: format!("transition {i}: endpoint values {w} do not match {:?}", t.kind),
+                message: format!(
+                    "transition {i}: endpoint values {w} do not match {:?}",
+                    t.kind
+                ),
             });
         }
         if w.hazard {

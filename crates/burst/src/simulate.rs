@@ -64,9 +64,9 @@ pub fn simulate_machine(
     block: &impl CombinationalBlock,
     orders: usize,
 ) -> Result<(), SimulationError> {
-    let entry = spec.validate().map_err(|e: SpecError| SimulationError {
-        message: e.message,
-    })?;
+    let entry = spec
+        .validate()
+        .map_err(|e: SpecError| SimulationError { message: e.message })?;
     let ni = spec.num_inputs();
     let ns = spec.num_states;
     let one_hot = |s: usize| {
@@ -148,7 +148,9 @@ fn settle(
             total.set(ni + s, next.get(s));
         }
     }
-    Err(format!("feedback did not settle within {SETTLE_LIMIT} steps"))
+    Err(format!(
+        "feedback did not settle within {SETTLE_LIMIT} steps"
+    ))
 }
 
 /// Deterministic selection of change orders: identity, reverse, and
@@ -223,8 +225,7 @@ mod tests {
         for name in ["vanbek-opt", "dme-fast", "chu-ad-opt", "dme"] {
             let spec = crate::benchmark_spec(name);
             let block = golden(&spec);
-            simulate_machine(&spec, &block, 4)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            simulate_machine(&spec, &block, 4).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -161,9 +161,7 @@ fn parse_burst(
     for tok in tokens {
         let base = tok.trim_end_matches(['+', '-', '~']);
         if base.is_empty() || base.len() == tok.len() {
-            return Err(err(format!(
-                "burst token {tok:?} must be <signal>+/-/~"
-            )));
+            return Err(err(format!("burst token {tok:?} must be <signal>+/-/~")));
         }
         let idx = names
             .iter()
@@ -329,9 +327,8 @@ edge 1 0  a- b- / y-
 
     #[test]
     fn duplicate_burst_signal_rejected() {
-        let e =
-            parse_bms("machine x\ninputs a\noutputs y\nstates 2\nedge 0 1 a+ a- / y+\n")
-                .unwrap_err();
+        let e = parse_bms("machine x\ninputs a\noutputs y\nstates 2\nedge 0 1 a+ a- / y+\n")
+            .unwrap_err();
         assert!(e.message.contains("twice"));
     }
 }

@@ -191,7 +191,14 @@ fn walk(
     let mut args = Vec::with_capacity(fanin.len());
     for &f in fanin {
         args.push(walk(
-            net, f, cut, depth + 1, max_depth, leaves, leaf_vars, num_gates,
+            net,
+            f,
+            cut,
+            depth + 1,
+            max_depth,
+            leaves,
+            leaf_vars,
+            num_gates,
         )?);
     }
     Some(match op {

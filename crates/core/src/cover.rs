@@ -85,7 +85,7 @@ impl Choice {
 pub fn cover_cone(
     net: &Network,
     cone: &Cone,
-    matcher: &mut Matcher<'_>,
+    matcher: &Matcher<'_>,
     limits: &ClusterLimits,
 ) -> Result<ConeCover, CoverError> {
     cover_cone_with(net, cone, matcher, limits, Objective::Area)
@@ -101,7 +101,7 @@ pub fn cover_cone(
 pub fn cover_cone_with(
     net: &Network,
     cone: &Cone,
-    matcher: &mut Matcher<'_>,
+    matcher: &Matcher<'_>,
     limits: &ClusterLimits,
     objective: Objective,
 ) -> Result<ConeCover, CoverError> {
@@ -134,11 +134,7 @@ pub fn cover_cone_with(
                 let cell = &matcher.library().cells()[m.cell_index];
                 let candidate = Choice {
                     cell_index: m.cell_index,
-                    pin_signals: m
-                        .pin_to_leaf
-                        .iter()
-                        .map(|&l| cluster.leaves[l])
-                        .collect(),
+                    pin_signals: m.pin_to_leaf.iter().map(|&l| cluster.leaves[l]).collect(),
                     gate_leaves: gate_leaves.clone(),
                     cell_area: cell.area(),
                     total_area: cell.area() + leaf_area,
@@ -169,7 +165,7 @@ pub fn cover_cone_with(
 pub fn hand_cover(
     net: &Network,
     cone: &Cone,
-    matcher: &mut Matcher<'_>,
+    matcher: &Matcher<'_>,
     limits: &ClusterLimits,
 ) -> Result<ConeCover, CoverError> {
     let clusters = enumerate_clusters(net, cone, limits);
@@ -261,8 +257,8 @@ mod tests {
         let mut lib = builtin::cmos3();
         lib.annotate_hazards();
         let (net, cones) = setup("a' + b'", &["a", "b"]);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
-        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &matcher, &ClusterLimits::default()).unwrap();
         // One NAND2 beats INV+INV+OR2 on area.
         assert_eq!(cover.instances.len(), 1);
         assert!(lib.cells()[cover.instances[0].cell_index]
@@ -280,8 +276,8 @@ mod tests {
         let mut lib = builtin::cmos3();
         lib.annotate_hazards();
         let (net, cones) = setup("ab + a'c + bc", &["a", "b", "c"]);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
-        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &matcher, &ClusterLimits::default()).unwrap();
         let (orig, _) = cones[0].to_expr(&net);
         let mapped = crate::design::mapped_cone_expr(&net, &cones[0], &cover, &lib);
         assert!(asyncmap_hazard::hazards_subset(
@@ -299,9 +295,8 @@ mod tests {
         other.set(0, true);
         assert!(!asyncmap_hazard::wave_eval(&mapped, &one, &other).hazard);
         // The sync cover, by contrast, is free to take the bare mux.
-        let mut sync = Matcher::new(&lib, HazardPolicy::Ignore);
-        let sync_cover =
-            cover_cone(&net, &cones[0], &mut sync, &ClusterLimits::default()).unwrap();
+        let sync = Matcher::new(&lib, HazardPolicy::Ignore);
+        let sync_cover = cover_cone(&net, &cones[0], &sync, &ClusterLimits::default()).unwrap();
         assert!(sync_cover.area <= cover.area);
     }
 
@@ -310,8 +305,8 @@ mod tests {
         let mut lib = builtin::lsi9k();
         lib.annotate_hazards();
         let (net, cones) = setup("ab' + cd + a'd'", &["a", "b", "c", "d"]);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
-        let cover = cover_cone(&net, &cones[0], &mut matcher, &ClusterLimits::default()).unwrap();
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let cover = cover_cone(&net, &cones[0], &matcher, &ClusterLimits::default()).unwrap();
         let sum: f64 = cover
             .instances
             .iter()
@@ -326,10 +321,10 @@ mod tests {
         let mut lib = builtin::gdt();
         lib.annotate_hazards();
         let (net, cones) = setup("ab + a'c + bc", &["a", "b", "c"]);
-        let mut m1 = Matcher::new(&lib, HazardPolicy::Ignore);
-        let dp = cover_cone(&net, &cones[0], &mut m1, &ClusterLimits::default()).unwrap();
-        let mut m2 = Matcher::new(&lib, HazardPolicy::Ignore);
-        let hand = hand_cover(&net, &cones[0], &mut m2, &ClusterLimits::default()).unwrap();
+        let m1 = Matcher::new(&lib, HazardPolicy::Ignore);
+        let dp = cover_cone(&net, &cones[0], &m1, &ClusterLimits::default()).unwrap();
+        let m2 = Matcher::new(&lib, HazardPolicy::Ignore);
+        let hand = hand_cover(&net, &cones[0], &m2, &ClusterLimits::default()).unwrap();
         assert!(hand.area >= dp.area - 1e-9);
     }
 }

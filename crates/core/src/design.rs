@@ -16,6 +16,13 @@ pub struct MapStats {
     pub hazard_checks: usize,
     /// Matches rejected by the hazard filter.
     pub hazard_rejects: usize,
+    /// Hazard checks answered by the shared verdict cache during this run.
+    /// With a pre-warmed cache (`async_tmap_cached`) this can exceed the
+    /// number of distinct verdicts computed this run.
+    pub cache_hits: usize,
+    /// Hazard checks that actually evaluated `hazards_subset` during this
+    /// run (cache misses).
+    pub cache_misses: usize,
     /// Cones mapped.
     pub cones: usize,
     /// Base gates in the subject network.
@@ -112,12 +119,7 @@ impl MappedDesign {
 /// leaf variables (`cone.leaves[i]` = variable `i`), by composing the
 /// chosen cells' BFFs. This is the *structure* of the mapped cone, suitable
 /// for hazard analysis.
-pub fn mapped_cone_expr(
-    net: &Network,
-    cone: &Cone,
-    cover: &ConeCover,
-    library: &Library,
-) -> Expr {
+pub fn mapped_cone_expr(net: &Network, cone: &Cone, cover: &ConeCover, library: &Library) -> Expr {
     let leaf_var: HashMap<SignalId, VarId> = cone
         .leaves
         .iter()
@@ -298,10 +300,10 @@ mod tests {
         let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
         let net = async_tech_decomp(&eqs);
         let cones = partition(&net);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let covers: Vec<ConeCover> = cones
             .iter()
-            .map(|c| cover_cone(&net, c, &mut matcher, &ClusterLimits::default()).unwrap())
+            .map(|c| cover_cone(&net, c, &matcher, &ClusterLimits::default()).unwrap())
             .collect();
         let design = assemble(&lib, net, cones, covers, MapStats::default(), true);
         (design, lib)

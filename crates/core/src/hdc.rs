@@ -53,20 +53,20 @@ pub fn hdc_tmap(
     }
     let subject = async_tech_decomp(eqs);
     let cones = partition(&subject);
-    let mut relaxed = Matcher::new(library, HazardPolicy::Ignore);
-    let mut strict = Matcher::new(library, HazardPolicy::SubsetCheck);
+    let relaxed = Matcher::new(library, HazardPolicy::Ignore);
+    let strict = Matcher::new(library, HazardPolicy::SubsetCheck);
     let mut covers: Vec<ConeCover> = Vec::with_capacity(cones.len());
     let mut stats = MapStats::default();
     for cone in &cones {
-        let candidate = cover_cone(&subject, cone, &mut relaxed, &options.limits)?;
+        let candidate = cover_cone(&subject, cone, &relaxed, &options.limits)?;
         if cone_certified(&subject, cone, &candidate, library, transitions) {
             covers.push(candidate);
         } else {
             stats.hazard_rejects += 1; // cones that needed the strict path
-            covers.push(cover_cone(&subject, cone, &mut strict, &options.limits)?);
+            covers.push(cover_cone(&subject, cone, &strict, &options.limits)?);
         }
     }
-    stats.hazard_checks = strict.hazard_checks + cones.len() * transitions.len();
+    stats.hazard_checks = strict.hazard_checks() + cones.len() * transitions.len();
     Ok(assemble(
         library,
         subject,

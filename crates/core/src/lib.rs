@@ -47,6 +47,7 @@ mod cluster;
 mod cover;
 mod design;
 mod export;
+mod hcache;
 mod hdc;
 mod matcher;
 mod report;
@@ -58,7 +59,8 @@ pub use design::{
     assemble, bdd_of_expr, mapped_cone_expr, verify_cone_function, MapStats, MappedDesign,
 };
 pub use export::to_verilog;
+pub use hcache::HazardCache;
 pub use hdc::{cone_certified, hdc_tmap, Transition};
-pub use report::{cell_usage, render_report, CellUsage};
 pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher};
-pub use tmap::{async_tmap, hand_map, tmap, MapOptions, Objective};
+pub use report::{cell_usage, render_report, CellUsage};
+pub use tmap::{async_tmap, async_tmap_cached, hand_map, tmap, MapOptions, Objective};

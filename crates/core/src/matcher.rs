@@ -13,11 +13,19 @@
 //! ([`asyncmap_hazard::hazards_subset`]).
 
 use crate::cluster::Cluster;
+use crate::hcache::HazardCache;
 use asyncmap_bff::Expr;
 use asyncmap_cube::{Bits, Phase, VarId};
 use asyncmap_hazard::hazards_subset;
 use asyncmap_library::Library;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Signature-index key: candidate cells and clusters can only match when
+/// their support sizes, onset sizes, and (permutation-invariant) multisets
+/// of per-input signatures all agree.
+type SigKey = (usize, u32, Vec<u32>);
 
 /// Precomputed matching data for one library cell.
 #[derive(Debug, Clone)]
@@ -51,35 +59,59 @@ pub enum HazardPolicy {
     SubsetCheck,
 }
 
-/// The matcher: owns per-cell signatures and a cache of hazard decisions.
+/// The matcher: owns per-cell signatures, a signature index over the
+/// library, and a (shareable) cache of hazard verdicts.
+///
+/// Matching is read-only: [`Matcher::find_matches`] takes `&self`, so one
+/// matcher can serve many cone-covering threads concurrently. Counters are
+/// relaxed atomics; hazard verdicts are memoized in an [`Arc`]-shared
+/// [`HazardCache`].
 #[derive(Debug)]
 pub struct Matcher<'lib> {
     library: &'lib Library,
     entries: Vec<CellEntry>,
+    /// Cells bucketed by [`SigKey`] (sorted per-input signature multiset);
+    /// each bucket keeps library order, so iterating a bucket visits cells
+    /// in the same order the old linear scan did.
+    sig_index: HashMap<SigKey, Vec<usize>>,
     policy: HazardPolicy,
-    hazard_cache: HashMap<(usize, Expr, Expr), bool>,
-    /// Number of hazard-containment checks performed (for the overhead
-    /// accounting of Table 4).
-    pub hazard_checks: usize,
-    /// Number of matches rejected by the hazard filter.
-    pub hazard_rejects: usize,
+    cache: Arc<HazardCache>,
+    hazard_checks: AtomicUsize,
+    hazard_rejects: AtomicUsize,
 }
 
 impl<'lib> Matcher<'lib> {
-    /// Builds a matcher over `library`.
+    /// Builds a matcher over `library` with its own private verdict cache.
     ///
     /// # Panics
     ///
     /// Panics if `policy` is [`HazardPolicy::SubsetCheck`] and the library
     /// has not been hazard-annotated.
     pub fn new(library: &'lib Library, policy: HazardPolicy) -> Self {
+        Matcher::with_cache(library, policy, Arc::new(HazardCache::new()))
+    }
+
+    /// Builds a matcher over `library` sharing `cache` — verdicts computed
+    /// by any matcher on the cache benefit all others (and later runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is [`HazardPolicy::SubsetCheck`] and the library
+    /// has not been hazard-annotated, or if `cache` was previously used
+    /// with a different library.
+    pub fn with_cache(
+        library: &'lib Library,
+        policy: HazardPolicy,
+        cache: Arc<HazardCache>,
+    ) -> Self {
         if policy == HazardPolicy::SubsetCheck {
             assert!(
                 library.is_annotated(),
                 "asynchronous matching requires an annotated library"
             );
         }
-        let entries = library
+        cache.bind_library(library.name(), library.len());
+        let entries: Vec<CellEntry> = library
             .cells()
             .iter()
             .enumerate()
@@ -90,7 +122,9 @@ impl<'lib> Matcher<'lib> {
                     index,
                     ninputs,
                     onset: truth.count_ones(),
-                    input_sigs: (0..ninputs).map(|v| input_signature(&truth, ninputs, v)).collect(),
+                    input_sigs: (0..ninputs)
+                        .map(|v| input_signature(&truth, ninputs, v))
+                        .collect(),
                     truth,
                     hazardous: if policy == HazardPolicy::SubsetCheck {
                         cell.is_hazardous()
@@ -100,13 +134,21 @@ impl<'lib> Matcher<'lib> {
                 }
             })
             .collect();
+        let mut sig_index: HashMap<SigKey, Vec<usize>> = HashMap::new();
+        for (e, entry) in entries.iter().enumerate() {
+            sig_index
+                .entry(sig_key(entry.ninputs, entry.onset, &entry.input_sigs))
+                .or_default()
+                .push(e);
+        }
         Matcher {
             library,
             entries,
+            sig_index,
             policy,
-            hazard_cache: HashMap::new(),
-            hazard_checks: 0,
-            hazard_rejects: 0,
+            cache,
+            hazard_checks: AtomicUsize::new(0),
+            hazard_rejects: AtomicUsize::new(0),
         }
     }
 
@@ -115,13 +157,30 @@ impl<'lib> Matcher<'lib> {
         self.library
     }
 
+    /// The shared verdict cache.
+    pub fn cache(&self) -> &Arc<HazardCache> {
+        &self.cache
+    }
+
+    /// Number of hazard-containment checks performed (for the overhead
+    /// accounting of Table 4). Counted before any cache lookup, so the
+    /// value is independent of cache warmth and thread count.
+    pub fn hazard_checks(&self) -> usize {
+        self.hazard_checks.load(Ordering::Relaxed)
+    }
+
+    /// Number of matches rejected by the hazard filter.
+    pub fn hazard_rejects(&self) -> usize {
+        self.hazard_rejects.load(Ordering::Relaxed)
+    }
+
     /// Finds all acceptable matches for `cluster` (paper
     /// `asyncmatchingroutine` when the policy is
     /// [`HazardPolicy::SubsetCheck`]).
     ///
     /// Returns matches over the cluster's *support*: leaves the cluster
     /// function does not depend on are not bound to any pin.
-    pub fn find_matches(&mut self, cluster: &Cluster) -> Vec<Match> {
+    pub fn find_matches(&self, cluster: &Cluster) -> Vec<Match> {
         let nleaves = cluster.leaves.len();
         let full_truth = truth_table_of(&cluster.expr, nleaves);
         let support: Vec<usize> = (0..nleaves)
@@ -135,37 +194,44 @@ impl<'lib> Matcher<'lib> {
         let onset = truth.count_ones();
         let sigs: Vec<u32> = (0..n).map(|v| input_signature(&truth, n, v)).collect();
 
+        // A cell can only match if its sorted signature multiset equals the
+        // cluster's: permute_match demands a signature-preserving pin
+        // bijection. Buckets keep library order, so the surviving match
+        // list is identical to the old full scan's.
+        let Some(bucket) = self.sig_index.get(&sig_key(n, onset, &sigs)) else {
+            return Vec::new();
+        };
+        // Interned lazily: only clusters that reach a hazard check pay it.
+        let mut cluster_id: Option<u32> = None;
         let mut out = Vec::new();
-        for e in 0..self.entries.len() {
+        for &e in bucket {
             let entry = &self.entries[e];
-            if entry.ninputs != n || entry.onset != onset {
-                continue;
-            }
-            let Some(pin_to_local) = permute_match(&entry.truth, &entry.input_sigs, &truth, &sigs, n)
+            let Some(pin_to_local) =
+                permute_match(&entry.truth, &entry.input_sigs, &truth, &sigs, n)
             else {
                 continue;
             };
             let cell_index = entry.index;
-            let hazardous = entry.hazardous;
             // Map pins to the cluster's full leaf indices.
             let pin_to_leaf: Vec<usize> = pin_to_local.iter().map(|&l| support[l]).collect();
-            if self.policy == HazardPolicy::SubsetCheck && hazardous {
-                let candidate = instantiate(
-                    self.library.cells()[cell_index].bff(),
-                    &pin_to_leaf,
-                );
-                self.hazard_checks += 1;
-                let key = (cell_index, candidate.clone(), cluster.expr.clone());
-                let reference = &cluster.expr;
-                let ok = if let Some(&cached) = self.hazard_cache.get(&key) {
-                    cached
-                } else {
-                    let ok = hazards_subset(&candidate, reference, nleaves);
-                    self.hazard_cache.insert(key, ok);
-                    ok
+            if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
+                self.hazard_checks.fetch_add(1, Ordering::Relaxed);
+                let id = *cluster_id.get_or_insert_with(|| self.cache.intern(&cluster.expr));
+                let ok = match self.cache.key(cell_index, &pin_to_leaf, id, nleaves) {
+                    Some(key) => self.cache.verdict(key, || {
+                        let candidate =
+                            instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                        hazards_subset(&candidate, &cluster.expr, nleaves)
+                    }),
+                    // Unpackable binding (>15 pins): check without caching.
+                    None => {
+                        let candidate =
+                            instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                        hazards_subset(&candidate, &cluster.expr, nleaves)
+                    }
                 };
                 if !ok {
-                    self.hazard_rejects += 1;
+                    self.hazard_rejects.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
             }
@@ -176,6 +242,15 @@ impl<'lib> Matcher<'lib> {
         }
         out
     }
+}
+
+/// Builds the signature-index key for a function with `n` inputs, `onset`
+/// onset minterms and per-input signatures `sigs` (sorted copy, so the key
+/// is permutation-invariant).
+fn sig_key(n: usize, onset: u32, sigs: &[u32]) -> SigKey {
+    let mut sorted = sigs.to_vec();
+    sorted.sort_unstable();
+    (n, onset, sorted)
 }
 
 /// Rewrites a cell BFF into the cluster's variable space using the pin
@@ -266,7 +341,12 @@ fn permute_match(
         &mut assignment,
         &mut used,
     ) {
-        Some(assignment.into_iter().map(|a| a.expect("complete")).collect())
+        Some(
+            assignment
+                .into_iter()
+                .map(|a| a.expect("complete"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -360,7 +440,7 @@ mod tests {
         // f = (ab)' decomposes to INV(AND(a,b)); the 2-gate root cluster
         // must match NAND2.
         let (_, clusters) = root_clusters("a' + b'", &["a", "b"]);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let mut matched_nand = false;
         for c in &clusters {
             for m in matcher.find_matches(c) {
@@ -379,7 +459,7 @@ mod tests {
         // f = a + b'c → OAI-ish structures; check every reported match
         // really computes the cluster function under its binding.
         let (_, clusters) = root_clusters("a + b'c", &["a", "b", "c"]);
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let mut total = 0;
         for c in &clusters {
             for m in matcher.find_matches(c) {
@@ -409,7 +489,7 @@ mod tests {
         let (_, clusters) = root_clusters("ab + a'c + bc", &["a", "b", "c"]);
         let full = clusters.iter().max_by_key(|c| c.num_gates).unwrap();
 
-        let mut sync = Matcher::new(&lib, HazardPolicy::Ignore);
+        let sync = Matcher::new(&lib, HazardPolicy::Ignore);
         let sync_names: Vec<&str> = sync
             .find_matches(full)
             .into_iter()
@@ -417,14 +497,14 @@ mod tests {
             .collect();
         assert!(sync_names.contains(&"MUX2"), "sync: {sync_names:?}");
 
-        let mut async_m = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let async_m = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let async_names: Vec<&str> = async_m
             .find_matches(full)
             .into_iter()
             .map(|m| lib.cells()[m.cell_index].name())
             .collect();
         assert!(!async_names.contains(&"MUX2"), "async: {async_names:?}");
-        assert!(async_m.hazard_rejects > 0);
+        assert!(async_m.hazard_rejects() > 0);
     }
 
     #[test]
@@ -435,7 +515,7 @@ mod tests {
         lib.annotate_hazards();
         let (_, clusters) = root_clusters("sa + s'b", &["s", "a", "b"]);
         let full = clusters.iter().max_by_key(|c| c.num_gates).unwrap();
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let names: Vec<&str> = matcher
             .find_matches(full)
             .into_iter()
@@ -448,7 +528,7 @@ mod tests {
     fn constant_cluster_matches_nothing() {
         let mut lib = builtin::cmos3();
         lib.annotate_hazards();
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         let mut vars = VarTable::new();
         let expr = Expr::parse("a + a'", &mut vars).unwrap();
         let cluster = Cluster {

@@ -65,6 +65,16 @@ pub fn render_report(design: &MappedDesign, library: &Library) -> String {
             design.stats.hazard_checks, design.stats.hazard_rejects
         );
     }
+    let cache_total = design.stats.cache_hits + design.stats.cache_misses;
+    if cache_total > 0 {
+        let _ = writeln!(
+            out,
+            "verdict cache: {} hits, {} misses ({:.0}% hit rate)",
+            design.stats.cache_hits,
+            design.stats.cache_misses,
+            100.0 * design.stats.cache_hits as f64 / cache_total as f64
+        );
+    }
     let _ = writeln!(out, "{:12} {:>6} {:>10}", "cell", "count", "area");
     for u in cell_usage(design, library) {
         let _ = writeln!(out, "{:12} {:>6} {:>10.1}", u.name, u.count, u.area);

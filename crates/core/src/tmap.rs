@@ -5,9 +5,12 @@
 use crate::cluster::ClusterLimits;
 use crate::cover::{cover_cone_with, hand_cover, ConeCover, CoverError};
 use crate::design::{assemble, MapStats, MappedDesign};
+use crate::hcache::HazardCache;
 use crate::matcher::{HazardPolicy, Matcher};
 use asyncmap_library::Library;
 use asyncmap_network::{async_tech_decomp, partition, sync_tech_decomp, EquationSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The covering objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,6 +32,12 @@ pub struct MapOptions {
     pub add_buffers: bool,
     /// Covering objective (area by default, as in the paper).
     pub objective: Objective,
+    /// Worker threads for cone covering: `0` = one per available core,
+    /// `1` = sequential, `n` = exactly `n`. Cones are independent
+    /// single-output trees, so any thread count produces a bit-identical
+    /// mapped design. [`MapOptions::default`] reads the `ASYNCMAP_THREADS`
+    /// environment variable, defaulting to `1`.
+    pub threads: usize,
 }
 
 impl Default for MapOptions {
@@ -37,8 +46,28 @@ impl Default for MapOptions {
             limits: ClusterLimits::default(),
             add_buffers: true,
             objective: Objective::Area,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// Reads the `ASYNCMAP_THREADS` override (`0` = all cores); absent or
+/// unparsable means sequential.
+fn threads_from_env() -> usize {
+    std::env::var("ASYNCMAP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Resolves the `threads` knob to a concrete worker count for `jobs` cones.
+fn effective_threads(threads: usize, jobs: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    requested.min(jobs).max(1)
 }
 
 /// The synchronous mapping procedure (paper §3.1 `tmap`):
@@ -75,8 +104,38 @@ pub fn async_tmap(
     library: &Library,
     options: &MapOptions,
 ) -> Result<MappedDesign, CoverError> {
+    async_tmap_cached(eqs, library, options, &Arc::new(HazardCache::new()))
+}
+
+/// [`async_tmap`] with an externally-owned hazard-verdict cache: verdicts
+/// computed in one invocation are reused by every later invocation sharing
+/// `cache`. The mapped design is identical to `async_tmap`'s — only the
+/// [`MapStats::cache_hits`]/[`MapStats::cache_misses`] split (and the
+/// running time) changes with cache warmth.
+///
+/// # Errors
+///
+/// Returns [`CoverError`] if some gate admits no match.
+///
+/// # Panics
+///
+/// Panics if `library` has not been hazard-annotated, or if `cache` was
+/// previously used with a different library.
+pub fn async_tmap_cached(
+    eqs: &EquationSet,
+    library: &Library,
+    options: &MapOptions,
+    cache: &Arc<HazardCache>,
+) -> Result<MappedDesign, CoverError> {
     let subject = async_tech_decomp(eqs);
-    run(subject, library, HazardPolicy::SubsetCheck, options, false)
+    run_with_cache(
+        subject,
+        library,
+        HazardPolicy::SubsetCheck,
+        options,
+        false,
+        cache,
+    )
 }
 
 /// A "designer-style" structural mapping without hazard filtering: the
@@ -102,24 +161,96 @@ fn run(
     options: &MapOptions,
     greedy: bool,
 ) -> Result<MappedDesign, CoverError> {
+    run_with_cache(
+        subject,
+        library,
+        policy,
+        options,
+        greedy,
+        &Arc::new(HazardCache::new()),
+    )
+}
+
+fn run_with_cache(
+    subject: asyncmap_network::Network,
+    library: &Library,
+    policy: HazardPolicy,
+    options: &MapOptions,
+    greedy: bool,
+    cache: &Arc<HazardCache>,
+) -> Result<MappedDesign, CoverError> {
     let cones = partition(&subject);
-    let mut matcher = Matcher::new(library, policy);
-    let mut covers: Vec<ConeCover> = Vec::with_capacity(cones.len());
-    for cone in &cones {
-        let cover = if greedy {
-            hand_cover(&subject, cone, &mut matcher, &options.limits)?
+    let matcher = Matcher::with_cache(library, policy, Arc::clone(cache));
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let threads = effective_threads(options.threads, cones.len());
+    let cover_one = |cone| {
+        if greedy {
+            hand_cover(&subject, cone, &matcher, &options.limits)
         } else {
-            cover_cone_with(&subject, cone, &mut matcher, &options.limits, options.objective)?
-        };
-        covers.push(cover);
-    }
+            cover_cone_with(&subject, cone, &matcher, &options.limits, options.objective)
+        }
+    };
+    let covers = if threads <= 1 {
+        let mut covers: Vec<ConeCover> = Vec::with_capacity(cones.len());
+        for cone in &cones {
+            covers.push(cover_one(cone)?);
+        }
+        covers
+    } else {
+        cover_parallel(&cones, threads, &cover_one)?
+    };
     let stats = MapStats {
-        hazard_checks: matcher.hazard_checks,
-        hazard_rejects: matcher.hazard_rejects,
+        hazard_checks: matcher.hazard_checks(),
+        hazard_rejects: matcher.hazard_rejects(),
+        cache_hits: cache.hits() - hits_before,
+        cache_misses: cache.misses() - misses_before,
         ..MapStats::default()
     };
     let add_buffers = options.add_buffers && !greedy;
-    Ok(assemble(library, subject, cones, covers, stats, add_buffers))
+    Ok(assemble(
+        library,
+        subject,
+        cones,
+        covers,
+        stats,
+        add_buffers,
+    ))
+}
+
+/// Covers every cone on `threads` scoped workers pulling cone indices from
+/// a shared atomic counter, then reassembles the results **in partition
+/// order** — cones are disjoint single-output trees, so the assembled
+/// design is bit-identical to the sequential one regardless of scheduling.
+/// If any cone fails, the error reported is the one the sequential loop
+/// would have hit first.
+fn cover_parallel<'a>(
+    cones: &'a [asyncmap_network::Cone],
+    threads: usize,
+    cover_one: &(dyn Fn(&'a asyncmap_network::Cone) -> Result<ConeCover, CoverError> + Sync),
+) -> Result<Vec<ConeCover>, CoverError> {
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(cones.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Result<ConeCover, CoverError>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cone) = cones.get(i) else { break };
+                    local.push((i, cover_one(cone)));
+                }
+                done.lock()
+                    .expect("cone worker panicked while holding results")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = done.into_inner().expect("cone worker panicked");
+    debug_assert_eq!(results.len(), cones.len());
+    results.sort_by_key(|&(i, _)| i);
+    // First error in partition order, exactly as the sequential loop.
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

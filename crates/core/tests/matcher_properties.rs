@@ -52,7 +52,7 @@ proptest! {
         let Some((net, cones)) = design_of(&cover) else { return Ok(()) };
         let mut lib = builtin::lsi9k();
         lib.annotate_hazards();
-        let mut matcher = Matcher::new(&lib, HazardPolicy::Ignore);
+        let matcher = Matcher::new(&lib, HazardPolicy::Ignore);
         for cone in &cones {
             let clusters = enumerate_clusters(&net, cone, &ClusterLimits::default());
             for list in clusters.values() {
@@ -79,7 +79,7 @@ proptest! {
         let Some((net, cones)) = design_of(&cover) else { return Ok(()) };
         let mut lib = builtin::actel();
         lib.annotate_hazards();
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         for cone in &cones {
             let clusters = enumerate_clusters(&net, cone, &ClusterLimits::default());
             for list in clusters.values() {
@@ -110,9 +110,9 @@ proptest! {
         let Some((net, cones)) = design_of(&cover) else { return Ok(()) };
         let mut lib = builtin::cmos3();
         lib.annotate_hazards();
-        let mut matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+        let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
         for cone in &cones {
-            let c = cover_cone(&net, cone, &mut matcher, &ClusterLimits::default()).unwrap();
+            let c = cover_cone(&net, cone, &matcher, &ClusterLimits::default()).unwrap();
             prop_assert!(asyncmap_core::verify_cone_function(&net, cone, &c, &lib));
             let sum: f64 = c
                 .instances

@@ -191,8 +191,7 @@ impl Cover {
         }
         // Shannon on the most binate variable.
         let v = self.most_binate_var(&pos_counts, &neg_counts);
-        self.cofactor(v, Phase::Pos).is_tautology()
-            && self.cofactor(v, Phase::Neg).is_tautology()
+        self.cofactor(v, Phase::Pos).is_tautology() && self.cofactor(v, Phase::Neg).is_tautology()
     }
 
     /// Semantic containment of a cube: `true` iff every minterm of `cube`

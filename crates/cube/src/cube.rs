@@ -196,8 +196,7 @@ impl Cube {
     /// Set containment: `true` iff every minterm of `other` is in `self`
     /// (i.e. `self`'s literals are a subset of `other`'s, with equal phases).
     pub fn contains(&self, other: &Cube) -> bool {
-        self.used.is_subset(&other.used)
-            && self.phase.xor(&other.phase).and(&self.used).is_zero()
+        self.used.is_subset(&other.used) && self.phase.xor(&other.phase).and(&self.used).is_zero()
     }
 
     /// Number of conflicting variables: used in both cubes with opposite
@@ -210,7 +209,9 @@ impl Cube {
     /// The paper's `CONFLICTS` vector:
     /// `(USED₁ & USED₂) & (PHASE₁ ⊕ PHASE₂)`.
     pub fn conflicts(&self, other: &Cube) -> Bits {
-        self.used.and(&other.used).and(&self.phase.xor(&other.phase))
+        self.used
+            .and(&other.used)
+            .and(&self.phase.xor(&other.phase))
     }
 
     /// Intersection of two cubes, or `None` if they conflict (the

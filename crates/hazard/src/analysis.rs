@@ -129,14 +129,14 @@ fn add_static0_residual(report: &mut HazardReport, ba: &Bits, bb: &Bits, nvars: 
     let context = Cube::from_bits(changing.not(), ba.and(&changing.not()));
     let var = VarId(changing.first_one().expect("distinct assignments"));
     let captured = report.static0.iter().any(|h| {
-        let Hazard::Static0 {
-            var: hv,
-            condition,
-        } = h
-        else {
+        let Hazard::Static0 { var: hv, condition } = h else {
             return false;
         };
-        changing.get(hv.index()) && condition.cubes().iter().any(|c| c.intersect(&context).is_some())
+        changing.get(hv.index())
+            && condition
+                .cubes()
+                .iter()
+                .any(|c| c.intersect(&context).is_some())
     });
     if captured {
         return;

@@ -120,7 +120,11 @@ pub fn hazards_subset_guided(
 }
 
 fn pairs_subset(candidate: &Expr, reference: &Expr, zero_end: &Cube, one_end: &Cube) -> bool {
-    if zero_end.num_minterms().saturating_mul(one_end.num_minterms()) > GUIDED_PAIR_CAP {
+    if zero_end
+        .num_minterms()
+        .saturating_mul(one_end.num_minterms())
+        > GUIDED_PAIR_CAP
+    {
         return false; // conservative
     }
     for alpha in zero_end.minterms() {

@@ -237,15 +237,18 @@ mod tests {
         let inter = irredundant_intersections(&f);
         assert_eq!(inter, vec![cube("ab", &vars)]);
         let hz = find_mic_dyn_haz_2level(&f);
-        assert!(hz.iter().any(|h| {
-            let Hazard::DynamicMic {
-                zero_end, one_end, ..
-            } = h
-            else {
-                return false;
-            };
-            *zero_end == cube("ab'", &vars) && *one_end == cube("a'b", &vars)
-        }), "{hz:?}");
+        assert!(
+            hz.iter().any(|h| {
+                let Hazard::DynamicMic {
+                    zero_end, one_end, ..
+                } = h
+                else {
+                    return false;
+                };
+                *zero_end == cube("ab'", &vars) && *one_end == cube("a'b", &vars)
+            }),
+            "{hz:?}"
+        );
     }
 
     #[test]

@@ -137,10 +137,18 @@ mod tests {
         let f = Cover::parse("ab", &vars).unwrap();
         // 0→0 static across a: f zero on a'b' .. ab'? space = b'; f
         // disjoint from b' → hazard-free.
-        assert!(transition_function_hazard_free(&f, &bits(2, 0), &bits(2, 1)));
+        assert!(transition_function_hazard_free(
+            &f,
+            &bits(2, 0),
+            &bits(2, 1)
+        ));
         // XOR has a function hazard on the double change 00 → 11.
         let x = Cover::parse("ab' + a'b", &vars).unwrap();
-        assert!(!transition_function_hazard_free(&x, &bits(2, 0), &bits(2, 3)));
+        assert!(!transition_function_hazard_free(
+            &x,
+            &bits(2, 0),
+            &bits(2, 3)
+        ));
     }
 
     #[test]

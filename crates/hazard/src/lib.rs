@@ -76,14 +76,13 @@ pub use function::{
     transition_function_hazard_free,
 };
 pub use kinds::{DisplayHazard, Hazard, HazardKind, HazardReport};
-pub use repair::{prune_pulsing_redundancy, repair_static1, Repair};
 pub use multilevel::{
     confirm_on_structure, dynamic_hazard_on_structure, find_mic_dyn_haz_multilevel,
 };
+pub use repair::{prune_pulsing_redundancy, repair_static1, Repair};
 pub use sic::{find_sic_hazards, find_sic_hazards_raw, SicAnalysis};
 pub use static1::{
-    is_static_1_hazard_free, static1_subset, static_1_analysis, static_1_complete,
-    static_1_free_on,
+    is_static_1_hazard_free, static1_subset, static_1_analysis, static_1_complete, static_1_free_on,
 };
 pub use ternary_sim::{has_static_hazard, ternary_transition, TernaryOutcome};
 pub use wave::{transition_has_hazard, wave_eval, Wave};

@@ -55,7 +55,11 @@ pub fn confirm_on_structure(
     zero_end: &Cube,
     one_end: &Cube,
 ) -> bool {
-    if zero_end.num_minterms().saturating_mul(one_end.num_minterms()) > PAIR_CAP as u64 {
+    if zero_end
+        .num_minterms()
+        .saturating_mul(one_end.num_minterms())
+        > PAIR_CAP as u64
+    {
         return true;
     }
     for alpha in zero_end.minterms() {

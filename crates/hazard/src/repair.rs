@@ -13,7 +13,7 @@
 //! dynamic hazard "can only be eliminated by implementing the function with
 //! a single gate" — so the repair functions report what remains.
 
-use crate::static1::{static_1_complete, static1_subset};
+use crate::static1::{static1_subset, static_1_complete};
 use crate::Hazard;
 use asyncmap_cube::{Cover, Cube};
 

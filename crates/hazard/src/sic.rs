@@ -260,9 +260,10 @@ fn dedup_merge(list: &mut Vec<Hazard>) {
         if let Some(Hazard::Static0 {
             condition: existing,
             ..
-        }) = merged.iter_mut().find(
-            |m| matches!(m, Hazard::Static0 { var: mv, .. } if mv == var),
-        ) {
+        }) = merged
+            .iter_mut()
+            .find(|m| matches!(m, Hazard::Static0 { var: mv, .. } if mv == var))
+        {
             *existing = existing.or(condition).without_contained_cubes();
         } else {
             merged.push(h);
@@ -298,10 +299,7 @@ mod tests {
         let z = vars.lookup("z").unwrap();
         let want = asyncmap_cube::Cover::from_cubes(
             3,
-            vec![Cube::from_literals(
-                3,
-                [(w, Phase::Neg), (z, Phase::Neg)],
-            )],
+            vec![Cube::from_literals(3, [(w, Phase::Neg), (z, Phase::Neg)])],
         );
         assert!(condition.equivalent(&want));
     }

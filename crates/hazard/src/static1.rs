@@ -184,9 +184,9 @@ mod tests {
         let vars = VarTable::from_names(["a", "b", "c"]);
         let f = cover("abc + a'b", &vars);
         let hz = static_1_analysis(&f);
-        assert!(hz
-            .iter()
-            .any(|h| matches!(h, Hazard::Static1 { span } if *span == Cube::parse("bc", &vars).unwrap())));
+        assert!(hz.iter().any(
+            |h| matches!(h, Hazard::Static1 { span } if *span == Cube::parse("bc", &vars).unwrap())
+        ));
     }
 
     #[test]

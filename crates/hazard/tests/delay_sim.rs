@@ -79,12 +79,7 @@ fn combine(children: &[Waveform], f: impl Fn(&[bool]) -> bool) -> Waveform {
 
 /// Simulates `expr` for the burst `from → to` under the given delay
 /// sampler; returns the output waveform.
-fn simulate(
-    expr: &Expr,
-    from: &Bits,
-    to: &Bits,
-    rng: &mut StdRng,
-) -> Waveform {
+fn simulate(expr: &Expr, from: &Bits, to: &Bits, rng: &mut StdRng) -> Waveform {
     match expr {
         Expr::Const(b) => Waveform::constant(*b),
         Expr::Var(v) => {
@@ -171,11 +166,7 @@ fn hazard_wave_verdicts_have_witnesses_on_figures() {
     let mut vars = VarTable::new();
     let cases: Vec<(Expr, usize, usize)> = vec![
         // Figure 4a: wx + x'y, burst w↓x↑ with y=1 (dynamic).
-        (
-            Expr::parse("w*x + x'*y", &mut vars).unwrap(),
-            0b101,
-            0b110,
-        ),
+        (Expr::parse("w*x + x'*y", &mut vars).unwrap(), 0b101, 0b110),
         // Static-1: ab + a'b with b=1, a rising. (Fresh table per case.)
         (
             {
@@ -196,15 +187,13 @@ fn hazard_wave_verdicts_have_witnesses_on_figures() {
         ),
     ];
     for (expr, a, b) in cases {
-        let n = expr
-            .support()
-            .last()
-            .map_or(0, |v| v.index() + 1);
+        let n = expr.support().last().map_or(0, |v| v.index() + 1);
         let (from, to) = (index_bits(n, a), index_bits(n, b));
         let w = wave_eval(&expr, &from, &to);
         assert!(w.hazard, "expected a hazardous verdict");
         let want = minimal_transitions(&expr, &from, &to);
-        let witnessed = (0..2000).any(|_| simulate(&expr, &from, &to, &mut rng).transitions() > want);
+        let witnessed =
+            (0..2000).any(|_| simulate(&expr, &from, &to, &mut rng).transitions() > want);
         assert!(witnessed, "no delay assignment witnessed the hazard");
     }
 }

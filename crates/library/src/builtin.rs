@@ -42,7 +42,11 @@ fn add_variants(lib: &mut Library, name: &str, bff: &str, delay: f64, drives: &[
 fn pad_to(lib: &mut Library, target: usize) {
     let mut k = 8;
     while lib.len() < target {
-        lib.add(Cell::from_bff(&format!("INV_D{k}"), "a'", 0.2 / (k as f64).sqrt()));
+        lib.add(Cell::from_bff(
+            &format!("INV_D{k}"),
+            "a'",
+            0.2 / (k as f64).sqrt(),
+        ));
         k += 1;
     }
     assert_eq!(lib.len(), target, "padding overshot for {}", lib.name());
@@ -156,7 +160,13 @@ pub fn gdt() -> Library {
         ("OAI321", "((a + b + c)*(d + e)*f)'"),
     ];
     for (name, bff) in complex {
-        add_variants(&mut lib, name, bff, 0.5 + 0.02 * bff.len() as f64 / 10.0, DRIVES2);
+        add_variants(
+            &mut lib,
+            name,
+            bff,
+            0.5 + 0.02 * bff.len() as f64 / 10.0,
+            DRIVES2,
+        );
     }
     add_variants(&mut lib, "AO22", "(a*b) + (c*d)", 0.54, DRIVES2);
     add_variants(&mut lib, "OA22", "(a + b)*(c + d)", 0.54, DRIVES2);
@@ -235,7 +245,12 @@ mod tests {
     fn table1_shapes() {
         // Library, total elements, hazardous elements — the shape of the
         // paper's Table 1.
-        let expect = [("LSI9K", 86, 12), ("CMOS3", 30, 1), ("GDT", 72, 0), ("Actel", 84, 24)];
+        let expect = [
+            ("LSI9K", 86, 12),
+            ("CMOS3", 30, 1),
+            ("GDT", 72, 0),
+            ("Actel", 84, 24),
+        ];
         for (name, total, hazardous) in expect {
             let mut lib = match name {
                 "LSI9K" => lsi9k(),
@@ -246,8 +261,12 @@ mod tests {
             assert_eq!(lib.len(), total, "{name} total");
             lib.annotate_hazards();
             let found = lib.hazardous_cells();
-            assert_eq!(found.len(), hazardous, "{name} hazardous: {:?}",
-                found.iter().map(|c| c.name()).collect::<Vec<_>>());
+            assert_eq!(
+                found.len(),
+                hazardous,
+                "{name} hazardous: {:?}",
+                found.iter().map(|c| c.name()).collect::<Vec<_>>()
+            );
         }
     }
 

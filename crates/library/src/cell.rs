@@ -63,8 +63,7 @@ impl Cell {
     /// Panics if the expression does not parse.
     pub fn from_bff(name: &str, bff_text: &str, delay: f64) -> Self {
         let mut pins = VarTable::new();
-        let bff = Expr::parse(bff_text, &mut pins)
-            .unwrap_or_else(|e| panic!("cell {name:?}: {e}"));
+        let bff = Expr::parse(bff_text, &mut pins).unwrap_or_else(|e| panic!("cell {name:?}: {e}"));
         let area = f64::from(bff.num_literals());
         Cell::new(name, pins, bff, area, delay)
     }

@@ -68,6 +68,10 @@ impl Library {
     /// Annotates every cell with its hazard characterization — the extra
     /// work the asynchronous mapper does when reading a library
     /// (paper §3.2, Table 2). Idempotent.
+    ///
+    /// Cells are annotated independently, so the work is spread over all
+    /// available cores (annotation cost varies strongly with pin count, so
+    /// workers pull cells from a shared queue rather than fixed chunks).
     /// # Examples
     ///
     /// ```
@@ -76,8 +80,28 @@ impl Library {
     /// assert_eq!(lib.hazardous_cells().len(), 12); // the muxes (Table 1)
     /// ```
     pub fn annotate_hazards(&mut self) {
-        for cell in &mut self.cells {
-            cell.annotate();
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(self.cells.len());
+        if threads <= 1 {
+            for cell in &mut self.cells {
+                cell.annotate();
+            }
+        } else {
+            let queue = std::sync::Mutex::new(self.cells.iter_mut());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        // Take one cell per lock acquisition; annotate it
+                        // outside the lock.
+                        let Some(cell) = queue.lock().expect("annotation worker panicked").next()
+                        else {
+                            break;
+                        };
+                        cell.annotate();
+                    });
+                }
+            });
         }
         self.annotated = true;
     }
@@ -199,7 +223,11 @@ pub struct ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -39,11 +39,7 @@ fn arb_cell(index: usize) -> impl Strategy<Value = Cell> {
 
 fn arb_library() -> impl Strategy<Value = Library> {
     prop::collection::vec(any::<u8>(), 1..10).prop_flat_map(|picks| {
-        let cells: Vec<_> = picks
-            .iter()
-            .enumerate()
-            .map(|(i, _)| arb_cell(i))
-            .collect();
+        let cells: Vec<_> = picks.iter().enumerate().map(|(i, _)| arb_cell(i)).collect();
         cells.prop_map(|cells| {
             let mut lib = Library::new("RAND");
             for c in cells {

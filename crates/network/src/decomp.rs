@@ -197,10 +197,7 @@ mod tests {
             for v in 0..3 {
                 bits.set(v, (m >> v) & 1 == 1);
             }
-            assert_eq!(
-                net.eval_output("f", &bits),
-                eqs.equations[0].1.eval(&bits)
-            );
+            assert_eq!(net.eval_output("f", &bits), eqs.equations[0].1.eval(&bits));
         }
         // 3 cubes → 3 AND roots (ab, a'c, bc each 1 AND) + 2 OR + 1 INV.
         assert_eq!(net.num_gates(), 3 + 2 + 1);

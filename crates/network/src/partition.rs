@@ -52,9 +52,21 @@ fn build_cone(net: &Network, root: SignalId, root_set: &HashSet<SignalId>) -> Co
     let mut leaves = Vec::new();
     let mut seen_leaves = HashSet::new();
     let mut gates = Vec::new();
-    collect(net, root, root, root_set, &mut leaves, &mut seen_leaves, &mut gates);
+    collect(
+        net,
+        root,
+        root,
+        root_set,
+        &mut leaves,
+        &mut seen_leaves,
+        &mut gates,
+    );
     gates.sort();
-    Cone { root, leaves, gates }
+    Cone {
+        root,
+        leaves,
+        gates,
+    }
 }
 
 fn collect(

@@ -32,7 +32,10 @@ fn main() {
     assert!(hdc.verify_hazards_on(&lib, &transitions));
 
     println!("{:28} {:>8} {:>8}", "flow", "area", "delay");
-    println!("{:28} {:>8.0} {:>7.2}n", "sync (unsafe)", sync.area, sync.delay);
+    println!(
+        "{:28} {:>8.0} {:>7.2}n",
+        "sync (unsafe)", sync.area, sync.delay
+    );
     println!(
         "{:28} {:>8.0} {:>7.2}n",
         "async (all transitions)", full.area, full.delay

@@ -20,7 +20,15 @@ fn main() {
     );
     println!(
         "{:8} {:>10} {:>8} {:>9} | {:>10} {:>8} {:>9} {:>7} | {:>10}",
-        "library", "sync area", "delay", "time", "async area", "delay", "time", "checks", "hand area"
+        "library",
+        "sync area",
+        "delay",
+        "time",
+        "async area",
+        "delay",
+        "time",
+        "checks",
+        "hand area"
     );
     for mut lib in asyncmap::library::builtin::all_libraries() {
         lib.annotate_hazards();
@@ -37,7 +45,11 @@ fn main() {
         let hand = hand_map(&eqs, &lib, &opts).expect("hand mappable");
 
         assert!(asy.verify_function(&lib), "{}: function broken", lib.name());
-        assert!(asy.verify_hazards(&lib), "{}: hazards introduced", lib.name());
+        assert!(
+            asy.verify_hazards(&lib),
+            "{}: hazards introduced",
+            lib.name()
+        );
 
         println!(
             "{:8} {:>10.0} {:>7.2}n {:>8.1?} | {:>10.0} {:>7.2}n {:>8.1?} {:>7} | {:>10.0}",

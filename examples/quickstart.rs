@@ -12,7 +12,12 @@ fn main() {
     //    a+ b+ / y+ then a- b- / y-.
     let spec = figure1_example();
     let entry = spec.validate().expect("spec is well-formed");
-    println!("machine {:?}: {} states, {} edges", spec.name, spec.num_states, spec.edges.len());
+    println!(
+        "machine {:?}: {} states, {} edges",
+        spec.name,
+        spec.num_states,
+        spec.edges.len()
+    );
     for (s, v) in entry.inputs.iter().enumerate() {
         println!("  state {s} entered with inputs {:?}", v.as_ref().unwrap());
     }

@@ -52,7 +52,9 @@ pub use asyncmap_network as network;
 /// The most common items, for glob import.
 pub mod prelude {
     pub use asyncmap_bff::Expr;
-    pub use asyncmap_core::{async_tmap, hand_map, hdc_tmap, tmap, MapOptions, MappedDesign, Objective};
+    pub use asyncmap_core::{
+        async_tmap, hand_map, hdc_tmap, tmap, MapOptions, MappedDesign, Objective,
+    };
     pub use asyncmap_cube::{Cover, Cube, VarTable};
     pub use asyncmap_hazard::{analyze_expr, hazards_subset, HazardReport};
     pub use asyncmap_library::{builtin, Cell, Library};

@@ -113,11 +113,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
             "--sync" => flow = "sync",
             "--verilog" => {
                 i += 1;
-                verilog_out = Some(
-                    args.get(i)
-                        .ok_or("map: --verilog needs a path")?
-                        .clone(),
-                );
+                verilog_out = Some(args.get(i).ok_or("map: --verilog needs a path")?.clone());
             }
             other => return Err(format!("map: unknown flag {other:?}")),
         }

@@ -4,8 +4,9 @@
 use asyncmap::prelude::*;
 
 fn load(name: &str) -> Library {
-    let text = std::fs::read_to_string(format!("libraries/{name}.lib"))
-        .unwrap_or_else(|e| panic!("missing libraries/{name}.lib ({e}); run `cargo run --example export_libraries`"));
+    let text = std::fs::read_to_string(format!("libraries/{name}.lib")).unwrap_or_else(|e| {
+        panic!("missing libraries/{name}.lib ({e}); run `cargo run --example export_libraries`")
+    });
     Library::parse(&text).expect("shipped library must parse")
 }
 

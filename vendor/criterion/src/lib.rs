@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the macro and builder surface
+//! the workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::{default, sample_size, measurement_time, warm_up_time,
+//! benchmark_group, bench_function}`, `Bencher::iter` — with a simple
+//! median-of-samples timer printed to stdout. No statistics, plots, or
+//! baselines: just enough to keep `cargo bench` runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement budget per benchmark (upper bound here).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark (upper bound here).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let config = self.clone();
+        run_one(&config, &id, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let config = self.criterion.clone();
+        run_one(&config, &full, &mut f);
+        self
+    }
+
+    /// Closes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples within the
+    /// measurement budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, id: &str, f: &mut F) {
+    // Warm-up pass (bounded by the warm-up budget).
+    let warm_start = Instant::now();
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        sample_size: 1,
+        budget: config.warm_up_time,
+    };
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut warm);
+        if warm.samples.is_empty() {
+            break; // closure never called iter: nothing to time
+        }
+        warm.samples.clear();
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: config.sample_size,
+        budget: config.measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], b.samples[b.samples.len() - 1]);
+    println!(
+        "{id:<48} median {median:>10.2?}  min {lo:>10.2?}  max {hi:>10.2?}  ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}
