@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for the word-level kernels underneath the
+//! mapper: the cube-algebra primitives (`complement`, `all_primes`,
+//! `is_tautology`), the matcher's truth-table construction, and the
+//! two-level dynamic-hazard search, each at input widths 4, 8 and 16.
+//!
+//! The truth-table benchmarks also cross-check the word-parallel fast
+//! path against the scalar generic path and abort on divergence, so a CI
+//! run of this bench doubles as an equivalence smoke test.
+
+use asyncmap_bff::Expr;
+use asyncmap_core::{truth_table_of, truth_table_of_generic};
+use asyncmap_cube::{Cover, Cube, Phase, VarId};
+use asyncmap_hazard::find_mic_dyn_haz_2level;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const WIDTHS: [usize; 3] = [4, 8, 16];
+
+/// Deterministic pseudo-random cover: `ncubes` cubes over `nvars`
+/// variables, each literal present with probability 1/2 and then in a
+/// random phase. Seeded per width so every run benches the same input.
+fn random_cover(nvars: usize, ncubes: usize, seed: u64) -> Cover {
+    let mut rng = StdRng::seed_from_u64(seed ^ (nvars as u64));
+    let cubes = (0..ncubes)
+        .map(|_| {
+            let mut literals: Vec<(VarId, Phase)> = Vec::new();
+            for v in 0..nvars {
+                if rng.random::<bool>() {
+                    let phase = if rng.random::<bool>() {
+                        Phase::Pos
+                    } else {
+                        Phase::Neg
+                    };
+                    literals.push((VarId(v), phase));
+                }
+            }
+            Cube::from_literals(nvars, literals)
+        })
+        .collect();
+    Cover::from_cubes(nvars, cubes)
+}
+
+/// Deterministic random expression over `nvars` variables, depth-bounded.
+fn random_expr(nvars: usize, depth: usize, rng: &mut StdRng) -> Expr {
+    if depth == 0 || rng.random_range(0..4) == 0 {
+        let v = Expr::Var(VarId(rng.random_range(0..nvars)));
+        return if rng.random::<bool>() { v.not() } else { v };
+    }
+    let arity = rng.random_range(2..4);
+    let args: Vec<Expr> = (0..arity)
+        .map(|_| random_expr(nvars, depth - 1, rng))
+        .collect();
+    if rng.random::<bool>() {
+        Expr::and(args)
+    } else {
+        Expr::or(args)
+    }
+}
+
+fn bench_cover_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube_kernels");
+    for w in WIDTHS {
+        let f = random_cover(w, 2 * w, 0xC0FE);
+        g.bench_function(format!("complement/w{w}"), |b| {
+            b.iter(|| black_box(&f).complement())
+        });
+        g.bench_function(format!("all_primes/w{w}"), |b| {
+            b.iter(|| black_box(&f).all_primes())
+        });
+        // `f + f'` is a tautology: exercises the full recursion rather
+        // than an early unate exit.
+        let mut taut = f.clone();
+        for cube in f.complement().cubes() {
+            taut.push(cube.clone());
+        }
+        g.bench_function(format!("is_tautology/w{w}"), |b| {
+            b.iter(|| black_box(&taut).is_tautology())
+        });
+    }
+    g.finish();
+}
+
+fn bench_truth_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("truth_table_of");
+    for w in WIDTHS {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ (w as u64));
+        let expr = random_expr(w, 4, &mut rng);
+        // Divergence gate: the word-parallel path must agree with the
+        // scalar path bit-for-bit, else the bench (and CI) fails.
+        assert_eq!(
+            truth_table_of(&expr, w),
+            truth_table_of_generic(&expr, w),
+            "fast/generic truth-table divergence at width {w}"
+        );
+        g.bench_function(format!("word_parallel/w{w}"), |b| {
+            b.iter(|| truth_table_of(black_box(&expr), w))
+        });
+        g.bench_function(format!("generic/w{w}"), |b| {
+            b.iter(|| truth_table_of_generic(black_box(&expr), w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hazard_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("find_mic_dyn_haz_2level");
+    for w in WIDTHS {
+        let f = random_cover(w, 2 * w, 0x4A55);
+        g.bench_function(format!("w{w}"), |b| {
+            b.iter(|| find_mic_dyn_haz_2level(black_box(&f)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_cover_kernels,
+    bench_truth_tables,
+    bench_hazard_search
+);
+criterion_main!(kernels);

@@ -1,0 +1,34 @@
+//! Prints a stable fingerprint of the mapped design for each evaluation
+//! benchmark: exact area/delay bit patterns, instance count and hazard
+//! rejects. Used to verify that performance work leaves the mapped output
+//! bit-identical (`cargo run --release -p asyncmap-bench --bin fingerprint`).
+
+use asyncmap_core::{async_tmap, MapOptions};
+use asyncmap_library::builtin;
+
+fn main() {
+    let mut lsi9k = builtin::lsi9k();
+    lsi9k.annotate_hazards();
+    let mut actel = builtin::actel();
+    actel.annotate_hazards();
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    for (design, lib) in [
+        ("scsi", &lsi9k),
+        ("abcs", &lsi9k),
+        ("pe-send-ifc", &actel),
+        ("dme", &actel),
+    ] {
+        let eqs = asyncmap_burst::benchmark(design);
+        let d = async_tmap(&eqs, lib, &opts).expect("mappable");
+        println!(
+            "{design:12} area={:016x} delay={:016x} instances={} rejects={}",
+            d.area.to_bits(),
+            d.delay.to_bits(),
+            d.num_instances(),
+            d.stats.hazard_rejects
+        );
+    }
+}

@@ -16,7 +16,7 @@
 //! Usage: `speedup [--runs N] [--threads N] [--out PATH]`
 //! (defaults: 5 runs, 4 threads, `BENCH_mapping.json`).
 
-use asyncmap_bench::{header, secs, time_median, write_json, BenchRecord};
+use asyncmap_bench::{header, secs, time_median, time_median_pair, write_json, BenchRecord};
 use asyncmap_core::{async_tmap, async_tmap_cached, HazardCache, MapOptions, MappedDesign};
 use asyncmap_library::builtin;
 use std::sync::Arc;
@@ -86,31 +86,42 @@ fn main() {
             fingerprint(&par_design),
             "{design}: parallel mapping diverged from sequential"
         );
-        let seq_t = time_median(runs, || {
-            async_tmap(&eqs, &lib, &seq_opts).expect("mappable")
-        });
-        let par_t = time_median(runs, || {
-            async_tmap(&eqs, &lib, &par_opts).expect("mappable")
-        });
+        let (seq_t, par_t) = time_median_pair(
+            runs,
+            || async_tmap(&eqs, &lib, &seq_opts).expect("mappable"),
+            || async_tmap(&eqs, &lib, &par_opts).expect("mappable"),
+        );
+        let ratio = seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9);
         println!(
             "{:12} {:>8} {:>12} {:>12} {:>8.2}x",
             design,
             seq_design.stats.cones,
             secs(seq_t),
             secs(par_t),
-            seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9)
+            ratio
         );
+        if !seq_design.stats.phases.is_zero() {
+            for (phase, t, calls) in seq_design.stats.phases.entries() {
+                if calls > 0 {
+                    println!("  {:18} {:>10.1} ms  {:>8} call(s)", phase, t * 1e3, calls);
+                }
+            }
+        }
         records.push(BenchRecord {
             name: format!("{design}/seq"),
             median: seq_t,
             threads: 1,
             cache_hit_rate: hit_rate(&seq_design),
+            phases: seq_design.stats.phases,
+            speedup_vs_seq: None,
         });
         records.push(BenchRecord {
             name: format!("{design}/par{threads}"),
             median: par_t,
             threads,
             cache_hit_rate: hit_rate(&par_design),
+            phases: par_design.stats.phases,
+            speedup_vs_seq: Some(ratio),
         });
     }
 
@@ -171,12 +182,16 @@ fn main() {
             median: cold_t,
             threads: 1,
             cache_hit_rate: hit_rate(&cold_design),
+            phases: cold_design.stats.phases,
+            speedup_vs_seq: None,
         });
         records.push(BenchRecord {
             name: format!("{design}/warm"),
             median: warm_t,
             threads: 1,
             cache_hit_rate: hit_rate(&warm_design),
+            phases: warm_design.stats.phases,
+            speedup_vs_seq: Some(cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9)),
         });
     }
 

@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use asyncmap_core::PhaseTimes;
 use asyncmap_library::{builtin, Library};
 use std::time::{Duration, Instant};
 
@@ -26,6 +27,30 @@ pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
         .collect();
     samples.sort();
     samples[samples.len() / 2]
+}
+
+/// Median wall-clock times of `runs` executions each of `a` and `b`,
+/// sampled alternately so slow environment drift (thermal throttling, a
+/// busy container) biases neither side.
+pub fn time_median_pair<T, U>(
+    runs: usize,
+    mut a: impl FnMut() -> T,
+    mut b: impl FnMut() -> U,
+) -> (Duration, Duration) {
+    assert!(runs > 0);
+    let mut sa: Vec<Duration> = Vec::with_capacity(runs);
+    let mut sb: Vec<Duration> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        std::hint::black_box(a());
+        sa.push(t.elapsed());
+        let t = Instant::now();
+        std::hint::black_box(b());
+        sb.push(t.elapsed());
+    }
+    sa.sort();
+    sb.sort();
+    (sa[runs / 2], sb[runs / 2])
 }
 
 /// Formats a duration with adaptive units (e.g. `"431.07µs"`, `"1.24s"`).
@@ -53,6 +78,13 @@ pub struct BenchRecord {
     /// Fraction of hazard checks answered by the verdict cache (0 when the
     /// run performed no hazard checks).
     pub cache_hit_rate: f64,
+    /// Per-phase time breakdown of one representative run (zero when the
+    /// profiler is compiled out).
+    pub phases: PhaseTimes,
+    /// Sequential-over-this-configuration time ratio (>1 means this
+    /// configuration is faster than the sequential baseline); `None` for
+    /// baseline records.
+    pub speedup_vs_seq: Option<f64>,
 }
 
 /// Serializes `records` as a JSON array (std-only writer; names are
@@ -69,12 +101,34 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 _ => vec![c],
             })
             .collect();
+        let mut extra = String::new();
+        if !r.phases.is_zero() {
+            extra.push_str(", \"phases\": {");
+            let mut first = true;
+            for (phase, secs, count) in r.phases.entries() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    extra.push_str(", ");
+                }
+                first = false;
+                extra.push_str(&format!(
+                    "\"{phase}\": {{\"seconds\": {secs:.9}, \"calls\": {count}}}"
+                ));
+            }
+            extra.push('}');
+        }
+        if let Some(ratio) = r.speedup_vs_seq {
+            extra.push_str(&format!(", \"speedup_vs_seq\": {ratio:.4}"));
+        }
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}, \"cache_hit_rate\": {:.6}}}{}\n",
+            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}, \"cache_hit_rate\": {:.6}{}}}{}\n",
             name,
             r.median.as_secs_f64(),
             r.threads,
             r.cache_hit_rate,
+            extra,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -124,12 +178,16 @@ mod tests {
                 median: Duration::from_millis(1500),
                 threads: 1,
                 cache_hit_rate: 0.0,
+                phases: PhaseTimes::default(),
+                speedup_vs_seq: None,
             },
             BenchRecord {
                 name: "scsi/par\"4\"".into(),
                 median: Duration::from_micros(700),
                 threads: 4,
                 cache_hit_rate: 0.25,
+                phases: PhaseTimes::default(),
+                speedup_vs_seq: Some(2.14),
             },
         ];
         let json = records_to_json(&records);
@@ -138,6 +196,33 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\\\"4\\\""));
         assert!(json.contains("\"cache_hit_rate\": 0.250000"));
+        assert!(json.contains("\"speedup_vs_seq\": 2.1400"));
+        // Zero phase times are elided entirely.
+        assert!(!json.contains("\"phases\""));
         assert_eq!(json.matches('{').count(), 2);
+    }
+
+    #[test]
+    fn json_report_includes_recorded_phases() {
+        // Record a real phase delta through the profiler so the breakdown
+        // serializer sees nonzero data.
+        let before = asyncmap_core::profile::snapshot();
+        {
+            let _t = asyncmap_core::profile::timer(asyncmap_core::MapPhase::Decompose);
+            std::hint::black_box(0u64);
+        }
+        let phases = asyncmap_core::profile::snapshot().delta(&before);
+        let records = vec![BenchRecord {
+            name: "x".into(),
+            median: Duration::from_millis(1),
+            threads: 1,
+            cache_hit_rate: 0.0,
+            phases,
+            speedup_vs_seq: None,
+        }];
+        let json = records_to_json(&records);
+        assert!(json.contains("\"phases\""), "{json}");
+        assert!(json.contains("\"decompose\""), "{json}");
+        assert!(json.contains("\"calls\": 1"), "{json}");
     }
 }

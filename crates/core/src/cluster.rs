@@ -94,8 +94,9 @@ pub fn enumerate_clusters(
     for &g in &cone.gates {
         let mut clusters = Vec::new();
         for cut in &cuts[&g] {
-            let cut_set: HashSet<SignalId> = cut.iter().copied().collect();
-            if let Some(cluster) = build_cluster(net, g, &cut_set, limits) {
+            // Cuts are sorted and deduplicated, so membership is a binary
+            // search — no per-cluster hash set.
+            if let Some(cluster) = build_cluster(net, g, cut, limits) {
                 clusters.push(cluster);
             }
         }
@@ -132,16 +133,15 @@ fn cross_product(options: &[Vec<Vec<SignalId>>], out: &mut Vec<Vec<SignalId>>, m
     rec(options, 0, &mut acc, out, max_leaves);
 }
 
-/// Builds the cluster for a given cut, returning `None` when the depth
-/// bound is exceeded.
+/// Builds the cluster for a given cut (sorted ascending), returning `None`
+/// when the depth bound is exceeded.
 fn build_cluster(
     net: &Network,
     root: SignalId,
-    cut: &HashSet<SignalId>,
+    cut: &[SignalId],
     limits: &ClusterLimits,
 ) -> Option<Cluster> {
     let mut leaves: Vec<SignalId> = Vec::new();
-    let mut leaf_vars: HashMap<SignalId, VarId> = HashMap::new();
     let mut num_gates = 0usize;
     let expr = walk(
         net,
@@ -150,7 +150,6 @@ fn build_cluster(
         0,
         limits.max_depth,
         &mut leaves,
-        &mut leaf_vars,
         &mut num_gates,
     )?;
     Some(Cluster {
@@ -165,18 +164,22 @@ fn build_cluster(
 fn walk(
     net: &Network,
     signal: SignalId,
-    cut: &HashSet<SignalId>,
+    cut: &[SignalId],
     depth: usize,
     max_depth: usize,
     leaves: &mut Vec<SignalId>,
-    leaf_vars: &mut HashMap<SignalId, VarId>,
     num_gates: &mut usize,
 ) -> Option<Expr> {
-    if depth > 0 && cut.contains(&signal) {
-        let v = *leaf_vars.entry(signal).or_insert_with(|| {
-            leaves.push(signal);
-            VarId(leaves.len() - 1)
-        });
+    if depth > 0 && cut.binary_search(&signal).is_ok() {
+        // Leaves are few (bounded by max_leaves), so a linear scan beats
+        // a hash map for variable lookup.
+        let v = match leaves.iter().position(|&s| s == signal) {
+            Some(i) => VarId(i),
+            None => {
+                leaves.push(signal);
+                VarId(leaves.len() - 1)
+            }
+        };
         return Some(Expr::Var(v));
     }
     if depth >= max_depth {
@@ -190,16 +193,7 @@ fn walk(
     *num_gates += 1;
     let mut args = Vec::with_capacity(fanin.len());
     for &f in fanin {
-        args.push(walk(
-            net,
-            f,
-            cut,
-            depth + 1,
-            max_depth,
-            leaves,
-            leaf_vars,
-            num_gates,
-        )?);
+        args.push(walk(net, f, cut, depth + 1, max_depth, leaves, num_gates)?);
     }
     Some(match op {
         GateOp::And => Expr::and(args),

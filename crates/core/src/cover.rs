@@ -9,6 +9,7 @@
 
 use crate::cluster::{enumerate_clusters, Cluster, ClusterLimits};
 use crate::matcher::Matcher;
+use crate::profile::{self, MapPhase};
 use crate::tmap::Objective;
 use asyncmap_network::{Cone, Network, SignalId};
 use std::collections::{HashMap, HashSet};
@@ -105,7 +106,13 @@ pub fn cover_cone_with(
     limits: &ClusterLimits,
     objective: Objective,
 ) -> Result<ConeCover, CoverError> {
-    let clusters = enumerate_clusters(net, cone, limits);
+    let clusters = {
+        let _t = profile::timer(MapPhase::ClusterEnum);
+        enumerate_clusters(net, cone, limits)
+    };
+    // Cover-select time excludes the matcher (paused around each call),
+    // which accounts itself under the match / hazard-check phases.
+    let mut t_select = profile::timer(MapPhase::CoverSelect);
     let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
     let mut best: HashMap<SignalId, Choice> = HashMap::new();
     for &g in &cone.gates {
@@ -130,7 +137,10 @@ pub fn cover_cone_with(
                 .iter()
                 .map(|l| best[l].total_delay)
                 .fold(0.0, f64::max);
-            for m in matcher.find_matches(cluster) {
+            t_select.pause();
+            let matches = matcher.find_matches(cluster);
+            t_select.resume();
+            for m in matches {
                 let cell = &matcher.library().cells()[m.cell_index];
                 let candidate = Choice {
                     cell_index: m.cell_index,
@@ -155,7 +165,9 @@ pub fn cover_cone_with(
             None => return Err(CoverError { gate: g }),
         }
     }
-    Ok(reconstruct(cone, &best))
+    let cover = reconstruct(cone, &best);
+    drop(t_select);
+    Ok(cover)
 }
 
 /// A "designer-style" structural cover used as the hand-mapped baseline of
@@ -168,7 +180,11 @@ pub fn hand_cover(
     matcher: &Matcher<'_>,
     limits: &ClusterLimits,
 ) -> Result<ConeCover, CoverError> {
-    let clusters = enumerate_clusters(net, cone, limits);
+    let clusters = {
+        let _t = profile::timer(MapPhase::ClusterEnum);
+        enumerate_clusters(net, cone, limits)
+    };
+    let mut t_select = profile::timer(MapPhase::CoverSelect);
     let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
     let mut instances = Vec::new();
     let mut area = 0.0;
@@ -176,7 +192,10 @@ pub fn hand_cover(
     while let Some(g) = work.pop() {
         let mut chosen: Option<(&Cluster, crate::matcher::Match, f64)> = None;
         for cluster in &clusters[&g] {
-            for m in matcher.find_matches(cluster) {
+            t_select.pause();
+            let matches = matcher.find_matches(cluster);
+            t_select.resume();
+            for m in matches {
                 let cell_area = matcher.library().cells()[m.cell_index].area();
                 let better = match &chosen {
                     None => true,

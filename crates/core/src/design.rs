@@ -29,6 +29,9 @@ pub struct MapStats {
     pub subject_gates: usize,
     /// Fanout buffers added.
     pub buffers: usize,
+    /// Per-phase wall-clock breakdown of the run (all zero when the
+    /// `profile` feature is disabled).
+    pub phases: crate::profile::PhaseTimes,
 }
 
 /// The result of technology mapping one design against one library.

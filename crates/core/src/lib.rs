@@ -50,8 +50,10 @@ mod export;
 mod hcache;
 mod hdc;
 mod matcher;
+pub mod profile;
 mod report;
 mod tmap;
+pub mod truth;
 
 pub use cluster::{enumerate_clusters, Cluster, ClusterLimits};
 pub use cover::{cover_cone, cover_cone_with, hand_cover, ConeCover, CoverError, Instance};
@@ -61,6 +63,11 @@ pub use design::{
 pub use export::to_verilog;
 pub use hcache::HazardCache;
 pub use hdc::{cone_certified, hdc_tmap, Transition};
+#[doc(hidden)]
+pub use matcher::{
+    depends_on, depends_on_words, input_signature, input_signature_words, truth_table_of_generic,
+};
 pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher};
+pub use profile::{MapPhase, PhaseTimes};
 pub use report::{cell_usage, render_report, CellUsage};
 pub use tmap::{async_tmap, async_tmap_cached, hand_map, tmap, MapOptions, Objective};

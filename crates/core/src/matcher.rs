@@ -14,6 +14,8 @@
 
 use crate::cluster::Cluster;
 use crate::hcache::HazardCache;
+use crate::profile::{self, MapPhase};
+use crate::truth;
 use asyncmap_bff::Expr;
 use asyncmap_cube::{Bits, Phase, VarId};
 use asyncmap_hazard::hazards_subset;
@@ -33,6 +35,9 @@ struct CellEntry {
     index: usize,
     ninputs: usize,
     truth: Bits,
+    /// Packed copy of `truth` when the cell has ≤ 6 inputs (the common
+    /// case), enabling the word-level permutation search.
+    truth6: Option<u64>,
     onset: u32,
     input_sigs: Vec<u32>,
     hazardous: bool,
@@ -40,7 +45,7 @@ struct CellEntry {
 
 /// A successful match: a cell plus the binding of cell pins to cluster
 /// leaves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Match {
     /// Index of the cell in the library.
     pub cell_index: usize,
@@ -125,6 +130,7 @@ impl<'lib> Matcher<'lib> {
                     input_sigs: (0..ninputs)
                         .map(|v| input_signature(&truth, ninputs, v))
                         .collect(),
+                    truth6: (ninputs <= 6).then(|| truth.words()[0]),
                     truth,
                     hazardous: if policy == HazardPolicy::SubsetCheck {
                         cell.is_hazardous()
@@ -180,19 +186,55 @@ impl<'lib> Matcher<'lib> {
     ///
     /// Returns matches over the cluster's *support*: leaves the cluster
     /// function does not depend on are not bound to any pin.
+    ///
+    /// Functions whose support fits in 6 variables (the common case under
+    /// the default depth-5 cluster limit) run entirely on packed `u64`
+    /// truth tables; wider functions use the word-blocked generic path.
+    /// Both produce the exact match list of the original scalar
+    /// implementation (see `find_matches_generic`).
     pub fn find_matches(&self, cluster: &Cluster) -> Vec<Match> {
+        let mut t_match = profile::timer(MapPhase::Match);
         let nleaves = cluster.leaves.len();
-        let full_truth = truth_table_of(&cluster.expr, nleaves);
-        let support: Vec<usize> = (0..nleaves)
-            .filter(|&v| depends_on(&full_truth, nleaves, v))
-            .collect();
+        // Support + projected truth table, packed in one u64 when the
+        // support has ≤ 6 variables.
+        let support: Vec<usize>;
+        let small: Option<u64>;
+        let big: Option<Bits>;
+        if nleaves <= 6 {
+            let full = truth::truth6_of(&cluster.expr, nleaves);
+            support = (0..nleaves)
+                .filter(|&v| truth::depends6(full, nleaves, v))
+                .collect();
+            small = Some(truth::project6(full, &support));
+            big = None;
+        } else {
+            let full = truth::truth_table_words(&cluster.expr, nleaves);
+            support = (0..nleaves)
+                .filter(|&v| depends_on_words(&full, v))
+                .collect();
+            if support.len() <= 6 {
+                small = Some(project_to_u64(&full, &support));
+                big = None;
+            } else {
+                small = None;
+                big = Some(project(&full, nleaves, &support));
+            }
+        }
         if support.is_empty() {
             return Vec::new(); // constant cluster: nothing to match
         }
-        let truth = project(&full_truth, nleaves, &support);
         let n = support.len();
-        let onset = truth.count_ones();
-        let sigs: Vec<u32> = (0..n).map(|v| input_signature(&truth, n, v)).collect();
+        let (onset, sigs): (u32, Vec<u32>) = match (&small, &big) {
+            (Some(t), _) => (
+                t.count_ones(),
+                (0..n).map(|v| truth::input_signature6(*t, n, v)).collect(),
+            ),
+            (None, Some(t)) => (
+                t.count_ones(),
+                (0..n).map(|v| input_signature_words(t, v)).collect(),
+            ),
+            (None, None) => unreachable!(),
+        };
 
         // A cell can only match if its sorted signature multiset equals the
         // cluster's: permute_match demands a signature-preserving pin
@@ -206,13 +248,95 @@ impl<'lib> Matcher<'lib> {
         let mut out = Vec::new();
         for &e in bucket {
             let entry = &self.entries[e];
+            let pin_to_local = match &small {
+                // The bucket key fixes entry.ninputs == n ≤ 6, so the
+                // packed cell table exists.
+                Some(t) => permute_match6(
+                    entry.truth6.expect("≤6-input cell has packed table"),
+                    &entry.input_sigs,
+                    *t,
+                    &sigs,
+                    n,
+                ),
+                None => permute_match(
+                    &entry.truth,
+                    &entry.input_sigs,
+                    big.as_ref().expect("wide path has Bits table"),
+                    &sigs,
+                    n,
+                ),
+            };
+            let Some(pin_to_local) = pin_to_local else {
+                continue;
+            };
+            let cell_index = entry.index;
+            // Map pins to the cluster's full leaf indices.
+            let pin_to_leaf: Vec<usize> = pin_to_local.iter().map(|&l| support[l]).collect();
+            if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
+                self.hazard_checks.fetch_add(1, Ordering::Relaxed);
+                t_match.pause();
+                let ok = {
+                    let _t_hazard = profile::timer(MapPhase::HazardCheck);
+                    let id = *cluster_id.get_or_insert_with(|| self.cache.intern(&cluster.expr));
+                    match self.cache.key(cell_index, &pin_to_leaf, id, nleaves) {
+                        Some(key) => self.cache.verdict(key, || {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, &cluster.expr, nleaves)
+                        }),
+                        // Unpackable binding (>15 pins): check without caching.
+                        None => {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, &cluster.expr, nleaves)
+                        }
+                    }
+                };
+                t_match.resume();
+                if !ok {
+                    self.hazard_rejects.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            out.push(Match {
+                cell_index,
+                pin_to_leaf,
+            });
+        }
+        out
+    }
+
+    /// The original scalar matching path, kept verbatim as the reference
+    /// implementation for the fast-path equivalence proptests. Performs
+    /// the same hazard filtering (and counter updates) as
+    /// [`Matcher::find_matches`].
+    #[doc(hidden)]
+    pub fn find_matches_generic(&self, cluster: &Cluster) -> Vec<Match> {
+        let nleaves = cluster.leaves.len();
+        let full_truth = truth_table_of_generic(&cluster.expr, nleaves);
+        let support: Vec<usize> = (0..nleaves)
+            .filter(|&v| depends_on(&full_truth, nleaves, v))
+            .collect();
+        if support.is_empty() {
+            return Vec::new(); // constant cluster: nothing to match
+        }
+        let truth = project(&full_truth, nleaves, &support);
+        let n = support.len();
+        let onset = truth.count_ones();
+        let sigs: Vec<u32> = (0..n).map(|v| input_signature(&truth, n, v)).collect();
+        let Some(bucket) = self.sig_index.get(&sig_key(n, onset, &sigs)) else {
+            return Vec::new();
+        };
+        let mut cluster_id: Option<u32> = None;
+        let mut out = Vec::new();
+        for &e in bucket {
+            let entry = &self.entries[e];
             let Some(pin_to_local) =
                 permute_match(&entry.truth, &entry.input_sigs, &truth, &sigs, n)
             else {
                 continue;
             };
             let cell_index = entry.index;
-            // Map pins to the cluster's full leaf indices.
             let pin_to_leaf: Vec<usize> = pin_to_local.iter().map(|&l| support[l]).collect();
             if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
                 self.hazard_checks.fetch_add(1, Ordering::Relaxed);
@@ -223,7 +347,6 @@ impl<'lib> Matcher<'lib> {
                             instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
                         hazards_subset(&candidate, &cluster.expr, nleaves)
                     }),
-                    // Unpackable binding (>15 pins): check without caching.
                     None => {
                         let candidate =
                             instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
@@ -259,8 +382,16 @@ pub fn instantiate(bff: &Expr, pin_to_leaf: &[usize]) -> Expr {
     bff.substitute(&|v: VarId| (VarId(pin_to_leaf[v.index()]), Phase::Pos))
 }
 
-/// Truth table of `expr` over `n` local variables.
+/// Truth table of `expr` over `n` local variables (word-parallel blocked
+/// evaluation, see [`crate::truth::truth_table_words`]).
 pub fn truth_table_of(expr: &Expr, n: usize) -> Bits {
+    truth::truth_table_words(expr, n)
+}
+
+/// Scalar one-assignment-at-a-time truth table: the reference
+/// implementation the word-parallel kernels are tested against.
+#[doc(hidden)]
+pub fn truth_table_of_generic(expr: &Expr, n: usize) -> Bits {
     let size = 1usize << n;
     let mut out = Bits::new(size);
     let mut assignment = Bits::new(n);
@@ -275,10 +406,44 @@ pub fn truth_table_of(expr: &Expr, n: usize) -> Bits {
     out
 }
 
-fn depends_on(truth: &Bits, n: usize, v: usize) -> bool {
+/// Scalar dependence test (reference implementation).
+#[doc(hidden)]
+pub fn depends_on(truth: &Bits, n: usize, v: usize) -> bool {
     let size = 1usize << n;
     let bit = 1usize << v;
     (0..size).any(|m| m & bit == 0 && truth.get(m) != truth.get(m | bit))
+}
+
+/// Word-parallel dependence test for tables wider than one word (every
+/// storage word is full because the table has ≥ 128 entries).
+#[doc(hidden)]
+pub fn depends_on_words(truth: &Bits, v: usize) -> bool {
+    let words = truth.words();
+    if v < 6 {
+        let shift = 1usize << v;
+        words
+            .iter()
+            .any(|&w| ((w >> shift) ^ w) & !truth::MASKS[v] != 0)
+    } else {
+        let stride = 1usize << (v - 6);
+        (0..words.len()).any(|i| i & stride == 0 && words[i] != words[i | stride])
+    }
+}
+
+/// Projects a wide truth table (over > 6 variables) onto a support subset
+/// of ≤ 6 variables, packing the result.
+fn project_to_u64(truth: &Bits, support: &[usize]) -> u64 {
+    let k = support.len();
+    debug_assert!(k <= 6);
+    let mut out = 0u64;
+    for m in 0..(1usize << k) {
+        let mut full = 0usize;
+        for (i, &v) in support.iter().enumerate() {
+            full |= ((m >> i) & 1) << v;
+        }
+        out |= u64::from(truth.get(full)) << m;
+    }
+    out
 }
 
 /// Projects a truth table onto a support subset (the function must not
@@ -302,8 +467,10 @@ fn project(truth: &Bits, n: usize, support: &[usize]) -> Bits {
 }
 
 /// Signature of input `v`: the number of onset minterms with `v = 1`
-/// packed with the number with `v = 0` (permutation-invariant).
-fn input_signature(truth: &Bits, n: usize, v: usize) -> u32 {
+/// packed with the number with `v = 0` (permutation-invariant). Scalar
+/// reference implementation.
+#[doc(hidden)]
+pub fn input_signature(truth: &Bits, n: usize, v: usize) -> u32 {
     let size = 1usize << n;
     let bit = 1usize << v;
     let mut with = 0u32;
@@ -314,6 +481,30 @@ fn input_signature(truth: &Bits, n: usize, v: usize) -> u32 {
                 with += 1;
             } else {
                 without += 1;
+            }
+        }
+    }
+    (with << 16) | without
+}
+
+/// Word-parallel [`input_signature`] for tables wider than one word.
+#[doc(hidden)]
+pub fn input_signature_words(truth: &Bits, v: usize) -> u32 {
+    let words = truth.words();
+    let mut with = 0u32;
+    let mut without = 0u32;
+    if v < 6 {
+        for &w in words {
+            with += (w & truth::MASKS[v]).count_ones();
+            without += (w & !truth::MASKS[v]).count_ones();
+        }
+    } else {
+        let stride = 1usize << (v - 6);
+        for (i, &w) in words.iter().enumerate() {
+            if i & stride != 0 {
+                with += w.count_ones();
+            } else {
+                without += w.count_ones();
             }
         }
     }
@@ -388,6 +579,92 @@ fn backtrack(
         used[local] = false;
     }
     false
+}
+
+/// [`permute_match`] on packed `u64` truth tables (`n ≤ 6`). Identical
+/// search order (pins ascending, locals ascending), so the first
+/// permutation found — and therefore the returned binding — matches the
+/// generic path exactly.
+fn permute_match6(
+    cell_truth: u64,
+    cell_sigs: &[u32],
+    cluster_truth: u64,
+    cluster_sigs: &[u32],
+    n: usize,
+) -> Option<Vec<usize>> {
+    let mut assignment = [usize::MAX; 6];
+    let mut used = [false; 6];
+    if backtrack6(
+        cell_truth,
+        cell_sigs,
+        cluster_truth,
+        cluster_sigs,
+        n,
+        0,
+        &mut assignment,
+        &mut used,
+    ) {
+        Some(assignment[..n].to_vec())
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack6(
+    cell_truth: u64,
+    cell_sigs: &[u32],
+    cluster_truth: u64,
+    cluster_sigs: &[u32],
+    n: usize,
+    pin: usize,
+    assignment: &mut [usize; 6],
+    used: &mut [bool; 6],
+) -> bool {
+    if pin == n {
+        return verify_permutation6(cell_truth, cluster_truth, &assignment[..n], n);
+    }
+    for local in 0..n {
+        if used[local] || cell_sigs[pin] != cluster_sigs[local] {
+            continue;
+        }
+        assignment[pin] = local;
+        used[local] = true;
+        if backtrack6(
+            cell_truth,
+            cell_sigs,
+            cluster_truth,
+            cluster_sigs,
+            n,
+            pin + 1,
+            assignment,
+            used,
+        ) {
+            return true;
+        }
+        used[local] = false;
+    }
+    assignment[pin] = usize::MAX;
+    false
+}
+
+fn verify_permutation6(
+    cell_truth: u64,
+    cluster_truth: u64,
+    assignment: &[usize],
+    n: usize,
+) -> bool {
+    let size = 1usize << n;
+    for m in 0..size {
+        let mut cell_m = 0usize;
+        for (p, &local) in assignment.iter().enumerate() {
+            cell_m |= ((m >> local) & 1) << p;
+        }
+        if (cell_truth >> cell_m) & 1 != (cluster_truth >> m) & 1 {
+            return false;
+        }
+    }
+    true
 }
 
 fn verify_permutation(

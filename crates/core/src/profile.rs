@@ -1,0 +1,260 @@
+//! Lightweight per-phase wall-clock profiler for the mapping pipeline.
+//!
+//! Each phase of a mapping run (decomposition, partitioning, cluster
+//! enumeration, Boolean matching, hazard checking, cover selection)
+//! accumulates elapsed nanoseconds and an invocation count into global
+//! relaxed atomics. [`crate::MapStats::phases`] reports the delta across
+//! one run; `ASYNCMAP_PROFILE=1` additionally dumps the breakdown to
+//! stderr when the run finishes.
+//!
+//! The profiler is compiled in under the `profile` cargo feature (on by
+//! default); without it every call here is a no-op and the timers are
+//! zero-sized. Phases nest — a matching call happens inside cover
+//! selection — so outer timers [`PhaseTimer::pause`] around inner phases,
+//! keeping the per-phase totals disjoint and summable.
+//!
+//! Totals are process-global: if several mapping runs execute
+//! concurrently on different threads, each run's delta includes the
+//! others' work during its window. Per-run attribution is only exact for
+//! the (default) one-run-at-a-time usage.
+
+use std::fmt;
+
+/// A pipeline phase, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapPhase {
+    /// Technology decomposition (`sync_tech_decomp` / `async_tech_decomp`).
+    Decompose,
+    /// Partitioning the subject network into single-output cones.
+    Partition,
+    /// Cluster enumeration per cone.
+    ClusterEnum,
+    /// Boolean matching (signatures + permutation search).
+    Match,
+    /// Hazard-containment checks of candidate matches.
+    HazardCheck,
+    /// Dynamic-programming cover selection (excluding matching time).
+    CoverSelect,
+}
+
+/// Number of phases in [`MapPhase`].
+pub const NUM_PHASES: usize = 6;
+
+/// Short stable names, indexed by `MapPhase as usize` (used in reports and
+/// the benchmark JSON).
+pub const PHASE_NAMES: [&str; NUM_PHASES] = [
+    "decompose",
+    "partition",
+    "cluster_enum",
+    "match",
+    "hazard_check",
+    "cover_select",
+];
+
+/// Accumulated per-phase wall-clock time and invocation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    nanos: [u64; NUM_PHASES],
+    counts: [u64; NUM_PHASES],
+}
+
+impl PhaseTimes {
+    /// Phase-wise difference `self - earlier` (saturating), for the
+    /// snapshot-before / snapshot-after accounting of one run.
+    pub fn delta(&self, earlier: &PhaseTimes) -> PhaseTimes {
+        let mut out = PhaseTimes::default();
+        for i in 0..NUM_PHASES {
+            out.nanos[i] = self.nanos[i].saturating_sub(earlier.nanos[i]);
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+
+    /// Seconds spent in `phase`.
+    pub fn secs(&self, phase: MapPhase) -> f64 {
+        self.nanos[phase as usize] as f64 * 1e-9
+    }
+
+    /// Number of timed invocations of `phase`.
+    pub fn count(&self, phase: MapPhase) -> u64 {
+        self.counts[phase as usize]
+    }
+
+    /// Sum of all phase times, in seconds. Phases are disjoint, so this is
+    /// the profiled fraction of the run.
+    pub fn total_secs(&self) -> f64 {
+        self.nanos.iter().sum::<u64>() as f64 * 1e-9
+    }
+
+    /// `true` when nothing was recorded (profiler compiled out, or an
+    /// unprofiled code path).
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0) && self.nanos.iter().all(|&n| n == 0)
+    }
+
+    /// Iterates `(name, seconds, count)` per phase, in pipeline order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, f64, u64)> + '_ {
+        (0..NUM_PHASES).map(|i| (PHASE_NAMES[i], self.nanos[i] as f64 * 1e-9, self.counts[i]))
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, secs, count)) in self.entries().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  {name:<13} {:>9.2} ms  ({count} calls)", secs * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::{MapPhase, PhaseTimes, NUM_PHASES};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    // `[const { ... }; N]` array-repeat initialization of the atomics.
+    static NANOS: [AtomicU64; NUM_PHASES] = [const { AtomicU64::new(0) }; NUM_PHASES];
+    static COUNTS: [AtomicU64; NUM_PHASES] = [const { AtomicU64::new(0) }; NUM_PHASES];
+
+    /// Times one phase from construction to drop; [`PhaseTimer::pause`]
+    /// excludes nested phases from the lap.
+    #[derive(Debug)]
+    pub struct PhaseTimer {
+        idx: usize,
+        acc: u64,
+        start: Option<Instant>,
+    }
+
+    impl PhaseTimer {
+        /// Stops the clock (e.g. before handing off to an inner phase).
+        pub fn pause(&mut self) {
+            if let Some(s) = self.start.take() {
+                self.acc += s.elapsed().as_nanos() as u64;
+            }
+        }
+
+        /// Restarts the clock after a [`PhaseTimer::pause`].
+        pub fn resume(&mut self) {
+            if self.start.is_none() {
+                self.start = Some(Instant::now());
+            }
+        }
+    }
+
+    impl Drop for PhaseTimer {
+        fn drop(&mut self) {
+            self.pause();
+            NANOS[self.idx].fetch_add(self.acc, Ordering::Relaxed);
+            COUNTS[self.idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn timer(phase: MapPhase) -> PhaseTimer {
+        PhaseTimer {
+            idx: phase as usize,
+            acc: 0,
+            start: Some(Instant::now()),
+        }
+    }
+
+    pub fn snapshot() -> PhaseTimes {
+        let mut out = PhaseTimes::default();
+        for i in 0..NUM_PHASES {
+            out.nanos[i] = NANOS[i].load(Ordering::Relaxed);
+            out.counts[i] = COUNTS[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+mod imp {
+    use super::{MapPhase, PhaseTimes};
+
+    /// No-op stand-in when the `profile` feature is disabled.
+    #[derive(Debug)]
+    pub struct PhaseTimer;
+
+    impl PhaseTimer {
+        /// No-op.
+        pub fn pause(&mut self) {}
+        /// No-op.
+        pub fn resume(&mut self) {}
+    }
+
+    pub fn timer(_phase: MapPhase) -> PhaseTimer {
+        PhaseTimer
+    }
+
+    pub fn snapshot() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+}
+
+pub use imp::PhaseTimer;
+
+/// Starts timing `phase`; the lap is committed to the global totals when
+/// the returned timer drops. With the `profile` feature disabled this is a
+/// no-op.
+pub fn timer(phase: MapPhase) -> PhaseTimer {
+    imp::timer(phase)
+}
+
+/// Current global per-phase totals (all runs since process start).
+pub fn snapshot() -> PhaseTimes {
+    imp::snapshot()
+}
+
+/// `true` when the `ASYNCMAP_PROFILE` environment switch asks for
+/// phase-time output (any nonempty value other than `0`).
+pub fn dump_enabled() -> bool {
+    std::env::var("ASYNCMAP_PROFILE").is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    })
+}
+
+/// Dumps `times` to stderr when `ASYNCMAP_PROFILE=1` is set.
+pub fn maybe_dump(times: &PhaseTimes) {
+    if dump_enabled() && !times.is_zero() {
+        eprintln!(
+            "asyncmap phase profile ({:.2} ms total):\n{times}",
+            times.total_secs() * 1e3
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_phase_wise() {
+        let before = snapshot();
+        {
+            let mut t = timer(MapPhase::Match);
+            t.pause();
+            t.resume();
+        }
+        let d = snapshot().delta(&before);
+        if cfg!(feature = "profile") {
+            assert!(d.count(MapPhase::Match) >= 1);
+        } else {
+            assert!(d.is_zero());
+        }
+        // Display renders one line per phase either way.
+        assert_eq!(format!("{d}").lines().count(), NUM_PHASES);
+    }
+
+    #[test]
+    fn zero_times_report_zero() {
+        let z = PhaseTimes::default();
+        assert!(z.is_zero());
+        assert_eq!(z.total_secs(), 0.0);
+        assert_eq!(z.entries().count(), NUM_PHASES);
+    }
+}

@@ -7,10 +7,11 @@ use crate::cover::{cover_cone_with, hand_cover, ConeCover, CoverError};
 use crate::design::{assemble, MapStats, MappedDesign};
 use crate::hcache::HazardCache;
 use crate::matcher::{HazardPolicy, Matcher};
+use crate::profile::{self, MapPhase, PhaseTimes};
 use asyncmap_library::Library;
 use asyncmap_network::{async_tech_decomp, partition, sync_tech_decomp, EquationSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The covering objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,11 +62,15 @@ fn threads_from_env() -> usize {
 }
 
 /// Resolves the `threads` knob to a concrete worker count for `jobs` cones.
+/// Workers beyond the machine's available parallelism only add scheduling
+/// overhead (the covering loop never blocks), so the request is capped at
+/// the core count.
 fn effective_threads(threads: usize, jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let requested = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        cores
     } else {
-        threads
+        threads.min(cores)
     };
     requested.min(jobs).max(1)
 }
@@ -82,8 +87,19 @@ pub fn tmap(
     library: &Library,
     options: &MapOptions,
 ) -> Result<MappedDesign, CoverError> {
-    let subject = sync_tech_decomp(eqs);
-    run(subject, library, HazardPolicy::Ignore, options, false)
+    let phases_before = profile::snapshot();
+    let subject = {
+        let _t = profile::timer(MapPhase::Decompose);
+        sync_tech_decomp(eqs)
+    };
+    run(
+        subject,
+        library,
+        HazardPolicy::Ignore,
+        options,
+        false,
+        phases_before,
+    )
 }
 
 /// The asynchronous mapping procedure (paper §3.2 `async_tmap`):
@@ -127,7 +143,11 @@ pub fn async_tmap_cached(
     options: &MapOptions,
     cache: &Arc<HazardCache>,
 ) -> Result<MappedDesign, CoverError> {
-    let subject = async_tech_decomp(eqs);
+    let phases_before = profile::snapshot();
+    let subject = {
+        let _t = profile::timer(MapPhase::Decompose);
+        async_tech_decomp(eqs)
+    };
     run_with_cache(
         subject,
         library,
@@ -135,6 +155,7 @@ pub fn async_tmap_cached(
         options,
         false,
         cache,
+        phases_before,
     )
 }
 
@@ -150,8 +171,19 @@ pub fn hand_map(
     library: &Library,
     options: &MapOptions,
 ) -> Result<MappedDesign, CoverError> {
-    let subject = async_tech_decomp(eqs);
-    run(subject, library, HazardPolicy::Ignore, options, true)
+    let phases_before = profile::snapshot();
+    let subject = {
+        let _t = profile::timer(MapPhase::Decompose);
+        async_tech_decomp(eqs)
+    };
+    run(
+        subject,
+        library,
+        HazardPolicy::Ignore,
+        options,
+        true,
+        phases_before,
+    )
 }
 
 fn run(
@@ -160,6 +192,7 @@ fn run(
     policy: HazardPolicy,
     options: &MapOptions,
     greedy: bool,
+    phases_before: PhaseTimes,
 ) -> Result<MappedDesign, CoverError> {
     run_with_cache(
         subject,
@@ -168,9 +201,11 @@ fn run(
         options,
         greedy,
         &Arc::new(HazardCache::new()),
+        phases_before,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_with_cache(
     subject: asyncmap_network::Network,
     library: &Library,
@@ -178,8 +213,12 @@ fn run_with_cache(
     options: &MapOptions,
     greedy: bool,
     cache: &Arc<HazardCache>,
+    phases_before: PhaseTimes,
 ) -> Result<MappedDesign, CoverError> {
-    let cones = partition(&subject);
+    let cones = {
+        let _t = profile::timer(MapPhase::Partition);
+        partition(&subject)
+    };
     let matcher = Matcher::with_cache(library, policy, Arc::clone(cache));
     let hits_before = cache.hits();
     let misses_before = cache.misses();
@@ -200,11 +239,14 @@ fn run_with_cache(
     } else {
         cover_parallel(&cones, threads, &cover_one)?
     };
+    let phases = profile::snapshot().delta(&phases_before);
+    profile::maybe_dump(&phases);
     let stats = MapStats {
         hazard_checks: matcher.hazard_checks(),
         hazard_rejects: matcher.hazard_rejects(),
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
+        phases,
         ..MapStats::default()
     };
     let add_buffers = options.add_buffers && !greedy;
@@ -224,29 +266,35 @@ fn run_with_cache(
 /// design is bit-identical to the sequential one regardless of scheduling.
 /// If any cone fails, the error reported is the one the sequential loop
 /// would have hit first.
+///
+/// The only shared state is the lock-free work counter; each worker keeps
+/// its `(index, result)` pairs locally and hands them back through its
+/// join handle, so no thread ever blocks on another.
 fn cover_parallel<'a>(
     cones: &'a [asyncmap_network::Cone],
     threads: usize,
     cover_one: &(dyn Fn(&'a asyncmap_network::Cone) -> Result<ConeCover, CoverError> + Sync),
 ) -> Result<Vec<ConeCover>, CoverError> {
     let next = AtomicUsize::new(0);
-    let done = Mutex::new(Vec::with_capacity(cones.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, Result<ConeCover, CoverError>)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cone) = cones.get(i) else { break };
-                    local.push((i, cover_one(cone)));
-                }
-                done.lock()
-                    .expect("cone worker panicked while holding results")
-                    .extend(local);
-            });
-        }
+    let mut results: Vec<(usize, Result<ConeCover, CoverError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<ConeCover, CoverError>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cone) = cones.get(i) else { break };
+                        local.push((i, cover_one(cone)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("cone worker panicked"))
+            .collect()
     });
-    let mut results = done.into_inner().expect("cone worker panicked");
     debug_assert_eq!(results.len(), cones.len());
     results.sort_by_key(|&(i, _)| i);
     // First error in partition order, exactly as the sequential loop.

@@ -1,0 +1,179 @@
+//! Word-parallel truth-table kernels.
+//!
+//! A truth table over `n ≤ 6` variables fits in one `u64`: bit `m` is the
+//! function value at the assignment whose variable `v` takes bit `v` of
+//! `m`. Under that packing, variable `v` itself *is* the constant mask
+//! [`MASKS`]`[v]`, so one walk of the expression with `&`/`|`/`!` on `u64`s
+//! evaluates all `2^n` assignments at once — the §4.1.1 bit-vector trick
+//! applied to the matcher instead of the cube algebra.
+//!
+//! Above 6 variables the table is evaluated in 64-assignment blocks: the
+//! low 6 variables keep their masks, the high variables are constant
+//! (all-ones or all-zeros) within a block.
+
+use asyncmap_bff::Expr;
+use asyncmap_cube::Bits;
+
+/// `MASKS[v]` packs the value of variable `v` across the 64 assignments of
+/// a block: bit `m` is set iff bit `v` of `m` is set.
+pub const MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Mask selecting the `2^n` valid table bits of a packed `u64` (`n ≤ 6`).
+#[inline]
+pub fn full_mask(n: usize) -> u64 {
+    debug_assert!(n <= 6);
+    if n == 6 {
+        !0
+    } else {
+        (1u64 << (1usize << n)) - 1
+    }
+}
+
+/// Evaluates `expr` with each variable bound to a 64-assignment word.
+fn eval_word(expr: &Expr, vars: &[u64]) -> u64 {
+    match expr {
+        Expr::Const(b) => {
+            if *b {
+                !0
+            } else {
+                0
+            }
+        }
+        Expr::Var(v) => vars[v.index()],
+        Expr::Not(e) => !eval_word(e, vars),
+        Expr::And(es) => es.iter().fold(!0u64, |acc, e| acc & eval_word(e, vars)),
+        Expr::Or(es) => es.iter().fold(0u64, |acc, e| acc | eval_word(e, vars)),
+    }
+}
+
+/// Packed truth table of `expr` over `n ≤ 6` local variables.
+pub fn truth6_of(expr: &Expr, n: usize) -> u64 {
+    debug_assert!(n <= 6);
+    eval_word(expr, &MASKS[..n.max(1)]) & full_mask(n)
+}
+
+/// Truth table of `expr` over `n` local variables, evaluated in
+/// 64-assignment blocks (one expression walk per block instead of per
+/// assignment).
+///
+/// # Panics
+///
+/// Panics if `n > 24` (the table would be too large).
+pub fn truth_table_words(expr: &Expr, n: usize) -> Bits {
+    assert!(n <= 24, "truth table limited to 24 variables, got {n}");
+    if n <= 6 {
+        let word = truth6_of(expr, n);
+        return Bits::from_words_fn(1usize << n, |_| word);
+    }
+    let mut vars = [0u64; 24];
+    vars[..6].copy_from_slice(&MASKS);
+    Bits::from_words_fn(1usize << n, |block| {
+        for (v, word) in vars.iter_mut().enumerate().take(n).skip(6) {
+            *word = if (block >> (v - 6)) & 1 == 1 { !0 } else { 0 };
+        }
+        eval_word(expr, &vars[..n])
+    })
+}
+
+/// `true` iff the packed function (over `n ≤ 6` vars) depends on `v`: the
+/// two cofactors differ somewhere.
+#[inline]
+pub fn depends6(truth: u64, n: usize, v: usize) -> bool {
+    ((truth >> (1usize << v)) ^ truth) & !MASKS[v] & full_mask(n) != 0
+}
+
+/// Projects a packed table onto a support subset (the function must not
+/// depend on dropped variables).
+pub fn project6(truth: u64, support: &[usize]) -> u64 {
+    let k = support.len();
+    let mut out = 0u64;
+    for m in 0..(1usize << k) {
+        let mut full = 0usize;
+        for (i, &v) in support.iter().enumerate() {
+            full |= ((m >> i) & 1) << v;
+        }
+        out |= ((truth >> full) & 1) << m;
+    }
+    out
+}
+
+/// Signature of input `v` of a packed table: onset count with `v = 1`
+/// packed with the count with `v = 0` (permutation-invariant; identical to
+/// the generic `input_signature`).
+#[inline]
+pub fn input_signature6(truth: u64, n: usize, v: usize) -> u32 {
+    let onset = truth & full_mask(n);
+    let with = (onset & MASKS[v]).count_ones();
+    let without = (onset & !MASKS[v]).count_ones();
+    (with << 16) | without
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarTable;
+
+    #[test]
+    fn masks_encode_variable_values() {
+        for (v, mask) in MASKS.iter().enumerate() {
+            for m in 0..64u64 {
+                assert_eq!((mask >> m) & 1, (m >> v) & 1, "var {v} minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth6_matches_scalar_eval() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(a + b') * (c + a') + b * c'", &mut vars).unwrap();
+        let n = 3;
+        let packed = truth6_of(&e, n);
+        let mut assignment = Bits::new(n);
+        for m in 0..(1usize << n) {
+            for v in 0..n {
+                assignment.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!((packed >> m) & 1 == 1, e.eval(&assignment), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn blocked_table_matches_scalar_eval() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse("(a*b + c'*d) * (e + f') + g*h'", &mut vars).unwrap();
+        let n = 8;
+        let table = truth_table_words(&e, n);
+        let mut assignment = Bits::new(n);
+        for m in 0..(1usize << n) {
+            for v in 0..n {
+                assignment.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(table.get(m), e.eval(&assignment), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn depends_and_projection() {
+        use asyncmap_cube::VarId;
+        // XNOR of variables 0 and 2 — ignores variable 1.
+        let v = |i| Expr::Var(VarId(i));
+        let e = Expr::Or(vec![
+            Expr::And(vec![v(0), v(2)]),
+            Expr::And(vec![Expr::Not(Box::new(v(0))), Expr::Not(Box::new(v(2)))]),
+        ]);
+        let t = truth6_of(&e, 3);
+        assert!(depends6(t, 3, 0));
+        assert!(!depends6(t, 3, 1));
+        assert!(depends6(t, 3, 2));
+        let proj = project6(t, &[0, 2]);
+        // XNOR over 2 vars: minterms 00 and 11.
+        assert_eq!(proj, 0b1001);
+    }
+}

@@ -1,0 +1,133 @@
+//! Equivalence of the word-parallel matcher kernels against their scalar
+//! generic counterparts: truth tables, dependence tests, input signatures
+//! and — end to end — the match lists themselves (same cells, same pin
+//! bindings, same order, same hazard verdicts).
+
+use asyncmap_bff::Expr;
+use asyncmap_core::truth;
+use asyncmap_core::{
+    depends_on, depends_on_words, enumerate_clusters, input_signature, input_signature_words,
+    truth_table_of, truth_table_of_generic, ClusterLimits, HazardPolicy, Matcher,
+};
+use asyncmap_cube::{Cover, Cube, Phase, VarId, VarTable};
+use asyncmap_library::builtin;
+use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+use proptest::prelude::*;
+
+/// Random depth-bounded expression over `nvars` variables, driven by a
+/// proptest-supplied byte stream so every case is reproducible.
+fn expr_from_stream(nvars: usize, stream: &[u8], pos: &mut usize, depth: usize) -> Expr {
+    fn next(stream: &[u8], pos: &mut usize, bound: usize) -> usize {
+        let b = stream[*pos % stream.len()] as usize;
+        *pos += 1;
+        b % bound
+    }
+    if depth == 0 || next(stream, pos, 4) == 0 {
+        let v = Expr::Var(VarId(next(stream, pos, nvars)));
+        return if next(stream, pos, 2) == 1 {
+            v.not()
+        } else {
+            v
+        };
+    }
+    let arity = 2 + next(stream, pos, 2);
+    let args: Vec<Expr> = (0..arity)
+        .map(|_| expr_from_stream(nvars, stream, pos, depth - 1))
+        .collect();
+    if next(stream, pos, 2) == 1 {
+        Expr::and(args)
+    } else {
+        Expr::or(args)
+    }
+}
+
+prop_compose! {
+    fn arb_expr(nvars: usize)(stream in prop::collection::vec(any::<u8>(), 32..64)) -> Expr {
+        let mut pos = 0;
+        expr_from_stream(nvars, &stream, &mut pos, 3)
+    }
+}
+
+const NVARS: usize = 4;
+
+prop_compose! {
+    fn arb_cube()(used in 1u8..16, phase in 0u8..16) -> Cube {
+        let mut lits = Vec::new();
+        for v in 0..NVARS {
+            if (used >> v) & 1 == 1 {
+                let p = if (phase >> v) & 1 == 1 { Phase::Pos } else { Phase::Neg };
+                lits.push((VarId(v), p));
+            }
+        }
+        Cube::from_literals(NVARS, lits)
+    }
+}
+
+prop_compose! {
+    fn arb_cover()(cubes in prop::collection::vec(arb_cube(), 1..5)) -> Cover {
+        Cover::from_cubes(NVARS, cubes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truth_tables_agree_small(e in arb_expr(5)) {
+        let fast = truth_table_of(&e, 5);
+        let generic = truth_table_of_generic(&e, 5);
+        prop_assert_eq!(&fast, &generic);
+        // The packed u64 table must agree with both.
+        let packed = truth::truth6_of(&e, 5);
+        prop_assert_eq!(fast.words()[0], packed);
+    }
+
+    #[test]
+    fn truth_tables_agree_wide(e in arb_expr(8)) {
+        prop_assert_eq!(truth_table_of(&e, 8), truth_table_of_generic(&e, 8));
+    }
+
+    #[test]
+    fn dependence_and_signatures_agree(e in arb_expr(5)) {
+        let n = 5;
+        let table = truth_table_of_generic(&e, n);
+        let packed = truth::truth6_of(&e, n);
+        for v in 0..n {
+            let dep = depends_on(&table, n, v);
+            prop_assert_eq!(depends_on_words(&table, v), dep, "depends_on_words var {}", v);
+            prop_assert_eq!(truth::depends6(packed, n, v), dep, "depends6 var {}", v);
+            let sig = input_signature(&table, n, v);
+            prop_assert_eq!(input_signature_words(&table, v), sig, "sig_words var {}", v);
+            prop_assert_eq!(truth::input_signature6(packed, n, v), sig, "sig6 var {}", v);
+        }
+    }
+
+    #[test]
+    fn match_lists_identical_with_hazard_filter(cover in arb_cover()) {
+        if cover.is_tautology() {
+            return Ok(());
+        }
+        let vars = VarTable::from_names(["a", "b", "c", "d"]);
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), cover.clone())]);
+        let net = async_tech_decomp(&eqs);
+        // Actel's mux modules exercise the hazard-containment verdicts;
+        // LSI9K covers the plain-gate bulk.
+        for mut lib in [builtin::lsi9k(), builtin::actel()] {
+            lib.annotate_hazards();
+            let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+            for cone in &partition(&net) {
+                let clusters = enumerate_clusters(&net, cone, &ClusterLimits::default());
+                for list in clusters.values() {
+                    for cluster in list {
+                        prop_assert_eq!(
+                            matcher.find_matches(cluster),
+                            matcher.find_matches_generic(cluster),
+                            "match lists diverge in {}",
+                            lib.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

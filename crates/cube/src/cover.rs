@@ -10,7 +10,135 @@
 //! simplify a cover; simplification is always an explicit call.
 
 use crate::{Bits, Cube, ParseSopError, Phase, VarId, VarTable};
+use std::cell::RefCell;
 use std::fmt;
+
+/// Reusable working storage for the recursive cover kernels (tautology,
+/// containment, complement). One instance lives per thread; buffers are
+/// checked out for the duration of a recursion level and returned, so the
+/// kernels stop allocating a fresh `Vec<Cube>` and literal-count vectors at
+/// every level of the Shannon expansion.
+#[derive(Default)]
+struct Scratch {
+    bufs: Vec<Vec<Cube>>,
+    pos: Vec<u32>,
+    neg: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with the thread's scratch pool. Falls back to a fresh pool in
+/// the (not currently possible) re-entrant case rather than panicking.
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut Scratch::default()),
+    })
+}
+
+/// Fills `pos`/`neg` with per-variable literal counts over `cubes`.
+fn counts_into(cubes: &[Cube], nvars: usize, pos: &mut Vec<u32>, neg: &mut Vec<u32>) {
+    pos.clear();
+    pos.resize(nvars, 0);
+    neg.clear();
+    neg.resize(nvars, 0);
+    for c in cubes {
+        for (v, p) in c.literals() {
+            if p.is_pos() {
+                pos[v.index()] += 1;
+            } else {
+                neg[v.index()] += 1;
+            }
+        }
+    }
+}
+
+/// The most binate variable: prefer variables appearing in both phases;
+/// among those, the one in the most cubes; ties broken toward the lowest
+/// index. Falls back to the most frequent variable.
+fn most_binate(nvars: usize, pos: &[u32], neg: &[u32]) -> VarId {
+    let mut best: Option<(bool, u32, usize)> = None;
+    for v in 0..nvars {
+        let (p, n) = (pos[v], neg[v]);
+        if p + n == 0 {
+            continue;
+        }
+        let key = (p > 0 && n > 0, p + n, usize::MAX - v);
+        if best.is_none_or(|b| key > b) {
+            best = Some(key);
+        }
+    }
+    let (_, _, inv_v) = best.expect("most_binate on constant cover");
+    VarId(usize::MAX - inv_v)
+}
+
+/// Cofactors a cube list in place with respect to the literal `(v, phase)`:
+/// cubes holding the opposite literal are dropped, the rest lose `v`.
+fn cofactor_in_place(cubes: &mut Vec<Cube>, v: VarId, phase: Phase) {
+    cubes.retain_mut(|c| match c.literal(v) {
+        Some(p) if p != phase => false,
+        Some(_) => {
+            c.clear_var(v);
+            true
+        }
+        None => true,
+    });
+}
+
+/// Tautology check over a mutable cube list (consumed as working storage).
+/// Same algorithm as the paper-era `Cover::is_tautology` — fast checks, then
+/// unate reduction, then Shannon on the most binate variable — but unate
+/// reduction and the negative Shannon branch cofactor in place, and the
+/// positive branch borrows a pooled buffer.
+fn taut_rec(cubes: &mut Vec<Cube>, nvars: usize, s: &mut Scratch) -> bool {
+    loop {
+        if cubes.iter().any(Cube::is_universe) {
+            return true;
+        }
+        if cubes.is_empty() {
+            return false;
+        }
+        if nvars < 63 {
+            let total: u64 = cubes.iter().map(Cube::num_minterms).sum();
+            if total < (1u64 << nvars) {
+                return false;
+            }
+        }
+        counts_into(cubes, nvars, &mut s.pos, &mut s.neg);
+        let mut reduced = false;
+        for v in 0..nvars {
+            let (p, n) = (s.pos[v], s.neg[v]);
+            if p + n == 0 {
+                continue;
+            }
+            if n == 0 {
+                cofactor_in_place(cubes, VarId(v), Phase::Neg);
+                reduced = true;
+                break;
+            }
+            if p == 0 {
+                cofactor_in_place(cubes, VarId(v), Phase::Pos);
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        let v = most_binate(nvars, &s.pos, &s.neg);
+        let mut pos_buf = s.bufs.pop().unwrap_or_default();
+        pos_buf.clear();
+        pos_buf.extend(cubes.iter().filter_map(|c| c.cofactor(v, Phase::Pos)));
+        let pos_taut = taut_rec(&mut pos_buf, nvars, s);
+        s.bufs.push(pos_buf);
+        if !pos_taut {
+            return false;
+        }
+        cofactor_in_place(cubes, v, Phase::Neg);
+    }
+}
 
 /// A sum-of-products cover: an ordered list of cubes over `nvars` variables.
 ///
@@ -149,56 +277,51 @@ impl Cover {
         }
     }
 
-    /// Cofactor with respect to every literal of `cube`.
+    /// Cofactor with respect to every literal of `cube` (single word-level
+    /// pass per cube, see [`Cube::cofactor_cube`]).
     pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
-        let mut out = self.clone();
-        for (v, p) in cube.literals() {
-            out = out.cofactor(v, p);
+        Cover {
+            nvars: self.nvars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor_cube(cube))
+                .collect(),
         }
-        out
     }
 
     /// Semantic tautology test (`f ≡ 1`) via unate reduction and Shannon
-    /// expansion.
+    /// expansion, using per-thread scratch buffers.
     pub fn is_tautology(&self) -> bool {
-        // Fast accepts/rejects.
         if self.cubes.iter().any(Cube::is_universe) {
             return true;
         }
         if self.cubes.is_empty() {
             return false;
         }
-        if self.nvars < 63 {
-            let total: u64 = self.cubes.iter().map(Cube::num_minterms).sum();
-            if total < (1u64 << self.nvars) {
-                return false;
-            }
-        }
-        // Unate reduction: if v appears in only one phase, f is a tautology
-        // iff the cofactor against that phase's complement is.
-        let (pos_counts, neg_counts) = self.literal_counts();
-        for v in 0..self.nvars {
-            let (p, n) = (pos_counts[v], neg_counts[v]);
-            if p + n == 0 {
-                continue;
-            }
-            if n == 0 {
-                return self.cofactor(VarId(v), Phase::Neg).is_tautology();
-            }
-            if p == 0 {
-                return self.cofactor(VarId(v), Phase::Pos).is_tautology();
-            }
-        }
-        // Shannon on the most binate variable.
-        let v = self.most_binate_var(&pos_counts, &neg_counts);
-        self.cofactor(v, Phase::Pos).is_tautology() && self.cofactor(v, Phase::Neg).is_tautology()
+        with_scratch(|s| {
+            let mut buf = s.bufs.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend(self.cubes.iter().cloned());
+            let r = taut_rec(&mut buf, self.nvars, s);
+            s.bufs.push(buf);
+            r
+        })
     }
 
     /// Semantic containment of a cube: `true` iff every minterm of `cube`
     /// is covered (possibly by several cubes jointly). Equivalently, `cube`
-    /// is an implicant of the function.
+    /// is an implicant of the function. Computed as the tautology of the
+    /// cube cofactor, without materializing the intermediate cover.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        self.cofactor_cube(cube).is_tautology()
+        with_scratch(|s| {
+            let mut buf = s.bufs.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend(self.cubes.iter().filter_map(|c| c.cofactor_cube(cube)));
+            let r = taut_rec(&mut buf, self.nvars, s);
+            s.bufs.push(buf);
+            r
+        })
     }
 
     /// Alias of [`Cover::covers_cube`] with the implicant vocabulary of the
@@ -348,8 +471,10 @@ impl Cover {
                 cubes,
             };
         }
-        let (pos, neg) = self.literal_counts();
-        let v = self.most_binate_var(&pos, &neg);
+        let v = with_scratch(|s| {
+            counts_into(&self.cubes, self.nvars, &mut s.pos, &mut s.neg);
+            most_binate(self.nvars, &s.pos, &s.neg)
+        });
         let comp_pos = self.cofactor(v, Phase::Pos).complement();
         let comp_neg = self.cofactor(v, Phase::Neg).complement();
         let mut cubes = Vec::with_capacity(comp_pos.len() + comp_neg.len());
@@ -466,39 +591,6 @@ impl Cover {
     /// (`"w'xz + w'xy"`, `"0"` when empty).
     pub fn display<'a>(&'a self, vars: &'a VarTable) -> DisplayCover<'a> {
         DisplayCover { cover: self, vars }
-    }
-
-    fn literal_counts(&self) -> (Vec<u32>, Vec<u32>) {
-        let mut pos = vec![0u32; self.nvars];
-        let mut neg = vec![0u32; self.nvars];
-        for c in &self.cubes {
-            for (v, p) in c.literals() {
-                if p.is_pos() {
-                    pos[v.index()] += 1;
-                } else {
-                    neg[v.index()] += 1;
-                }
-            }
-        }
-        (pos, neg)
-    }
-
-    fn most_binate_var(&self, pos: &[u32], neg: &[u32]) -> VarId {
-        // Prefer variables appearing in both phases; among those, the one in
-        // the most cubes. Falls back to the most frequent variable.
-        let mut best: Option<(bool, u32, usize)> = None;
-        for v in 0..self.nvars {
-            let (p, n) = (pos[v], neg[v]);
-            if p + n == 0 {
-                continue;
-            }
-            let key = (p > 0 && n > 0, p + n, usize::MAX - v);
-            if best.is_none_or(|b| key > b) {
-                best = Some(key);
-            }
-        }
-        let (_, _, inv_v) = best.expect("most_binate_var on constant cover");
-        VarId(usize::MAX - inv_v)
     }
 }
 

@@ -196,28 +196,48 @@ impl Cube {
     /// Set containment: `true` iff every minterm of `other` is in `self`
     /// (i.e. `self`'s literals are a subset of `other`'s, with equal phases).
     pub fn contains(&self, other: &Cube) -> bool {
-        self.used.is_subset(&other.used) && self.phase.xor(&other.phase).and(&self.used).is_zero()
+        // Fused word walk: USED₁ ⊆ USED₂ and phases agree wherever USED₁.
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        debug_assert_eq!(u1.len(), u2.len());
+        (0..u1.len()).all(|i| u1[i] & !u2[i] == 0 && (p1[i] ^ p2[i]) & u1[i] == 0)
     }
 
     /// Number of conflicting variables: used in both cubes with opposite
     /// phases. This is the population count of the paper's `CONFLICTS`
     /// vector.
     pub fn distance(&self, other: &Cube) -> u32 {
-        self.conflicts(other).count_ones()
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        debug_assert_eq!(u1.len(), u2.len());
+        (0..u1.len())
+            .map(|i| ((u1[i] & u2[i]) & (p1[i] ^ p2[i])).count_ones())
+            .sum()
     }
 
     /// The paper's `CONFLICTS` vector:
     /// `(USED₁ & USED₂) & (PHASE₁ ⊕ PHASE₂)`.
     pub fn conflicts(&self, other: &Cube) -> Bits {
-        self.used
-            .and(&other.used)
-            .and(&self.phase.xor(&other.phase))
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        debug_assert_eq!(u1.len(), u2.len());
+        Bits::from_words_fn(self.nvars(), |i| (u1[i] & u2[i]) & (p1[i] ^ p2[i]))
+    }
+
+    /// `true` if the cubes conflict in at least one variable (their
+    /// intersection is empty). Equivalent to `distance(other) > 0` without
+    /// building the `CONFLICTS` vector.
+    pub fn conflicts_with(&self, other: &Cube) -> bool {
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        debug_assert_eq!(u1.len(), u2.len());
+        (0..u1.len()).any(|i| (u1[i] & u2[i]) & (p1[i] ^ p2[i]) != 0)
     }
 
     /// Intersection of two cubes, or `None` if they conflict (the
     /// intersection is empty).
     pub fn intersect(&self, other: &Cube) -> Option<Cube> {
-        if !self.conflicts(other).is_zero() {
+        if self.conflicts_with(other) {
             return None;
         }
         Some(Cube {
@@ -230,11 +250,12 @@ impl Cube {
     /// endpoints `α`, `β` this is the *transition space* `T[α, β]` of
     /// Definition 4.2.
     pub fn supercube(&self, other: &Cube) -> Cube {
-        let used = self
-            .used
-            .and(&other.used)
-            .and_not(&self.phase.xor(&other.phase));
-        let phase = self.phase.and(&used);
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        debug_assert_eq!(u1.len(), u2.len());
+        let used = Bits::from_words_fn(self.nvars(), |i| (u1[i] & u2[i]) & !(p1[i] ^ p2[i]));
+        let uw = used.words();
+        let phase = Bits::from_words_fn(self.nvars(), |i| p1[i] & uw[i]);
         Cube { used, phase }
     }
 
@@ -256,13 +277,16 @@ impl Cube {
     /// # Ok::<(), asyncmap_cube::ParseSopError>(())
     /// ```
     pub fn adjacency(&self, other: &Cube) -> Option<Cube> {
-        let conflicts = self.conflicts(other);
-        if conflicts.count_ones() != 1 {
+        if self.distance(other) != 1 {
             return None;
         }
+        let conflicts = self.conflicts(other);
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let (u2, p2) = (other.used.words(), other.phase.words());
+        let cw = conflicts.words();
         Some(Cube {
-            used: self.used.or(&other.used).and_not(&conflicts),
-            phase: self.phase.or(&other.phase).and_not(&conflicts),
+            used: Bits::from_words_fn(self.nvars(), |i| (u1[i] | u2[i]) & !cw[i]),
+            phase: Bits::from_words_fn(self.nvars(), |i| (p1[i] | p2[i]) & !cw[i]),
         })
     }
 
@@ -289,9 +313,31 @@ impl Cube {
     /// cube. If `v` was unused, the cube is returned unchanged.
     pub fn without_var(&self, v: VarId) -> Cube {
         let mut c = self.clone();
-        c.used.set(v.index(), false);
-        c.phase.set(v.index(), false);
+        c.clear_var(v);
         c
+    }
+
+    /// Removes variable `v` from the cube in place (widening it). No-op if
+    /// `v` was unused.
+    pub fn clear_var(&mut self, v: VarId) {
+        self.used.set(v.index(), false);
+        self.phase.set(v.index(), false);
+    }
+
+    /// Cofactor with respect to every literal of `other` in one word-level
+    /// pass: `None` if the cubes conflict (the cofactor is empty), otherwise
+    /// `self` with all of `other`'s variables dropped. Equivalent to folding
+    /// [`Cube::cofactor`] over `other.literals()`.
+    pub fn cofactor_cube(&self, other: &Cube) -> Option<Cube> {
+        if self.conflicts_with(other) {
+            return None;
+        }
+        let (u1, p1) = (self.used.words(), self.phase.words());
+        let u2 = other.used.words();
+        Some(Cube {
+            used: Bits::from_words_fn(self.nvars(), |i| u1[i] & !u2[i]),
+            phase: Bits::from_words_fn(self.nvars(), |i| p1[i] & !u2[i]),
+        })
     }
 
     /// Returns the cube with the phase of literal `v` complemented.
@@ -326,7 +372,8 @@ impl Cube {
     /// the value of variable `i`).
     pub fn eval(&self, assignment: &Bits) -> bool {
         debug_assert_eq!(assignment.len(), self.nvars());
-        self.phase.xor(assignment).and(&self.used).is_zero()
+        let (u, p, a) = (self.used.words(), self.phase.words(), assignment.words());
+        (0..u.len()).all(|i| (p[i] ^ a[i]) & u[i] == 0)
     }
 
     /// Number of minterms the cube contains.
@@ -598,6 +645,23 @@ mod tests {
         assert!(cube.cofactor(w, Phase::Pos).is_none());
         let y = vars.lookup("y").unwrap();
         assert_eq!(cube.cofactor(y, Phase::Pos).unwrap(), cube);
+    }
+
+    #[test]
+    fn cofactor_cube_matches_literal_fold() {
+        let vars = wxyz();
+        let cube = c("w'xz", &vars);
+        // Non-conflicting: drops the shared variables in one pass.
+        assert_eq!(
+            cube.cofactor_cube(&c("w'y", &vars)).unwrap(),
+            c("xz", &vars)
+        );
+        // Conflicting: empty cofactor.
+        assert!(cube.cofactor_cube(&c("w", &vars)).is_none());
+        assert!(cube.conflicts_with(&c("w", &vars)));
+        assert!(!cube.conflicts_with(&c("w'y", &vars)));
+        // Universe cofactor is the identity.
+        assert_eq!(cube.cofactor_cube(&Cube::universe(4)).unwrap(), cube);
     }
 
     #[test]

@@ -122,7 +122,21 @@ impl Cell {
     /// Table 2).
     pub fn annotate(&mut self) {
         if self.hazards.is_none() {
-            self.hazards = Some(asyncmap_hazard::analyze_expr(&self.bff, self.pins.len()));
+            self.hazards = Some(self.compute_hazards());
+        }
+    }
+
+    /// The hazard characterization of the cell's structure, computed
+    /// without storing it — lets annotation workers analyze cells through
+    /// shared references and commit the results afterwards.
+    pub fn compute_hazards(&self) -> HazardReport {
+        asyncmap_hazard::analyze_expr(&self.bff, self.pins.len())
+    }
+
+    /// Stores a hazard report computed by [`Cell::compute_hazards`].
+    pub(crate) fn set_hazards(&mut self, report: HazardReport) {
+        if self.hazards.is_none() {
+            self.hazards = Some(report);
         }
     }
 

@@ -70,8 +70,11 @@ impl Library {
     /// (paper §3.2, Table 2). Idempotent.
     ///
     /// Cells are annotated independently, so the work is spread over all
-    /// available cores (annotation cost varies strongly with pin count, so
-    /// workers pull cells from a shared queue rather than fixed chunks).
+    /// available cores. Annotation cost varies strongly with pin count, so
+    /// workers claim cell indices from a lock-free atomic counter
+    /// (dynamic balancing without a mutex on the work queue), analyze the
+    /// cells through shared references, and the reports are committed
+    /// index-by-index afterwards.
     /// # Examples
     ///
     /// ```
@@ -80,28 +83,43 @@ impl Library {
     /// assert_eq!(lib.hazardous_cells().len(), 12); // the muxes (Table 1)
     /// ```
     pub fn annotate_hazards(&mut self) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pending: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| self.cells[i].hazards().is_none())
+            .collect();
         let threads = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
-            .min(self.cells.len());
+            .min(pending.len());
         if threads <= 1 {
             for cell in &mut self.cells {
                 cell.annotate();
             }
         } else {
-            let queue = std::sync::Mutex::new(self.cells.iter_mut());
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        // Take one cell per lock acquisition; annotate it
-                        // outside the lock.
-                        let Some(cell) = queue.lock().expect("annotation worker panicked").next()
-                        else {
-                            break;
-                        };
-                        cell.annotate();
-                    });
-                }
-            });
+            let cells = &self.cells;
+            let next = AtomicUsize::new(0);
+            let reports: Vec<(usize, asyncmap_hazard::HazardReport)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut local = Vec::new();
+                                loop {
+                                    let k = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&i) = pending.get(k) else { break };
+                                    local.push((i, cells[i].compute_hazards()));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("annotation worker panicked"))
+                        .collect()
+                });
+            for (i, report) in reports {
+                self.cells[i].set_hazards(report);
+            }
         }
         self.annotated = true;
     }
