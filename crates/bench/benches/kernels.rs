@@ -4,13 +4,19 @@
 //! two-level dynamic-hazard search, each at input widths 4, 8 and 16.
 //!
 //! The truth-table benchmarks also cross-check the word-parallel fast
-//! path against the scalar generic path and abort on divergence, so a CI
-//! run of this bench doubles as an equivalence smoke test.
+//! path against the scalar generic path and abort on divergence, and the
+//! cut-enumeration benchmark maps `dme` with the dominance-pruned and the
+//! legacy enumerator and aborts on any mapped-design fingerprint mismatch,
+//! so a CI run of this bench doubles as an equivalence smoke test.
 
+use asyncmap_bench::design_fingerprint;
 use asyncmap_bff::Expr;
-use asyncmap_core::{truth_table_of, truth_table_of_generic};
+use asyncmap_core::{
+    async_tmap, truth_table_of, truth_table_of_generic, ClusterLimits, MapOptions,
+};
 use asyncmap_cube::{Cover, Cube, Phase, VarId};
 use asyncmap_hazard::find_mic_dyn_haz_2level;
+use asyncmap_library::builtin;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,6 +110,42 @@ fn bench_truth_tables(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cut_enumeration(c: &mut Criterion) {
+    let mut actel = builtin::actel();
+    actel.annotate_hazards();
+    let eqs = asyncmap_burst::benchmark("dme");
+    let new_opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let legacy_opts = MapOptions {
+        threads: 1,
+        limits: ClusterLimits {
+            legacy_enum: true,
+            ..ClusterLimits::default()
+        },
+        ..MapOptions::default()
+    };
+    // Divergence gate: the dominance-pruned interned enumerator must map
+    // to the exact design the legacy recursive enumerator produces, else
+    // the bench (and CI) fails.
+    let new_design = async_tmap(&eqs, &actel, &new_opts).expect("mappable");
+    let legacy_design = async_tmap(&eqs, &actel, &legacy_opts).expect("mappable");
+    assert_eq!(
+        design_fingerprint(&new_design),
+        design_fingerprint(&legacy_design),
+        "cut/legacy enumerator divergence on dme"
+    );
+    let mut g = c.benchmark_group("map_dme");
+    g.bench_function("cut_enum", |b| {
+        b.iter(|| async_tmap(black_box(&eqs), &actel, &new_opts).expect("mappable"))
+    });
+    g.bench_function("legacy_enum", |b| {
+        b.iter(|| async_tmap(black_box(&eqs), &actel, &legacy_opts).expect("mappable"))
+    });
+    g.finish();
+}
+
 fn bench_hazard_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("find_mic_dyn_haz_2level");
     for w in WIDTHS {
@@ -119,6 +161,7 @@ criterion_group!(
     kernels,
     bench_cover_kernels,
     bench_truth_tables,
+    bench_cut_enumeration,
     bench_hazard_search
 );
 criterion_main!(kernels);

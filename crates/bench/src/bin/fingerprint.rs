@@ -3,6 +3,7 @@
 //! rejects. Used to verify that performance work leaves the mapped output
 //! bit-identical (`cargo run --release -p asyncmap-bench --bin fingerprint`).
 
+use asyncmap_bench::design_fingerprint;
 use asyncmap_core::{async_tmap, MapOptions};
 use asyncmap_library::builtin;
 
@@ -23,12 +24,9 @@ fn main() {
     ] {
         let eqs = asyncmap_burst::benchmark(design);
         let d = async_tmap(&eqs, lib, &opts).expect("mappable");
+        let (area, delay, instances, rejects) = design_fingerprint(&d);
         println!(
-            "{design:12} area={:016x} delay={:016x} instances={} rejects={}",
-            d.area.to_bits(),
-            d.delay.to_bits(),
-            d.num_instances(),
-            d.stats.hazard_rejects
+            "{design:12} area={area:016x} delay={delay:016x} instances={instances} rejects={rejects}"
         );
     }
 }

@@ -6,9 +6,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use asyncmap_core::PhaseTimes;
+use asyncmap_core::{MappedDesign, PhaseTimes};
 use asyncmap_library::{builtin, Library};
 use std::time::{Duration, Instant};
+
+/// Summary of a mapped design used to assert two mapping configurations
+/// produced bit-identical results (shared by the `speedup` and
+/// `fingerprint` binaries and the CI divergence gate).
+pub fn design_fingerprint(d: &MappedDesign) -> (u64, u64, usize, usize) {
+    (
+        d.area.to_bits(),
+        d.delay.to_bits(),
+        d.num_instances(),
+        d.stats.hazard_rejects,
+    )
+}
 
 /// The four evaluation libraries in the paper's order, unannotated.
 pub fn libraries() -> Vec<Library> {
@@ -75,9 +87,13 @@ pub struct BenchRecord {
     pub median: Duration,
     /// Worker threads the configuration mapped with.
     pub threads: usize,
-    /// Fraction of hazard checks answered by the verdict cache (0 when the
-    /// run performed no hazard checks).
-    pub cache_hit_rate: f64,
+    /// Fraction of hazard checks answered by the verdict cache; `None`
+    /// (omitted from the JSON) when the run performed no hazard checks —
+    /// a rate of a zero-lookup cache is meaningless, not zero.
+    pub cache_hit_rate: Option<f64>,
+    /// Fraction of match-memo lookups served from the NPN memo; `None`
+    /// when the memo is disabled or saw no lookups.
+    pub npn_hit_rate: Option<f64>,
     /// Per-phase time breakdown of one representative run (zero when the
     /// profiler is compiled out).
     pub phases: PhaseTimes,
@@ -122,12 +138,19 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
         if let Some(ratio) = r.speedup_vs_seq {
             extra.push_str(&format!(", \"speedup_vs_seq\": {ratio:.4}"));
         }
+        let mut rates = String::new();
+        if let Some(rate) = r.cache_hit_rate {
+            rates.push_str(&format!(", \"cache_hit_rate\": {rate:.6}"));
+        }
+        if let Some(rate) = r.npn_hit_rate {
+            rates.push_str(&format!(", \"npn_hit_rate\": {rate:.6}"));
+        }
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}, \"cache_hit_rate\": {:.6}{}}}{}\n",
+            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}{}{}}}{}\n",
             name,
             r.median.as_secs_f64(),
             r.threads,
-            r.cache_hit_rate,
+            rates,
             extra,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -177,7 +200,8 @@ mod tests {
                 name: "scsi/seq".into(),
                 median: Duration::from_millis(1500),
                 threads: 1,
-                cache_hit_rate: 0.0,
+                cache_hit_rate: None,
+                npn_hit_rate: Some(0.96),
                 phases: PhaseTimes::default(),
                 speedup_vs_seq: None,
             },
@@ -185,7 +209,8 @@ mod tests {
                 name: "scsi/par\"4\"".into(),
                 median: Duration::from_micros(700),
                 threads: 4,
-                cache_hit_rate: 0.25,
+                cache_hit_rate: Some(0.25),
+                npn_hit_rate: None,
                 phases: PhaseTimes::default(),
                 speedup_vs_seq: Some(2.14),
             },
@@ -196,6 +221,11 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\\\"4\\\""));
         assert!(json.contains("\"cache_hit_rate\": 0.250000"));
+        assert!(json.contains("\"npn_hit_rate\": 0.960000"));
+        // A run with no hazard checks omits the rate instead of reporting
+        // a misleading 0.0 — exactly one record carries each rate here.
+        assert_eq!(json.matches("\"cache_hit_rate\"").count(), 1);
+        assert_eq!(json.matches("\"npn_hit_rate\"").count(), 1);
         assert!(json.contains("\"speedup_vs_seq\": 2.1400"));
         // Zero phase times are elided entirely.
         assert!(!json.contains("\"phases\""));
@@ -216,7 +246,8 @@ mod tests {
             name: "x".into(),
             median: Duration::from_millis(1),
             threads: 1,
-            cache_hit_rate: 0.0,
+            cache_hit_rate: None,
+            npn_hit_rate: None,
             phases,
             speedup_vs_seq: None,
         }];

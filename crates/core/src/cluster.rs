@@ -7,11 +7,42 @@
 //! bounded product of the fanin cut sets. Bounds follow CERES: a maximum
 //! gate depth (the paper's tables use "depth of 5") and a maximum leaf
 //! count (the widest library cell).
+//!
+//! Two enumerators live here:
+//!
+//! * [`enumerate_clusters`] (default) — a bottom-up dynamic program in the
+//!   k-feasible-cut style: sorted leaf sets are interned in a per-cone
+//!   [`LeafArena`] (set equality is id equality, subset tests are a
+//!   one-word bloom filter plus a merge scan), each gate's cut list is
+//!   computed once from its fanins' interned lists (over-wide unions —
+//!   the bulk of the cross product in wide cones — are rejected by a
+//!   bloom popcount bound or an early-aborting merge before anything is
+//!   hashed), dominated cuts (superset leaf set — which in a tree cone
+//!   implies strictly fewer covered gates) are pruned from the
+//!   match-candidate list, and the surviving cuts are materialized by a
+//!   single walk that produces the packed truth table directly (one word
+//!   up to 6 leaves, four words up to 8) — the cluster `Expr` is only
+//!   built lazily, on first use (hazard-check interning or the >8-leaf
+//!   fallback).
+//! * [`enumerate_clusters_legacy`] — the original per-root recursive
+//!   enumerator, kept verbatim as the reference semantics for the
+//!   equivalence proptests and the CI fingerprint gate.
+//!
+//! The new enumerator reproduces the legacy pipeline order exactly
+//! (cross-product → lexicographic sort → dedup → trivial cut first →
+//! `max_cuts_per_gate` truncation → depth filter), and downstream gates
+//! consume the *unpruned* truncated lists, so dominance pruning only
+//! removes match candidates whose leaf sets are supersets of another
+//! candidate at the same root — the mapped designs stay bit-identical on
+//! the evaluation benchmarks.
 
+use crate::truth::{self, MASKS};
 use asyncmap_bff::Expr;
 use asyncmap_cube::{VarId, VarTable};
 use asyncmap_network::{Cone, GateOp, Network, NodeKind, SignalId};
+use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// A candidate subnetwork for matching.
 #[derive(Debug, Clone)]
@@ -36,6 +67,18 @@ pub struct ClusterLimits {
     pub max_leaves: usize,
     /// Cap on cuts kept per gate (guards pathological cones).
     pub max_cuts_per_gate: usize,
+    /// Prune match-equivalent dominated cuts from each gate's candidate
+    /// list: a cut whose leaf set strictly contains another cut's, with
+    /// the same support-signal sequence and the same support-projected
+    /// truth table, covers strictly fewer gates at no smaller cost and is
+    /// dropped before matching. Selection-safe by construction, so mapped
+    /// designs are unchanged. On by default; the covering layer ignores
+    /// the flag while the matcher's hazard filter is live (the dominated
+    /// pair's cluster expressions differ, so hazard verdicts could too).
+    pub prune_dominated: bool,
+    /// Route enumeration through the legacy per-root recursive enumerator
+    /// (reference semantics, slower). Off by default.
+    pub legacy_enum: bool,
 }
 
 impl Default for ClusterLimits {
@@ -44,13 +87,42 @@ impl Default for ClusterLimits {
             max_depth: 5,
             max_leaves: 8,
             max_cuts_per_gate: 200,
+            prune_dominated: true,
+            legacy_enum: false,
         }
     }
 }
 
 /// Enumerates the clusters rooted at every gate of `cone`, keyed by root
 /// signal.
+///
+/// Uses the dominance-pruned interned-cut enumerator unless
+/// [`ClusterLimits::legacy_enum`] asks for the reference path; both yield
+/// clusters in the same deterministic order (trivial cut first, then
+/// lexicographic by sorted leaf set).
 pub fn enumerate_clusters(
+    net: &Network,
+    cone: &Cone,
+    limits: &ClusterLimits,
+) -> HashMap<SignalId, Vec<Cluster>> {
+    if limits.legacy_enum {
+        return enumerate_clusters_legacy(net, cone, limits);
+    }
+    let cuts = enumerate_cuts(net, cone, limits);
+    cone.gates
+        .iter()
+        .map(|&g| {
+            let list = cuts.clusters(g).iter().map(|c| c.to_cluster(net)).collect();
+            (g, list)
+        })
+        .collect()
+}
+
+/// The original recursive enumerator, kept as the reference semantics for
+/// equivalence tests and the CI fingerprint gate. Ignores
+/// [`ClusterLimits::prune_dominated`].
+#[doc(hidden)]
+pub fn enumerate_clusters_legacy(
     net: &Network,
     cone: &Cone,
     limits: &ClusterLimits,
@@ -211,6 +283,507 @@ impl Cluster {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interned-cut dynamic program (the default enumerator).
+// ---------------------------------------------------------------------------
+
+/// Per-cone interner of sorted leaf sets. Sets live concatenated in one
+/// backing vector; an id is an index into the span table, so set equality
+/// is id equality and every set is stored once per cone no matter how many
+/// cross-product combinations produce it.
+#[derive(Debug, Default)]
+struct LeafArena {
+    /// Concatenated sorted sets.
+    data: Vec<SignalId>,
+    /// id → (start, len) into `data`.
+    spans: Vec<(u32, u32)>,
+    /// id → one-word bloom signature (bit `s.index() & 63` per member):
+    /// `sig(a) & !sig(b) != 0` proves `a ⊄ b` without touching the slices.
+    sigs: Vec<u64>,
+    /// Content-hash index for interning.
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl LeafArena {
+    /// Interns a sorted, deduplicated set, returning its id (existing or
+    /// new).
+    fn intern(&mut self, set: &[SignalId]) -> u32 {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
+        let mut h = DefaultHasher::new();
+        set.hash(&mut h);
+        let h = h.finish();
+        if let Some(ids) = self.index.get(&h) {
+            for &id in ids {
+                if self.slice(id) == set {
+                    return id;
+                }
+            }
+        }
+        let id = u32::try_from(self.spans.len()).expect("leaf-set arena overflow");
+        let start = u32::try_from(self.data.len()).expect("leaf-set arena overflow");
+        self.data.extend_from_slice(set);
+        self.spans.push((start, set.len() as u32));
+        self.sigs
+            .push(set.iter().fold(0u64, |a, s| a | 1 << (s.index() & 63)));
+        self.index.entry(h).or_default().push(id);
+        id
+    }
+
+    fn slice(&self, id: u32) -> &[SignalId] {
+        let (start, len) = self.spans[id as usize];
+        &self.data[start as usize..(start + len) as usize]
+    }
+
+    fn len_of(&self, id: u32) -> usize {
+        self.spans[id as usize].1 as usize
+    }
+
+    /// Sorted-merge union of two interned sets into `out` (cleared first),
+    /// aborting with `false` as soon as the union exceeds `cap` elements.
+    ///
+    /// Callers prefilter with the bloom signatures first:
+    /// `popcount(sig(a) | sig(b))` is a lower bound on the union size
+    /// (collisions only shrink it), so most over-wide pairs are rejected
+    /// in three word ops without touching the slices. This matters: in the
+    /// benchmark cones ~98% of cross-product pairs blow the leaf bound,
+    /// and hashing them into the arena first made the enumerator slower
+    /// than the legacy one.
+    fn merge_bounded(&self, a: u32, b: u32, cap: usize, out: &mut Vec<SignalId>) -> bool {
+        let (xs, ys) = (self.slice(a), self.slice(b));
+        if xs.len().max(ys.len()) > cap {
+            return false;
+        }
+        out.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            if out.len() >= cap {
+                return false;
+            }
+            match xs[i].cmp(&ys[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(xs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(ys[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if out.len() + (xs.len() - i) + (ys.len() - j) > cap {
+            return false;
+        }
+        out.extend_from_slice(&xs[i..]);
+        out.extend_from_slice(&ys[j..]);
+        true
+    }
+
+    /// `true` iff set `a` ⊆ set `b` (bloom prefilter, then a merge scan).
+    fn is_subset(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.len_of(a) > self.len_of(b) || self.sigs[a as usize] & !self.sigs[b as usize] != 0 {
+            return false;
+        }
+        let (xs, ys) = (self.slice(a), self.slice(b));
+        let mut j = 0;
+        'outer: for &x in xs {
+            while j < ys.len() {
+                match ys[j].cmp(&x) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// A materialized cut: the matcher-facing view of one cluster, carrying
+/// the packed truth table computed during the walk instead of an `Expr`.
+/// The expression is built lazily — only hazard-check interning and the
+/// wide (>6-leaf) fallback ever need it.
+#[derive(Debug)]
+pub(crate) struct CutCluster {
+    /// The gate whose output the cluster computes.
+    pub(crate) root: SignalId,
+    /// Leaf signals, deduplicated in first-visit order (identical to the
+    /// legacy [`Cluster::leaves`] ordering, so pin bindings and instance
+    /// inputs come out bit-identical).
+    pub(crate) leaves: Vec<SignalId>,
+    /// Number of gates the cluster covers.
+    pub(crate) num_gates: usize,
+    /// Packed truth table over `leaves` (`leaves[i]` = variable `i`);
+    /// `None` when the cut has more than 6 leaves.
+    pub(crate) truth6: Option<u64>,
+    /// The 4-word packed table for wide cuts (7–8 leaves, the bits beyond
+    /// `2^nleaves` replicate the valid block); `None` past 8 leaves.
+    /// Always `Some` when [`CutCluster::truth6`] is.
+    pub(crate) twords: Option<[u64; 4]>,
+    max_depth: usize,
+    expr: OnceCell<Expr>,
+}
+
+impl CutCluster {
+    /// The cluster expression, built on first use by re-walking the cone
+    /// (the walk revisits leaves in the same first-visit order).
+    pub(crate) fn expr(&self, net: &Network) -> &Expr {
+        self.expr.get_or_init(|| {
+            let mut cut = self.leaves.clone();
+            cut.sort();
+            let mut leaves = Vec::new();
+            let mut num_gates = 0usize;
+            let expr = walk(
+                net,
+                self.root,
+                &cut,
+                0,
+                self.max_depth,
+                &mut leaves,
+                &mut num_gates,
+            )
+            .expect("materialized cut re-walks within the depth bound");
+            debug_assert_eq!(leaves, self.leaves);
+            debug_assert_eq!(num_gates, self.num_gates);
+            expr
+        })
+    }
+
+    /// Materializes the legacy [`Cluster`] view (eager expression).
+    pub(crate) fn to_cluster(&self, net: &Network) -> Cluster {
+        Cluster {
+            root: self.root,
+            leaves: self.leaves.clone(),
+            expr: self.expr(net).clone(),
+            num_gates: self.num_gates,
+        }
+    }
+}
+
+/// The cut sets of one cone, enumerated bottom-up with interned leaf sets
+/// and dominance pruning.
+#[derive(Debug)]
+pub(crate) struct ConeCuts {
+    clusters: HashMap<SignalId, Vec<CutCluster>>,
+    /// Number of gates whose cut list hit [`ClusterLimits::max_cuts_per_gate`]
+    /// and lost cuts to truncation.
+    pub(crate) truncations: usize,
+}
+
+impl ConeCuts {
+    /// The match-candidate clusters rooted at `g`, trivial cut first.
+    pub(crate) fn clusters(&self, g: SignalId) -> &[CutCluster] {
+        &self.clusters[&g]
+    }
+}
+
+/// Bottom-up cut enumeration over `cone`: one pass over the gates in
+/// topological order, each gate's cut list built from its fanins' interned
+/// lists. Downstream gates consume the truncated-but-unpruned lists (the
+/// exact legacy sets); dominance pruning applies to the materialized
+/// match-candidate lists only.
+pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits) -> ConeCuts {
+    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    let mut arena = LeafArena::default();
+    // cuts[g] = interned cut ids of g, trivial first, post-truncation,
+    // including depth-invalid cuts (they still feed downstream
+    // cross-products, exactly as in the legacy enumerator).
+    let mut cuts: HashMap<SignalId, Vec<u32>> = HashMap::new();
+    let mut clusters: HashMap<SignalId, Vec<CutCluster>> = HashMap::new();
+    let mut truncations = 0usize;
+    let mut scratch: Vec<SignalId> = Vec::new();
+    for &g in &cone.gates {
+        let NodeKind::Gate { fanin, .. } = net.node(g) else {
+            unreachable!("cone gate is not a gate")
+        };
+        let options: Vec<Vec<u32>> = fanin
+            .iter()
+            .map(|&f| {
+                let mut opts = vec![arena.intern(&[f])];
+                if cone_gates.contains(&f) {
+                    if let Some(sub) = cuts.get(&f) {
+                        opts.extend(sub.iter().copied());
+                    }
+                }
+                opts
+            })
+            .collect();
+        let mut gate_cuts: Vec<u32> = Vec::new();
+        cross_ids(
+            &mut arena,
+            &options,
+            limits.max_leaves,
+            &mut gate_cuts,
+            &mut scratch,
+        );
+        // Legacy pipeline order: sort lexicographically by set content,
+        // dedup (same content ⇒ same id), pull the trivial cut to the
+        // front, truncate.
+        let mut trivial: Vec<SignalId> = fanin.clone();
+        trivial.sort();
+        trivial.dedup();
+        let trivial = arena.intern(&trivial);
+        gate_cuts.sort_by(|&a, &b| arena.slice(a).cmp(arena.slice(b)));
+        gate_cuts.dedup();
+        gate_cuts.retain(|&c| c != trivial);
+        let cap = limits.max_cuts_per_gate.saturating_sub(1);
+        if gate_cuts.len() > cap {
+            truncations += 1;
+        }
+        gate_cuts.truncate(cap);
+        gate_cuts.insert(0, trivial);
+        // Materialize (depth filter happens in the walk), then prune
+        // dominated candidates: a cut whose leaf set strictly contains a
+        // surviving cut's covers strictly fewer gates — drop it. The
+        // trivial cut (index 0) is never pruned: it guarantees every gate
+        // stays coverable by a base cell.
+        let mut list: Vec<(u32, CutCluster)> = Vec::new();
+        for &id in &gate_cuts {
+            let mut leaves = Vec::new();
+            let mut num_gates = 0usize;
+            let Some(twords) = walk_truth(
+                net,
+                g,
+                arena.slice(id),
+                0,
+                limits.max_depth,
+                &mut leaves,
+                &mut num_gates,
+            ) else {
+                continue;
+            };
+            let truth6 = if leaves.len() <= 6 {
+                let w = twords.expect("≤6 leaves always packs");
+                Some(w[0] & truth::full_mask(leaves.len()))
+            } else {
+                None
+            };
+            list.push((
+                id,
+                CutCluster {
+                    root: g,
+                    leaves,
+                    num_gates,
+                    truth6,
+                    twords,
+                    max_depth: limits.max_depth,
+                    expr: OnceCell::new(),
+                },
+            ));
+        }
+        if limits.prune_dominated && list.len() > 1 {
+            // Match-equivalent dominance: cut B is dominated by cut A when
+            // leaves(A) ⊊ leaves(B) and both present the matcher with the
+            // very same candidate — identical support-signal sequence and
+            // identical support-projected truth table. The two then yield
+            // identical match lists and pin bindings, and B's candidates
+            // carry a superset of A's gate leaves, so B can never win the
+            // covering DP (extra gate leaves cost strictly positive area;
+            // an exact tie means the candidates are interchangeable).
+            // Naive leaf-set dominance is NOT selection-safe: the smaller
+            // cut's function may have no library match while the larger
+            // one's does, which the equal-truth condition rules out. The
+            // trivial cut (index 0) is never pruned.
+            let keys: Vec<Option<(Vec<SignalId>, u64)>> = list
+                .iter()
+                .map(|(_, c)| {
+                    let t = c.truth6?;
+                    let n = c.leaves.len();
+                    let support: Vec<usize> =
+                        (0..n).filter(|&v| truth::depends6(t, n, v)).collect();
+                    let proj = truth::project6(t, &support);
+                    Some((support.iter().map(|&v| c.leaves[v]).collect(), proj))
+                })
+                .collect();
+            let mut keep = vec![true; list.len()];
+            for j in 1..list.len() {
+                let Some(kj) = &keys[j] else { continue };
+                for i in 0..list.len() {
+                    if i == j || !keep[i] {
+                        continue;
+                    }
+                    let Some(ki) = &keys[i] else { continue };
+                    if ki == kj && arena.is_subset(list[i].0, list[j].0) {
+                        debug_assert!(
+                            list[i].1.num_gates > list[j].1.num_gates,
+                            "a sub-cut covers strictly more gates"
+                        );
+                        keep[j] = false;
+                        break;
+                    }
+                }
+            }
+            let mut it = keep.iter();
+            list.retain(|_| *it.next().expect("keep mask aligned"));
+        }
+        clusters.insert(g, list.into_iter().map(|(_, c)| c).collect());
+        cuts.insert(g, gate_cuts);
+    }
+    ConeCuts {
+        clusters,
+        truncations,
+    }
+}
+
+/// Cross product of the fanin option lists, merging interned sets pairwise.
+/// Supersets of an over-wide union only grow, so the descent prunes as
+/// soon as the running union exceeds `max_leaves` (the legacy enumerator
+/// drops the same sets after a full merge). Over-wide pairs — the vast
+/// majority in wide cones — are rejected by the bloom popcount bound or an
+/// early-aborting merge before anything is hashed or interned.
+fn cross_ids(
+    arena: &mut LeafArena,
+    options: &[Vec<u32>],
+    max_leaves: usize,
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<SignalId>,
+) {
+    fn rec(
+        arena: &mut LeafArena,
+        options: &[Vec<u32>],
+        idx: usize,
+        acc: Option<u32>,
+        max_leaves: usize,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<SignalId>,
+    ) {
+        if idx == options.len() {
+            if let Some(id) = acc {
+                out.push(id);
+            }
+            return;
+        }
+        for &choice in &options[idx] {
+            let next = match acc {
+                None => {
+                    if arena.len_of(choice) > max_leaves {
+                        continue;
+                    }
+                    choice
+                }
+                Some(a) => {
+                    // Lower bound on the union size: distinct signals can
+                    // only collide in the bloom word, never split.
+                    let lb = (arena.sigs[a as usize] | arena.sigs[choice as usize]).count_ones();
+                    if lb as usize > max_leaves {
+                        continue;
+                    }
+                    if !arena.merge_bounded(a, choice, max_leaves, scratch) {
+                        continue;
+                    }
+                    arena.intern(scratch)
+                }
+            };
+            rec(
+                arena,
+                options,
+                idx + 1,
+                Some(next),
+                max_leaves,
+                out,
+                scratch,
+            );
+        }
+    }
+    rec(arena, options, 0, None, max_leaves, out, scratch);
+}
+
+/// Leaf masks for the wide 4-word (256-minterm, ≤ 8-variable) packed
+/// tables: variable `v` is true exactly on the minterms whose bit `v` is
+/// set. The first six rows replicate the one-word [`MASKS`] patterns;
+/// variables 6 and 7 toggle at word granularity.
+const WMASKS: [[u64; 4]; 8] = [
+    [MASKS[0]; 4],
+    [MASKS[1]; 4],
+    [MASKS[2]; 4],
+    [MASKS[3]; 4],
+    [MASKS[4]; 4],
+    [MASKS[5]; 4],
+    [0, !0, 0, !0],
+    [0, 0, !0, !0],
+];
+
+/// The materialization walk: identical traversal to [`walk`] (first-visit
+/// leaf order, stop at the first cut member, depth bound), but computes
+/// the packed truth table words directly instead of building an `Expr`.
+///
+/// Returns `None` when the depth bound is exceeded. The inner option is
+/// the 4-word table accumulator (good for up to 8 variables): it poisons
+/// to `None` once a leaf index reaches 8 (the final table is only
+/// meaningful when the finished leaf list has ≤ 8 entries). For a 7-leaf
+/// cut the upper two words duplicate the lower two, so the full array is
+/// still a deterministic function of the cluster — usable as a memo key.
+#[allow(clippy::too_many_arguments)]
+fn walk_truth(
+    net: &Network,
+    signal: SignalId,
+    cut: &[SignalId],
+    depth: usize,
+    max_depth: usize,
+    leaves: &mut Vec<SignalId>,
+    num_gates: &mut usize,
+) -> Option<Option<[u64; 4]>> {
+    if depth > 0 && cut.binary_search(&signal).is_ok() {
+        let v = match leaves.iter().position(|&s| s == signal) {
+            Some(i) => i,
+            None => {
+                leaves.push(signal);
+                leaves.len() - 1
+            }
+        };
+        return Some((v < 8).then(|| WMASKS[v]));
+    }
+    if depth >= max_depth {
+        return None;
+    }
+    let NodeKind::Gate { op, fanin } = net.node(signal) else {
+        unreachable!("walk hit a non-cut input signal");
+    };
+    *num_gates += 1;
+    let words = match op {
+        GateOp::And => {
+            let mut acc = Some([!0u64; 4]);
+            for &f in fanin {
+                let w = walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?;
+                acc = acc
+                    .zip(w)
+                    .map(|(a, b)| std::array::from_fn(|i| a[i] & b[i]));
+            }
+            acc
+        }
+        GateOp::Or => {
+            let mut acc = Some([0u64; 4]);
+            for &f in fanin {
+                let w = walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?;
+                acc = acc
+                    .zip(w)
+                    .map(|(a, b)| std::array::from_fn(|i| a[i] | b[i]));
+            }
+            acc
+        }
+        GateOp::Inv => {
+            let f = *fanin.first().expect("inverter fanin");
+            walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?.map(|w| w.map(|x| !x))
+        }
+        GateOp::Buf => {
+            let f = *fanin.first().expect("buffer fanin");
+            walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?
+        }
+    };
+    Some(words)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +874,163 @@ mod tests {
         let full = at_root.iter().max_by_key(|c| c.num_gates).unwrap();
         // Leaves are a and b only (a deduplicated).
         assert!(full.leaves.len() <= 3); // a, b, and possibly the INV output
+    }
+
+    #[test]
+    fn arena_interns_once_and_tests_subsets() {
+        let mut arena = LeafArena::default();
+        let s = |i: usize| SignalId(i);
+        let a = arena.intern(&[s(1), s(3)]);
+        let b = arena.intern(&[s(1), s(2), s(3)]);
+        assert_eq!(arena.intern(&[s(1), s(3)]), a, "re-intern returns the id");
+        assert!(arena.is_subset(a, b));
+        assert!(!arena.is_subset(b, a));
+        assert!(arena.is_subset(a, a));
+        // Bloom collisions (64 apart) still answer correctly.
+        let c = arena.intern(&[s(65)]);
+        let d = arena.intern(&[s(1)]);
+        assert!(!arena.is_subset(c, d));
+        let mut merged = Vec::new();
+        assert!(arena.merge_bounded(a, c, 8, &mut merged));
+        assert_eq!(merged, vec![s(1), s(3), s(65)]);
+        // The bounded merge aborts as soon as the union exceeds the cap.
+        assert!(!arena.merge_bounded(a, c, 2, &mut merged));
+        assert!(
+            arena.merge_bounded(a, b, 3, &mut merged),
+            "union is a,b's 3"
+        );
+    }
+
+    /// The pruned enumerator yields a subset of the legacy clusters: every
+    /// surviving cluster exists verbatim in the legacy list, every legacy
+    /// cluster that was dropped is dominated by a surviving one, and with
+    /// pruning disabled the two lists are identical.
+    #[test]
+    fn pruned_enumeration_is_a_dominance_subset_of_legacy() {
+        for (text, names) in [
+            ("ab + a'c + bc", vec!["a", "b", "c"]),
+            ("ab' + cd + a'd'", vec!["a", "b", "c", "d"]),
+            ("ab + ab'", vec!["a", "b"]),
+        ] {
+            let (net, cone) = cone_of(text, &names);
+            let limits = ClusterLimits::default();
+            let new = enumerate_clusters(&net, &cone, &limits);
+            let legacy = enumerate_clusters_legacy(&net, &cone, &limits);
+            let unpruned = enumerate_clusters(
+                &net,
+                &cone,
+                &ClusterLimits {
+                    prune_dominated: false,
+                    ..limits
+                },
+            );
+            for g in &cone.gates {
+                let key = |c: &Cluster| (c.leaves.clone(), c.num_gates, format!("{:?}", c.expr));
+                let new_keys: Vec<_> = new[g].iter().map(key).collect();
+                let legacy_keys: Vec<_> = legacy[g].iter().map(key).collect();
+                let unpruned_keys: Vec<_> = unpruned[g].iter().map(key).collect();
+                assert_eq!(unpruned_keys, legacy_keys, "{text}: unpruned != legacy");
+                // Pruned list is an ordered subset…
+                let mut it = legacy_keys.iter();
+                for k in &new_keys {
+                    assert!(
+                        it.any(|l| l == k),
+                        "{text}: pruned cluster not in legacy order"
+                    );
+                }
+                // …and everything dropped is match-equivalent dominated by
+                // a survivor: subset leaves, same support-signal sequence,
+                // same support-projected truth.
+                let match_key = |c: &Cluster| {
+                    let n = c.leaves.len();
+                    let t = truth::truth6_of(&c.expr, n);
+                    let support: Vec<usize> =
+                        (0..n).filter(|&v| truth::depends6(t, n, v)).collect();
+                    let sigs: Vec<SignalId> = support.iter().map(|&v| c.leaves[v]).collect();
+                    (sigs, truth::project6(t, &support))
+                };
+                for dropped in legacy[g].iter().filter(|c| {
+                    let k = key(c);
+                    !new_keys.contains(&k)
+                }) {
+                    let mut d_set = dropped.leaves.clone();
+                    d_set.sort();
+                    let dominated = new[g].iter().any(|kept| {
+                        let mut k_set = kept.leaves.clone();
+                        k_set.sort();
+                        kept.num_gates > dropped.num_gates
+                            && k_set.iter().all(|s| d_set.binary_search(s).is_ok())
+                            && match_key(kept) == match_key(dropped)
+                    });
+                    assert!(dominated, "{text}: dropped cluster is not dominated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_events_are_counted() {
+        let (net, cone) = cone_of("ab' + cd + a'd'", &["a", "b", "c", "d"]);
+        let roomy = enumerate_cuts(&net, &cone, &ClusterLimits::default());
+        assert_eq!(roomy.truncations, 0, "default cap is not hit here");
+        let tight = ClusterLimits {
+            max_cuts_per_gate: 2,
+            ..ClusterLimits::default()
+        };
+        let truncated = enumerate_cuts(&net, &cone, &tight);
+        assert!(truncated.truncations > 0, "cap 2 must truncate some gate");
+        for &g in &cone.gates {
+            assert!(!truncated.clusters(g).is_empty(), "trivial cut survives");
+        }
+    }
+
+    #[test]
+    fn cut_cluster_truth_matches_lazy_expr() {
+        let (net, cone) = cone_of("ab + a'c + bc", &["a", "b", "c"]);
+        let cuts = enumerate_cuts(&net, &cone, &ClusterLimits::default());
+        let mut checked = 0;
+        for &g in &cone.gates {
+            for c in cuts.clusters(g) {
+                let t = c.truth6.expect("≤6 leaves on this cone");
+                assert_eq!(
+                    t,
+                    truth::truth6_of(c.expr(&net), c.leaves.len()),
+                    "walk truth diverges from expression truth"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    /// The 4-word wide tables from the walk agree with the `Expr`-derived
+    /// word-blocked tables on 7–8 leaf cuts (the wide matcher path keys
+    /// its memo on these words, so any divergence would corrupt matching).
+    #[test]
+    fn wide_cut_words_match_lazy_expr() {
+        let (net, cone) = cone_of(
+            "ab + cd + ef + gh",
+            &["a", "b", "c", "d", "e", "f", "g", "h"],
+        );
+        let cuts = enumerate_cuts(&net, &cone, &ClusterLimits::default());
+        let mut wide_checked = 0;
+        for &g in &cone.gates {
+            for c in cuts.clusters(g) {
+                let n = c.leaves.len();
+                let words = c.twords.expect("≤8 leaves on this cone");
+                let want = truth::truth_table_words(c.expr(&net), n);
+                if n > 6 {
+                    assert_eq!(
+                        &words[..1 << (n - 6)],
+                        want.words(),
+                        "wide walk words diverge from expression truth at {n} leaves"
+                    );
+                    wide_checked += 1;
+                } else {
+                    assert_eq!(words[0] & truth::full_mask(n), c.truth6.unwrap());
+                }
+            }
+        }
+        assert!(wide_checked > 0, "cone produced no wide cuts");
     }
 }

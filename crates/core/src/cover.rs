@@ -7,7 +7,7 @@
 //! gate is the cheapest match rooted there plus the best costs of the
 //! match's gate leaves.
 
-use crate::cluster::{enumerate_clusters, Cluster, ClusterLimits};
+use crate::cluster::{enumerate_clusters_legacy, enumerate_cuts, ClusterLimits, CutCluster};
 use crate::matcher::Matcher;
 use crate::profile::{self, MapPhase};
 use crate::tmap::Objective;
@@ -36,6 +36,10 @@ pub struct ConeCover {
     pub instances: Vec<Instance>,
     /// Total cell area of the cover.
     pub area: f64,
+    /// Number of gates in this cone whose cut list was truncated at
+    /// [`ClusterLimits::max_cuts_per_gate`] (0 on the legacy enumerator,
+    /// which does not count them).
+    pub cut_truncations: usize,
 }
 
 /// Error: a gate could not be covered by any library cell.
@@ -106,12 +110,88 @@ pub fn cover_cone_with(
     limits: &ClusterLimits,
     objective: Objective,
 ) -> Result<ConeCover, CoverError> {
-    let clusters = {
+    if limits.legacy_enum {
+        return cover_cone_legacy(net, cone, matcher, limits, objective);
+    }
+    let limits = &effective_limits(limits, matcher);
+    let cuts = {
         let _t = profile::timer(MapPhase::ClusterEnum);
-        enumerate_clusters(net, cone, limits)
+        enumerate_cuts(net, cone, limits)
     };
     // Cover-select time excludes the matcher (paused around each call),
     // which accounts itself under the match / hazard-check phases.
+    let mut t_select = profile::timer(MapPhase::CoverSelect);
+    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    let mut best: HashMap<SignalId, Choice> = HashMap::new();
+    for &g in &cone.gates {
+        let mut best_here: Option<Choice> = None;
+        for cluster in cuts.clusters(g) {
+            let gate_leaves: Vec<SignalId> = cluster
+                .leaves
+                .iter()
+                .copied()
+                .filter(|l| cone_gates.contains(l))
+                .collect();
+            // All gate leaves must already have solutions (they precede g
+            // topologically).
+            let leaf_area: f64 = gate_leaves
+                .iter()
+                .map(|l| best.get(l).map_or(f64::INFINITY, |c| c.total_area))
+                .sum();
+            if !leaf_area.is_finite() {
+                continue;
+            }
+            let leaf_delay: f64 = gate_leaves
+                .iter()
+                .map(|l| best[l].total_delay)
+                .fold(0.0, f64::max);
+            t_select.pause();
+            let matches = matcher.find_matches_cut(cluster, net);
+            t_select.resume();
+            for m in matches {
+                let cell = &matcher.library().cells()[m.cell_index];
+                let candidate = Choice {
+                    cell_index: m.cell_index,
+                    pin_signals: m.pin_to_leaf.iter().map(|&l| cluster.leaves[l]).collect(),
+                    gate_leaves: gate_leaves.clone(),
+                    cell_area: cell.area(),
+                    total_area: cell.area() + leaf_area,
+                    total_delay: cell.delay() + leaf_delay,
+                };
+                if best_here
+                    .as_ref()
+                    .is_none_or(|b| candidate.score(objective) < b.score(objective))
+                {
+                    best_here = Some(candidate);
+                }
+            }
+        }
+        match best_here {
+            Some(choice) => {
+                best.insert(g, choice);
+            }
+            None => return Err(CoverError { gate: g }),
+        }
+    }
+    let cover = reconstruct(cone, &best, cuts.truncations);
+    drop(t_select);
+    Ok(cover)
+}
+
+/// The reference DP over the legacy enumerator's eager clusters. Selected
+/// by [`ClusterLimits::legacy_enum`]; the CI fingerprint gate diffs its
+/// mapped designs against the cut-based path's.
+fn cover_cone_legacy(
+    net: &Network,
+    cone: &Cone,
+    matcher: &Matcher<'_>,
+    limits: &ClusterLimits,
+    objective: Objective,
+) -> Result<ConeCover, CoverError> {
+    let clusters = {
+        let _t = profile::timer(MapPhase::ClusterEnum);
+        enumerate_clusters_legacy(net, cone, limits)
+    };
     let mut t_select = profile::timer(MapPhase::CoverSelect);
     let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
     let mut best: HashMap<SignalId, Choice> = HashMap::new();
@@ -124,8 +204,6 @@ pub fn cover_cone_with(
                 .copied()
                 .filter(|l| cone_gates.contains(l))
                 .collect();
-            // All gate leaves must already have solutions (they precede g
-            // topologically).
             let leaf_area: f64 = gate_leaves
                 .iter()
                 .map(|l| best.get(l).map_or(f64::INFINITY, |c| c.total_area))
@@ -165,7 +243,7 @@ pub fn cover_cone_with(
             None => return Err(CoverError { gate: g }),
         }
     }
-    let cover = reconstruct(cone, &best);
+    let cover = reconstruct(cone, &best, 0);
     drop(t_select);
     Ok(cover)
 }
@@ -180,9 +258,9 @@ pub fn hand_cover(
     matcher: &Matcher<'_>,
     limits: &ClusterLimits,
 ) -> Result<ConeCover, CoverError> {
-    let clusters = {
+    let cuts = {
         let _t = profile::timer(MapPhase::ClusterEnum);
-        enumerate_clusters(net, cone, limits)
+        enumerate_cuts(net, cone, &effective_limits(limits, matcher))
     };
     let mut t_select = profile::timer(MapPhase::CoverSelect);
     let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
@@ -190,10 +268,10 @@ pub fn hand_cover(
     let mut area = 0.0;
     let mut work = vec![cone.root];
     while let Some(g) = work.pop() {
-        let mut chosen: Option<(&Cluster, crate::matcher::Match, f64)> = None;
-        for cluster in &clusters[&g] {
+        let mut chosen: Option<(&CutCluster, crate::matcher::Match, f64)> = None;
+        for cluster in cuts.clusters(g) {
             t_select.pause();
-            let matches = matcher.find_matches(cluster);
+            let matches = matcher.find_matches_cut(cluster, net);
             t_select.resume();
             for m in matches {
                 let cell_area = matcher.library().cells()[m.cell_index].area();
@@ -229,10 +307,21 @@ pub fn hand_cover(
         root: cone.root,
         instances,
         area,
+        cut_truncations: cuts.truncations,
     })
 }
 
-fn reconstruct(cone: &Cone, best: &HashMap<SignalId, Choice>) -> ConeCover {
+/// Dominance pruning trades on match-list interchangeability, which the
+/// hazard filter breaks (verdicts depend on the cluster expression, not
+/// just its projected function): force it off while the filter is live.
+fn effective_limits(limits: &ClusterLimits, matcher: &Matcher<'_>) -> ClusterLimits {
+    ClusterLimits {
+        prune_dominated: limits.prune_dominated && !matcher.hazard_filtering_active(),
+        ..*limits
+    }
+}
+
+fn reconstruct(cone: &Cone, best: &HashMap<SignalId, Choice>, cut_truncations: usize) -> ConeCover {
     let mut instances = Vec::new();
     let mut area = 0.0;
     let mut work = vec![cone.root];
@@ -251,6 +340,7 @@ fn reconstruct(cone: &Cone, best: &HashMap<SignalId, Choice>) -> ConeCover {
         root: cone.root,
         instances,
         area,
+        cut_truncations,
     }
 }
 

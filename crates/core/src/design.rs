@@ -23,6 +23,15 @@ pub struct MapStats {
     /// Hazard checks that actually evaluated `hazards_subset` during this
     /// run (cache misses).
     pub cache_misses: usize,
+    /// Match-memo lookups served from the memo (raw-truth or
+    /// canonical-class level). Zero when `ASYNCMAP_NPN_MEMO=0`.
+    pub npn_hits: usize,
+    /// Match-memo lookups that fell through to the full permutation
+    /// search. Zero when `ASYNCMAP_NPN_MEMO=0`.
+    pub npn_misses: usize,
+    /// Gates whose cut list was truncated at
+    /// [`crate::ClusterLimits::max_cuts_per_gate`].
+    pub cut_truncations: usize,
     /// Cones mapped.
     pub cones: usize,
     /// Base gates in the subject network.

@@ -29,7 +29,7 @@ use asyncmap_bff::Expr;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Number of verdict shards; a power of two so shard selection is a mask.
 const SHARDS: usize = 16;
@@ -166,9 +166,155 @@ impl HazardCache {
 }
 
 fn shard_of(key: &VerdictKey) -> usize {
+    hash_shard(key)
+}
+
+fn hash_shard<K: Hash>(key: &K) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() as usize) & (SHARDS - 1)
+}
+
+/// One memoized pin binding: the matcher's `pin_to_local` permutation for
+/// a cell entry, packed one byte per pin (≤ 6 pins).
+pub(crate) type MemoBinding = (u32, [u8; 6]);
+
+/// A memoized binding for a wide (7–8 leaf) cluster: the cell entry plus
+/// the pin → *leaf index* map, packed one byte per pin.
+pub(crate) type WideBinding = (u32, [u8; 8]);
+
+/// Sharded memo of Boolean-match results, keyed by the cluster's packed
+/// truth table and, underneath that, by its P-class canonical form
+/// ([`crate::truth::canon6`]).
+///
+/// Three levels:
+///
+/// * **raw** — `(n, truth)` → the matching cell entries *with* their pin
+///   bindings. The binding search is a pure function of the projected
+///   truth table, so an exact-table hit replays the stored bindings and
+///   skips `permute_match6` entirely.
+/// * **class** — `(n, canon, phase)` → the matching cell entry list. A
+///   first-seen table that canonicalizes into a known class skips the
+///   signature-bucket scan (the expensive part: most cells fail the
+///   permutation search) and only re-runs `permute_match6` against the
+///   few cells known to match, which pins the bindings to exactly what
+///   the unmemoized search would have produced.
+/// * **wide** — `(nleaves, 4-word table)` → pin → leaf-index bindings for
+///   7–8 leaf clusters, whose tables do not pack into one word. Raw-level
+///   only (no canonical form), but these clusters repeat just as heavily
+///   across cones, so the exact-table hit rate carries the weight.
+///
+/// Entry lists keep library bucket order, so match lists — and therefore
+/// cover selection — are bit-identical with the memo on or off. Hazard
+/// filtering happens downstream of the memo and is never cached here.
+/// A sharded hash map: the memo levels below key into one of [`SHARDS`]
+/// independently locked maps to keep contention negligible under the
+/// parallel cone-mapping engine.
+type Sharded<K, V> = [RwLock<HashMap<K, V>>; SHARDS];
+
+#[derive(Debug)]
+pub(crate) struct MatchMemo {
+    raw: Sharded<(u8, u64), Arc<Vec<MemoBinding>>>,
+    class: Sharded<(u8, u64, bool), Arc<Vec<u32>>>,
+    wide: Sharded<(u8, [u64; 4]), Arc<Vec<WideBinding>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for MatchMemo {
+    fn default() -> Self {
+        MatchMemo {
+            raw: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            class: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            wide: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl MatchMemo {
+    pub(crate) fn new() -> Self {
+        MatchMemo::default()
+    }
+
+    /// Lookups answered from either memo level.
+    pub(crate) fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a full signature-bucket scan.
+    pub(crate) fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn raw_get(&self, n: usize, truth: u64) -> Option<Arc<Vec<MemoBinding>>> {
+        let key = (n as u8, truth);
+        self.raw[hash_shard(&key)]
+            .read()
+            .expect("match-memo lock poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    pub(crate) fn raw_put(&self, n: usize, truth: u64, bindings: Arc<Vec<MemoBinding>>) {
+        let key = (n as u8, truth);
+        self.raw[hash_shard(&key)]
+            .write()
+            .expect("match-memo lock poisoned")
+            .insert(key, bindings);
+    }
+
+    pub(crate) fn class_get(&self, n: usize, canon: u64, phase: bool) -> Option<Arc<Vec<u32>>> {
+        let key = (n as u8, canon, phase);
+        self.class[hash_shard(&key)]
+            .read()
+            .expect("match-memo lock poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    pub(crate) fn class_put(&self, n: usize, canon: u64, phase: bool, cells: Arc<Vec<u32>>) {
+        let key = (n as u8, canon, phase);
+        self.class[hash_shard(&key)]
+            .write()
+            .expect("match-memo lock poisoned")
+            .insert(key, cells);
+    }
+
+    pub(crate) fn wide_get(
+        &self,
+        nleaves: usize,
+        words: [u64; 4],
+    ) -> Option<Arc<Vec<WideBinding>>> {
+        let key = (nleaves as u8, words);
+        self.wide[hash_shard(&key)]
+            .read()
+            .expect("match-memo lock poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    pub(crate) fn wide_put(
+        &self,
+        nleaves: usize,
+        words: [u64; 4],
+        bindings: Arc<Vec<WideBinding>>,
+    ) {
+        let key = (nleaves as u8, words);
+        self.wide[hash_shard(&key)]
+            .write()
+            .expect("match-memo lock poisoned")
+            .insert(key, bindings);
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +368,25 @@ mod tests {
         let cache = HazardCache::new();
         assert!(cache.key(0, &[0; 16], 0, 16).is_none());
         assert!(cache.key(0, &[300], 0, 301).is_none());
+    }
+
+    #[test]
+    fn match_memo_levels_are_independent() {
+        let memo = MatchMemo::new();
+        assert!(memo.raw_get(2, 0b1000).is_none());
+        assert!(memo.class_get(2, 0b1000, false).is_none());
+        memo.raw_put(2, 0b1000, Arc::new(vec![(3, [1, 0, 0, 0, 0, 0])]));
+        memo.class_put(2, 0b1000, false, Arc::new(vec![3]));
+        assert_eq!(memo.raw_get(2, 0b1000).unwrap()[0].0, 3);
+        assert_eq!(*memo.class_get(2, 0b1000, false).unwrap(), vec![3]);
+        // Same table, different arity or phase: distinct entries.
+        assert!(memo.raw_get(3, 0b1000).is_none());
+        assert!(memo.class_get(2, 0b1000, true).is_none());
+        memo.note_hit();
+        memo.note_miss();
+        memo.note_miss();
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 2);
     }
 
     #[test]

@@ -55,6 +55,8 @@ mod report;
 mod tmap;
 pub mod truth;
 
+#[doc(hidden)]
+pub use cluster::enumerate_clusters_legacy;
 pub use cluster::{enumerate_clusters, Cluster, ClusterLimits};
 pub use cover::{cover_cone, cover_cone_with, hand_cover, ConeCover, CoverError, Instance};
 pub use design::{

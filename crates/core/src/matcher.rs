@@ -12,14 +12,15 @@
 //! `hazards(cell) ⊆ hazards(cluster)` under the pin binding
 //! ([`asyncmap_hazard::hazards_subset`]).
 
-use crate::cluster::Cluster;
-use crate::hcache::HazardCache;
+use crate::cluster::{Cluster, CutCluster};
+use crate::hcache::{HazardCache, MatchMemo, MemoBinding, WideBinding};
 use crate::profile::{self, MapPhase};
 use crate::truth;
 use asyncmap_bff::Expr;
 use asyncmap_cube::{Bits, Phase, VarId};
 use asyncmap_hazard::hazards_subset;
 use asyncmap_library::Library;
+use asyncmap_network::Network;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -83,6 +84,17 @@ pub struct Matcher<'lib> {
     cache: Arc<HazardCache>,
     hazard_checks: AtomicUsize,
     hazard_rejects: AtomicUsize,
+    /// P-class match memo (`None` when disabled via `ASYNCMAP_NPN_MEMO=0`).
+    /// Memoizes the pre-hazard-filter match list per projected truth table
+    /// and per canonical class, so structurally repeated clusters skip the
+    /// permutation search entirely.
+    memo: Option<MatchMemo>,
+}
+
+/// The match memo defaults to on; `ASYNCMAP_NPN_MEMO=0` disables it (an
+/// escape hatch for A/B runs and for debugging canonicalization).
+fn npn_memo_enabled() -> bool {
+    std::env::var("ASYNCMAP_NPN_MEMO").map_or(true, |v| v.trim() != "0")
 }
 
 impl<'lib> Matcher<'lib> {
@@ -155,6 +167,7 @@ impl<'lib> Matcher<'lib> {
             cache,
             hazard_checks: AtomicUsize::new(0),
             hazard_rejects: AtomicUsize::new(0),
+            memo: npn_memo_enabled().then(MatchMemo::new),
         }
     }
 
@@ -178,6 +191,33 @@ impl<'lib> Matcher<'lib> {
     /// Number of matches rejected by the hazard filter.
     pub fn hazard_rejects(&self) -> usize {
         self.hazard_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Number of match-memo lookups served from the memo (raw-truth or
+    /// canonical-class level). Zero when the memo is disabled.
+    pub fn npn_hits(&self) -> usize {
+        self.memo.as_ref().map_or(0, MatchMemo::hits)
+    }
+
+    /// Number of match-memo lookups that fell through to the full
+    /// permutation search. Zero when the memo is disabled.
+    pub fn npn_misses(&self) -> usize {
+        self.memo.as_ref().map_or(0, MatchMemo::misses)
+    }
+
+    /// Test hook: force the memo on or off regardless of the environment.
+    #[doc(hidden)]
+    pub fn set_npn_memo_enabled(&mut self, enabled: bool) {
+        self.memo = enabled.then(MatchMemo::new);
+    }
+
+    /// Whether matching can consult the hazard filter: the policy is
+    /// [`HazardPolicy::SubsetCheck`] and some library cell is hazardous.
+    /// Dominance pruning is disabled while this holds — a dominated cut's
+    /// cluster expression differs from its dominator's, so their hazard
+    /// verdicts (unlike their match lists) are not interchangeable.
+    pub fn hazard_filtering_active(&self) -> bool {
+        self.policy == HazardPolicy::SubsetCheck && self.entries.iter().any(|e| e.hazardous)
     }
 
     /// Finds all acceptable matches for `cluster` (paper
@@ -306,6 +346,292 @@ impl<'lib> Matcher<'lib> {
         out
     }
 
+    /// Cut-enumeration entry point: matches an arena-backed [`CutCluster`]
+    /// without materializing its `Expr` unless a hazard check demands it.
+    ///
+    /// Produces the exact match list [`Matcher::find_matches`] would on the
+    /// materialized cluster: the memo stores pre-hazard-filter candidate
+    /// lists in library-bucket order, and the hazard filter below is the
+    /// same code path (same counters, same verdict-cache keys).
+    pub(crate) fn find_matches_cut(&self, cluster: &CutCluster, net: &Network) -> Vec<Match> {
+        let Some(full) = cluster.truth6 else {
+            // Wide cluster (7–8 leaves): match on the 4-word table the
+            // enumeration walk produced, no `Expr` needed. Beyond 8 leaves
+            // fall back to the generic path on a materialized view.
+            if let Some(words) = cluster.twords {
+                return self.find_matches_wide(cluster, words, net);
+            }
+            return self.find_matches(&cluster.to_cluster(net));
+        };
+        let mut t_match = profile::timer(MapPhase::Match);
+        let nleaves = cluster.leaves.len();
+        let mut support = [0usize; 6];
+        let mut n = 0;
+        for v in 0..nleaves {
+            if truth::depends6(full, nleaves, v) {
+                support[n] = v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return Vec::new(); // constant cluster: nothing to match
+        }
+        let support = &support[..n];
+        let t = truth::project6(full, support);
+        let mut sigs = [0u32; 6];
+        for (v, s) in sigs.iter_mut().enumerate().take(n) {
+            *s = truth::input_signature6(t, n, v);
+        }
+        let sigs = &sigs[..n];
+
+        // Pre-hazard-filter candidates: raw-truth memo level first, then
+        // the canonical-class level (replaying the permutation search only
+        // on known-matching cells), then the full signature-bucket scan.
+        let bindings: Arc<Vec<MemoBinding>> = match &self.memo {
+            Some(memo) => {
+                if let Some(list) = memo.raw_get(n, t) {
+                    memo.note_hit();
+                    list
+                } else {
+                    let c = truth::canon6(t, n);
+                    let list = if let Some(cells) = memo.class_get(n, c.canon, c.phase) {
+                        memo.note_hit();
+                        let mut out = Vec::with_capacity(cells.len());
+                        for &e in cells.iter() {
+                            let entry = &self.entries[e as usize];
+                            let pin_to_local = permute_match6(
+                                entry.truth6.expect("≤6-input cell has packed table"),
+                                &entry.input_sigs,
+                                t,
+                                sigs,
+                                n,
+                            )
+                            .expect("P-class member must match every class instance");
+                            out.push((e, pack_binding(&pin_to_local)));
+                        }
+                        Arc::new(out)
+                    } else {
+                        memo.note_miss();
+                        let (list, cells) = self.scan_bucket6(t, sigs, n);
+                        memo.class_put(n, c.canon, c.phase, Arc::new(cells));
+                        Arc::new(list)
+                    };
+                    memo.raw_put(n, t, Arc::clone(&list));
+                    list
+                }
+            }
+            None => Arc::new(self.scan_bucket6(t, sigs, n).0),
+        };
+
+        // Hazard filter — identical to `find_matches`: same counters, same
+        // verdict-cache keys (the lazily built Expr is the same canonical
+        // walk the legacy enumerator produced eagerly).
+        let mut cluster_id: Option<u32> = None;
+        let mut out = Vec::with_capacity(bindings.len());
+        for &(e, packed) in bindings.iter() {
+            let entry = &self.entries[e as usize];
+            let cell_index = entry.index;
+            let pin_to_leaf: Vec<usize> = (0..n).map(|p| support[packed[p] as usize]).collect();
+            if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
+                self.hazard_checks.fetch_add(1, Ordering::Relaxed);
+                t_match.pause();
+                let ok = {
+                    let _t_hazard = profile::timer(MapPhase::HazardCheck);
+                    let expr = cluster.expr(net);
+                    let id = *cluster_id.get_or_insert_with(|| self.cache.intern(expr));
+                    match self.cache.key(cell_index, &pin_to_leaf, id, nleaves) {
+                        Some(key) => self.cache.verdict(key, || {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, expr, nleaves)
+                        }),
+                        // Unpackable binding (>15 pins): check without caching.
+                        None => {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, expr, nleaves)
+                        }
+                    }
+                };
+                t_match.resume();
+                if !ok {
+                    self.hazard_rejects.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            out.push(Match {
+                cell_index,
+                pin_to_leaf,
+            });
+        }
+        out
+    }
+
+    /// Full signature-bucket permutation scan on a packed table. Returns
+    /// the surviving `(entry, binding)` list plus the bare entry list (the
+    /// class-level memo payload), both in library-bucket order.
+    fn scan_bucket6(&self, t: u64, sigs: &[u32], n: usize) -> (Vec<MemoBinding>, Vec<u32>) {
+        let Some(bucket) = self.sig_index.get(&sig_key(n, t.count_ones(), sigs)) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut list = Vec::new();
+        let mut cells = Vec::new();
+        for &e in bucket {
+            let entry = &self.entries[e];
+            let Some(pin_to_local) = permute_match6(
+                entry.truth6.expect("≤6-input cell has packed table"),
+                &entry.input_sigs,
+                t,
+                sigs,
+                n,
+            ) else {
+                continue;
+            };
+            list.push((e as u32, pack_binding(&pin_to_local)));
+            cells.push(e as u32);
+        }
+        (list, cells)
+    }
+
+    /// Wide-cluster (7–8 leaf) matching on the enumeration walk's 4-word
+    /// table: the raw wide memo level first, then a signature-bucket scan
+    /// on the word-blocked table. The cluster `Expr` is built lazily and
+    /// only if a hazard check fires. Produces the exact match list
+    /// [`Matcher::find_matches`] yields on the materialized cluster.
+    fn find_matches_wide(
+        &self,
+        cluster: &CutCluster,
+        words: [u64; 4],
+        net: &Network,
+    ) -> Vec<Match> {
+        let mut t_match = profile::timer(MapPhase::Match);
+        let nleaves = cluster.leaves.len();
+        let bindings: Arc<Vec<WideBinding>> = match &self.memo {
+            Some(memo) => {
+                if let Some(list) = memo.wide_get(nleaves, words) {
+                    memo.note_hit();
+                    list
+                } else {
+                    memo.note_miss();
+                    let list = Arc::new(self.scan_wide(words, nleaves));
+                    memo.wide_put(nleaves, words, Arc::clone(&list));
+                    list
+                }
+            }
+            None => Arc::new(self.scan_wide(words, nleaves)),
+        };
+        let mut cluster_id: Option<u32> = None;
+        let mut out = Vec::with_capacity(bindings.len());
+        for &(e, packed) in bindings.iter() {
+            let entry = &self.entries[e as usize];
+            let cell_index = entry.index;
+            let pin_to_leaf: Vec<usize> = packed[..entry.ninputs]
+                .iter()
+                .map(|&l| l as usize)
+                .collect();
+            if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
+                self.hazard_checks.fetch_add(1, Ordering::Relaxed);
+                t_match.pause();
+                let ok = {
+                    let _t_hazard = profile::timer(MapPhase::HazardCheck);
+                    let expr = cluster.expr(net);
+                    let id = *cluster_id.get_or_insert_with(|| self.cache.intern(expr));
+                    match self.cache.key(cell_index, &pin_to_leaf, id, nleaves) {
+                        Some(key) => self.cache.verdict(key, || {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, expr, nleaves)
+                        }),
+                        // Unpackable binding (>15 pins): check without caching.
+                        None => {
+                            let candidate =
+                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                            hazards_subset(&candidate, expr, nleaves)
+                        }
+                    }
+                };
+                t_match.resume();
+                if !ok {
+                    self.hazard_rejects.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            out.push(Match {
+                cell_index,
+                pin_to_leaf,
+            });
+        }
+        out
+    }
+
+    /// Full signature-bucket scan for a wide cluster: support reduction,
+    /// projection (back into one word when the support shrinks to ≤ 6) and
+    /// the permutation search, all on the walk's packed words — the same
+    /// pipeline [`Matcher::find_matches`] runs on an `Expr`-derived table.
+    /// Returns pin → leaf-index bindings in library-bucket order.
+    fn scan_wide(&self, words: [u64; 4], nleaves: usize) -> Vec<WideBinding> {
+        let full = Bits::from_words_fn(1 << nleaves, |i| words[i]);
+        let support: Vec<usize> = (0..nleaves)
+            .filter(|&v| depends_on_words(&full, v))
+            .collect();
+        if support.is_empty() {
+            return Vec::new(); // constant cluster: nothing to match
+        }
+        let n = support.len();
+        let small: Option<u64>;
+        let big: Option<Bits>;
+        if n <= 6 {
+            small = Some(project_to_u64(&full, &support));
+            big = None;
+        } else {
+            small = None;
+            big = Some(project(&full, nleaves, &support));
+        }
+        let (onset, sigs): (u32, Vec<u32>) = match (&small, &big) {
+            (Some(t), _) => (
+                t.count_ones(),
+                (0..n).map(|v| truth::input_signature6(*t, n, v)).collect(),
+            ),
+            (None, Some(t)) => (
+                t.count_ones(),
+                (0..n).map(|v| input_signature_words(t, v)).collect(),
+            ),
+            (None, None) => unreachable!(),
+        };
+        let Some(bucket) = self.sig_index.get(&sig_key(n, onset, &sigs)) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &e in bucket {
+            let entry = &self.entries[e];
+            let pin_to_local = match &small {
+                Some(t) => permute_match6(
+                    entry.truth6.expect("≤6-input cell has packed table"),
+                    &entry.input_sigs,
+                    *t,
+                    &sigs,
+                    n,
+                ),
+                None => permute_match(
+                    &entry.truth,
+                    &entry.input_sigs,
+                    big.as_ref().expect("wide path has Bits table"),
+                    &sigs,
+                    n,
+                ),
+            };
+            let Some(pin_to_local) = pin_to_local else {
+                continue;
+            };
+            let mut packed = [0u8; 8];
+            for (pin, &l) in pin_to_local.iter().enumerate() {
+                packed[pin] = support[l] as u8;
+            }
+            out.push((e as u32, packed));
+        }
+        out
+    }
+
     /// The original scalar matching path, kept verbatim as the reference
     /// implementation for the fast-path equivalence proptests. Performs
     /// the same hazard filtering (and counter updates) as
@@ -374,6 +700,15 @@ fn sig_key(n: usize, onset: u32, sigs: &[u32]) -> SigKey {
     let mut sorted = sigs.to_vec();
     sorted.sort_unstable();
     (n, onset, sorted)
+}
+
+/// Packs a ≤6-pin binding into the fixed-size memo representation.
+fn pack_binding(pin_to_local: &[usize]) -> [u8; 6] {
+    let mut packed = [0u8; 6];
+    for (p, &l) in pin_to_local.iter().enumerate() {
+        packed[p] = l as u8;
+    }
+    packed
 }
 
 /// Rewrites a cell BFF into the cluster's variable space using the pin

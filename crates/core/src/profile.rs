@@ -228,6 +228,25 @@ pub fn maybe_dump(times: &PhaseTimes) {
     }
 }
 
+/// Dumps the run's enumeration/matching counters to stderr when
+/// `ASYNCMAP_PROFILE=1` is set: cut-list truncation events (silent pruning
+/// that can cost cover quality) and the NPN match-memo hit/miss split.
+pub fn maybe_dump_counters(cut_truncations: usize, npn_hits: usize, npn_misses: usize) {
+    if !dump_enabled() {
+        return;
+    }
+    let lookups = npn_hits + npn_misses;
+    if lookups > 0 {
+        eprintln!(
+            "asyncmap npn memo: {npn_hits} hits / {lookups} lookups ({:.1}%)",
+            npn_hits as f64 / lookups as f64 * 100.0
+        );
+    }
+    if cut_truncations > 0 {
+        eprintln!("asyncmap cut enumeration: {cut_truncations} gates hit max_cuts_per_gate");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,6 +75,23 @@ pub fn render_report(design: &MappedDesign, library: &Library) -> String {
             100.0 * design.stats.cache_hits as f64 / cache_total as f64
         );
     }
+    let npn_total = design.stats.npn_hits + design.stats.npn_misses;
+    if npn_total > 0 {
+        let _ = writeln!(
+            out,
+            "npn match memo: {} hits, {} misses ({:.0}% hit rate)",
+            design.stats.npn_hits,
+            design.stats.npn_misses,
+            100.0 * design.stats.npn_hits as f64 / npn_total as f64
+        );
+    }
+    if design.stats.cut_truncations > 0 {
+        let _ = writeln!(
+            out,
+            "cut enumeration: {} gate(s) truncated at max_cuts_per_gate",
+            design.stats.cut_truncations
+        );
+    }
     // Wall-clock phase times vary run to run, so they are opt-in via the
     // same switch as the stderr dump — default report output stays
     // byte-reproducible across runs and thread counts.

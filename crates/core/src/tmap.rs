@@ -241,11 +241,18 @@ fn run_with_cache(
     };
     let phases = profile::snapshot().delta(&phases_before);
     profile::maybe_dump(&phases);
+    let cut_truncations = covers.iter().map(|c| c.cut_truncations).sum();
+    let npn_hits = matcher.npn_hits();
+    let npn_misses = matcher.npn_misses();
+    profile::maybe_dump_counters(cut_truncations, npn_hits, npn_misses);
     let stats = MapStats {
         hazard_checks: matcher.hazard_checks(),
         hazard_rejects: matcher.hazard_rejects(),
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
+        npn_hits,
+        npn_misses,
+        cut_truncations,
         phases,
         ..MapStats::default()
     };

@@ -115,6 +115,118 @@ pub fn input_signature6(truth: u64, n: usize, v: usize) -> u32 {
     (with << 16) | without
 }
 
+/// Reindexes a packed table under an input permutation: variable `i` of
+/// the input function becomes variable `perm[i]` of the result, i.e.
+/// `result(x_{perm(0)}, …, x_{perm(n-1)}) = truth(x_0, …, x_{n-1})`.
+pub fn apply_perm6(truth: u64, perm: &[usize], n: usize) -> u64 {
+    debug_assert!(n <= 6 && perm.len() >= n);
+    let mut out = 0u64;
+    let mut rest = truth & full_mask(n);
+    while rest != 0 {
+        let m = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let mut m2 = 0usize;
+        for (i, &p) in perm[..n].iter().enumerate() {
+            m2 |= ((m >> i) & 1) << p;
+        }
+        out |= 1u64 << m2;
+    }
+    out
+}
+
+/// The canonical representative of a packed table's P-class (input
+/// permutation) extended with output phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Canon6 {
+    /// Class representative: the numerically smallest table reachable by
+    /// permuting inputs of the function or of its complement.
+    pub canon: u64,
+    /// `true` when the representative was reached from the complement.
+    pub phase: bool,
+}
+
+/// Canonicalizes a packed table under input permutation and output phase:
+/// two functions get equal [`Canon6`] values iff one is an input
+/// permutation of the other (same `phase`) or of its complement (opposite
+/// `phase`). A library cell therefore matches a cluster function iff their
+/// positive-phase canonical forms coincide.
+///
+/// The minimization only ranges over permutations that sort the per-input
+/// [`input_signature6`] values ascending — signatures are
+/// permutation-invariant, so the restricted minimum is still a class
+/// invariant, and every permutation relating two class members maps
+/// equal-signature inputs to each other, so it also distinguishes classes.
+/// The worst case (all six signatures equal) evaluates 720 permutations.
+pub fn canon6(truth: u64, n: usize) -> Canon6 {
+    debug_assert!(n <= 6);
+    let mask = full_mask(n);
+    let t = truth & mask;
+    let pos = perm_min6(t, n);
+    let neg = perm_min6(!t & mask, n);
+    if pos <= neg {
+        Canon6 {
+            canon: pos,
+            phase: false,
+        }
+    } else {
+        Canon6 {
+            canon: neg,
+            phase: true,
+        }
+    }
+}
+
+/// Minimum of `apply_perm6(t, π, n)` over all signature-sorting
+/// permutations π (see [`canon6`]).
+fn perm_min6(t: u64, n: usize) -> u64 {
+    if n <= 1 {
+        return t;
+    }
+    let mut sigs = [0u32; 6];
+    for (v, s) in sigs.iter_mut().enumerate().take(n) {
+        *s = input_signature6(t, n, v);
+    }
+    // vars sorted by signature gives the target signature per position.
+    let mut vars = [0usize, 1, 2, 3, 4, 5];
+    vars[..n].sort_by_key(|&v| sigs[v]);
+    let mut perm = [0usize; 6]; // old var -> new position
+    let mut used = [false; 6];
+    let mut best = u64::MAX;
+    // Backtracking over positions: position j may take any unused variable
+    // whose signature equals the j-th smallest.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        t: u64,
+        n: usize,
+        j: usize,
+        sigs: &[u32; 6],
+        vars: &[usize; 6],
+        perm: &mut [usize; 6],
+        used: &mut [bool; 6],
+        best: &mut u64,
+    ) {
+        if j == n {
+            let cand = apply_perm6(t, perm, n);
+            if cand < *best {
+                *best = cand;
+            }
+            return;
+        }
+        let want = sigs[vars[j]];
+        for &v in &vars[..n] {
+            if used[v] || sigs[v] != want {
+                continue;
+            }
+            used[v] = true;
+            perm[v] = j;
+            rec(t, n, j + 1, sigs, vars, perm, used, best);
+            used[v] = false;
+        }
+    }
+    rec(t, n, 0, &sigs, &vars, &mut perm, &mut used, &mut best);
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +268,60 @@ mod tests {
                 assignment.set(v, (m >> v) & 1 == 1);
             }
             assert_eq!(table.get(m), e.eval(&assignment), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn apply_perm_reindexes_variables() {
+        // t = x0 & !x1 over 3 vars; swap vars 0 and 2.
+        let t = MASKS[0] & !MASKS[1] & full_mask(3);
+        let swapped = apply_perm6(t, &[2, 1, 0], 3);
+        assert_eq!(swapped, MASKS[2] & !MASKS[1] & full_mask(3));
+        // Identity permutation is a no-op.
+        assert_eq!(apply_perm6(t, &[0, 1, 2], 3), t);
+    }
+
+    #[test]
+    fn canon_is_a_class_invariant() {
+        // All permutations of a 3-var function land on one canonical form.
+        let t = (MASKS[0] & MASKS[1]) | !MASKS[2];
+        let t = t & full_mask(3);
+        let base = canon6(t, 3);
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            assert_eq!(canon6(apply_perm6(t, &p, 3), 3), base, "perm {p:?}");
+        }
+        // The complement shares the representative with flipped phase.
+        let comp = canon6(!t & full_mask(3), 3);
+        assert_eq!(comp.canon, base.canon);
+        assert_ne!(comp.phase, base.phase);
+    }
+
+    #[test]
+    fn canon_distinguishes_inequivalent_functions() {
+        // AND2 and OR2 are not permutations of each other (nor of each
+        // other's complements): 2-var AND has onset 1, OR has onset 3,
+        // and their complements have onsets 3 and 1 — but AND's canon
+        // (onset {11}) differs from NOR's canon (onset {00}).
+        let and2 = 0b1000u64;
+        let or2 = 0b1110u64;
+        assert_ne!(canon6(and2, 2), canon6(or2, 2));
+    }
+
+    #[test]
+    fn canon_of_canon_is_fixed() {
+        for t in [0u64, 0x8, 0x6, 0x96, 0x1e, 0xfe, 0x80] {
+            let c = canon6(t, 3);
+            let again = canon6(c.canon, 3);
+            assert_eq!(again.canon, c.canon);
+            assert!(!again.phase, "representative is positive-phase");
         }
     }
 
