@@ -2,10 +2,15 @@
 //! benchmark: exact area/delay bit patterns, instance count and hazard
 //! rejects. Used to verify that performance work leaves the mapped output
 //! bit-identical (`cargo run --release -p asyncmap-bench --bin fingerprint`).
+//!
+//! Each mapped design is also run through the independent static verifier
+//! (`asyncmap-lint`); any finding fails the run. CI uses this as its
+//! lint-the-mapped-outputs gate.
 
 use asyncmap_bench::design_fingerprint;
 use asyncmap_core::{async_tmap, MapOptions};
 use asyncmap_library::builtin;
+use asyncmap_lint::lint_mapped_design;
 
 fn main() {
     let mut lsi9k = builtin::lsi9k();
@@ -16,6 +21,7 @@ fn main() {
         threads: 1,
         ..MapOptions::default()
     };
+    let mut findings = 0;
     for (design, lib) in [
         ("scsi", &lsi9k),
         ("abcs", &lsi9k),
@@ -25,8 +31,19 @@ fn main() {
         let eqs = asyncmap_burst::benchmark(design);
         let d = async_tmap(&eqs, lib, &opts).expect("mappable");
         let (area, delay, instances, rejects) = design_fingerprint(&d);
+        let report = lint_mapped_design(&d, lib);
         println!(
-            "{design:12} area={area:016x} delay={delay:016x} instances={instances} rejects={rejects}"
+            "{design:12} area={area:016x} delay={delay:016x} instances={instances} \
+             rejects={rejects} lint={}",
+            if report.is_clean() { "clean" } else { "DIRTY" }
         );
+        if !report.is_clean() {
+            findings += report.findings.len();
+            eprint!("{}", report.render());
+        }
+    }
+    if findings > 0 {
+        eprintln!("fingerprint: {findings} lint finding(s) on mapped benchmark outputs");
+        std::process::exit(1);
     }
 }

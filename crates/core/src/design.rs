@@ -10,6 +10,13 @@ use std::collections::HashMap;
 
 /// Counters describing one mapping run (the overhead decomposition behind
 /// Tables 2 and 4).
+///
+/// Every field is **per-run**: repeated `map` calls — including repeated
+/// [`crate::async_tmap_cached`] calls sharing one verdict cache — each
+/// report only their own run's checks, memo traffic and phase times, never
+/// an accumulation over earlier runs. (A [`crate::Matcher`] held directly
+/// by the caller *does* accumulate; see [`crate::Matcher::counters`] /
+/// [`crate::Matcher::reset_counters`] for per-run accounting there.)
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MapStats {
     /// Hazard-containment checks performed during matching.

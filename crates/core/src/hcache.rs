@@ -165,6 +165,33 @@ impl HazardCache {
     }
 }
 
+/// Test-only handles for the `loom-tests` concurrency model test
+/// (`crates/core/tests/loom_hcache.rs`). The cache's working API is
+/// `pub(crate)` — the matcher is its only production client — so the model
+/// test, an *integration* test, gets these thin feature-gated wrappers.
+#[cfg(feature = "loom-tests")]
+impl HazardCache {
+    /// [`HazardCache::intern`] exposed for the model test.
+    pub fn model_intern(&self, expr: &Expr) -> u32 {
+        self.intern(expr)
+    }
+
+    /// Key construction + [`HazardCache::verdict`] exposed for the model
+    /// test. Returns `None` when the binding cannot be packed into a key
+    /// (such queries bypass the cache in production too).
+    pub fn model_verdict(
+        &self,
+        cell_index: usize,
+        pin_to_leaf: &[usize],
+        cluster_id: u32,
+        nleaves: usize,
+        compute: impl FnOnce() -> bool,
+    ) -> Option<bool> {
+        let key = self.key(cell_index, pin_to_leaf, cluster_id, nleaves)?;
+        Some(self.verdict(key, compute))
+    }
+}
+
 fn shard_of(key: &VerdictKey) -> usize {
     hash_shard(key)
 }
@@ -254,6 +281,13 @@ impl MatchMemo {
 
     pub(crate) fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zeroes the hit/miss counters without touching the memoized match
+    /// lists (resetting accounting must not change matching behavior).
+    pub(crate) fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn raw_get(&self, n: usize, truth: u64) -> Option<Arc<Vec<MemoBinding>>> {

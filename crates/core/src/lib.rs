@@ -69,7 +69,10 @@ pub use hdc::{cone_certified, hdc_tmap, Transition};
 pub use matcher::{
     depends_on, depends_on_words, input_signature, input_signature_words, truth_table_of_generic,
 };
-pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher};
+pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher, MatcherCounters};
 pub use profile::{MapPhase, PhaseTimes};
 pub use report::{cell_usage, render_report, CellUsage};
-pub use tmap::{async_tmap, async_tmap_cached, hand_map, tmap, MapOptions, Objective};
+pub use tmap::{
+    async_tmap, async_tmap_cached, hand_map, set_post_map_hook, tmap, MapOptions, Objective,
+    PostMapHook,
+};

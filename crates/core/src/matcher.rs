@@ -65,6 +65,34 @@ pub enum HazardPolicy {
     SubsetCheck,
 }
 
+/// A snapshot of a matcher's accumulating counters (see
+/// [`Matcher::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatcherCounters {
+    /// Hazard-containment checks performed.
+    pub hazard_checks: usize,
+    /// Matches rejected by the hazard filter.
+    pub hazard_rejects: usize,
+    /// Match-memo lookups served from the memo.
+    pub npn_hits: usize,
+    /// Match-memo lookups that fell through to the permutation search.
+    pub npn_misses: usize,
+}
+
+impl MatcherCounters {
+    /// Counter increments since `earlier` (saturating, so a
+    /// [`Matcher::reset_counters`] between the snapshots yields zeros
+    /// rather than wrapping).
+    pub fn delta(&self, earlier: &MatcherCounters) -> MatcherCounters {
+        MatcherCounters {
+            hazard_checks: self.hazard_checks.saturating_sub(earlier.hazard_checks),
+            hazard_rejects: self.hazard_rejects.saturating_sub(earlier.hazard_rejects),
+            npn_hits: self.npn_hits.saturating_sub(earlier.npn_hits),
+            npn_misses: self.npn_misses.saturating_sub(earlier.npn_misses),
+        }
+    }
+}
+
 /// The matcher: owns per-cell signatures, a signature index over the
 /// library, and a (shareable) cache of hazard verdicts.
 ///
@@ -184,8 +212,37 @@ impl<'lib> Matcher<'lib> {
     /// Number of hazard-containment checks performed (for the overhead
     /// accounting of Table 4). Counted before any cache lookup, so the
     /// value is independent of cache warmth and thread count.
+    ///
+    /// Like every matcher counter, this **accumulates** over the matcher's
+    /// lifetime. For per-run numbers on a reused matcher, snapshot
+    /// [`Matcher::counters`] before the run and [`MatcherCounters::delta`]
+    /// after it, or call [`Matcher::reset_counters`] between runs.
     pub fn hazard_checks(&self) -> usize {
         self.hazard_checks.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every accumulating counter. The counters are monotone
+    /// for the matcher's lifetime (until [`Matcher::reset_counters`]), so
+    /// per-run accounting on a reused matcher is
+    /// `after.delta(&before)`.
+    pub fn counters(&self) -> MatcherCounters {
+        MatcherCounters {
+            hazard_checks: self.hazard_checks(),
+            hazard_rejects: self.hazard_rejects(),
+            npn_hits: self.npn_hits(),
+            npn_misses: self.npn_misses(),
+        }
+    }
+
+    /// Zeroes every accumulating counter. Accounting only: the match memo's
+    /// contents and the shared verdict cache are untouched, so subsequent
+    /// match lists are bit-identical to what they would have been.
+    pub fn reset_counters(&self) {
+        self.hazard_checks.store(0, Ordering::Relaxed);
+        self.hazard_rejects.store(0, Ordering::Relaxed);
+        if let Some(memo) = &self.memo {
+            memo.reset_counters();
+        }
     }
 
     /// Number of matches rejected by the hazard filter.

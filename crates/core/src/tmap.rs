@@ -11,7 +11,37 @@ use crate::profile::{self, MapPhase, PhaseTimes};
 use asyncmap_library::Library;
 use asyncmap_network::{async_tech_decomp, partition, sync_tech_decomp, EquationSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// A post-map verification callback: inspects the finished design and
+/// returns `Err` with a rendered report when it is unacceptable.
+pub type PostMapHook = fn(&MappedDesign, &Library) -> Result<(), String>;
+
+static POST_MAP_HOOK: OnceLock<PostMapHook> = OnceLock::new();
+
+/// Installs the process-wide post-map verification hook. The hook runs
+/// after every successful [`async_tmap`]/[`async_tmap_cached`] call when
+/// the `ASYNCMAP_LINT=1` environment variable is set; a failing hook
+/// panics with the hook's report. The first installation wins; later
+/// calls are ignored.
+///
+/// The core crate cannot depend on the lint crate (the lint pass must be
+/// independent of the mapper's code paths), so the facade installs the
+/// lint pass through this indirection.
+pub fn set_post_map_hook(hook: PostMapHook) {
+    let _ = POST_MAP_HOOK.set(hook);
+}
+
+fn post_map_check(design: &MappedDesign, library: &Library) {
+    if !std::env::var("ASYNCMAP_LINT").is_ok_and(|v| v.trim() == "1") {
+        return;
+    }
+    if let Some(hook) = POST_MAP_HOOK.get() {
+        if let Err(report) = hook(design, library) {
+            panic!("ASYNCMAP_LINT=1: post-map verification failed\n{report}");
+        }
+    }
+}
 
 /// The covering objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -220,6 +250,10 @@ fn run_with_cache(
         partition(&subject)
     };
     let matcher = Matcher::with_cache(library, policy, Arc::clone(cache));
+    // Every counter in MapStats is per-run: matcher counters and process
+    // phase timers are snapshot-deltas around this run, and the shared
+    // cache's totals are differenced the same way.
+    let matcher_before = matcher.counters();
     let hits_before = cache.hits();
     let misses_before = cache.misses();
     let threads = effective_threads(options.threads, cones.len());
@@ -242,29 +276,28 @@ fn run_with_cache(
     let phases = profile::snapshot().delta(&phases_before);
     profile::maybe_dump(&phases);
     let cut_truncations = covers.iter().map(|c| c.cut_truncations).sum();
-    let npn_hits = matcher.npn_hits();
-    let npn_misses = matcher.npn_misses();
-    profile::maybe_dump_counters(cut_truncations, npn_hits, npn_misses);
+    let counters = matcher.counters().delta(&matcher_before);
+    profile::maybe_dump_counters(cut_truncations, counters.npn_hits, counters.npn_misses);
     let stats = MapStats {
-        hazard_checks: matcher.hazard_checks(),
-        hazard_rejects: matcher.hazard_rejects(),
+        hazard_checks: counters.hazard_checks,
+        hazard_rejects: counters.hazard_rejects,
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
-        npn_hits,
-        npn_misses,
+        npn_hits: counters.npn_hits,
+        npn_misses: counters.npn_misses,
         cut_truncations,
         phases,
         ..MapStats::default()
     };
     let add_buffers = options.add_buffers && !greedy;
-    Ok(assemble(
-        library,
-        subject,
-        cones,
-        covers,
-        stats,
-        add_buffers,
-    ))
+    let design = assemble(library, subject, cones, covers, stats, add_buffers);
+    // Opt-in post-map verification, only for the hazard-filtered flow: a
+    // synchronous or hand-mapped design legitimately fails the Theorem 3.2
+    // re-check.
+    if matches!(policy, HazardPolicy::SubsetCheck) && !greedy {
+        post_map_check(&design, library);
+    }
+    Ok(design)
 }
 
 /// Covers every cone on `threads` scoped workers pulling cone indices from

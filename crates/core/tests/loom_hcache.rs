@@ -1,0 +1,112 @@
+//! Concurrency model tests for the sharded [`HazardCache`].
+//!
+//! Run with `cargo test -p asyncmap-core --features loom-tests`. The
+//! `loom` dependency resolves to the offline stand-in in `vendor/loom`
+//! (stress-scheduled real threads rather than exhaustive interleaving
+//! exploration — see vendor/README.md); the tests are written against the
+//! real loom API so they also compile against the genuine crate.
+//!
+//! What must hold under every interleaving:
+//!
+//! * interning is agreement-free: concurrent `intern` calls on the same
+//!   expression may race on the write lock, but every thread observes the
+//!   same dense id, and distinct expressions never collapse to one id;
+//! * verdicts are stable: racing computations of the same key are allowed
+//!   (the compute runs outside the shard lock), but every caller gets the
+//!   same boolean and every query is counted as exactly one hit or miss;
+//! * distinct keys never alias across shards.
+
+#![cfg(feature = "loom-tests")]
+
+use asyncmap_bff::Expr;
+use asyncmap_core::HazardCache;
+use asyncmap_cube::VarId;
+use loom::sync::Arc;
+use loom::thread;
+
+#[test]
+fn concurrent_interning_yields_one_id_per_expression() {
+    loom::model(|| {
+        let cache = Arc::new(HazardCache::new());
+        let exprs = [
+            Expr::Var(VarId(0)),
+            Expr::Var(VarId(1)).not(),
+            Expr::and(vec![Expr::Var(VarId(0)), Expr::Var(VarId(1))]),
+        ];
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let exprs = exprs.clone();
+                // Each thread interns all three expressions, starting at a
+                // different one so first-encounter races happen on every
+                // expression in some interleaving.
+                thread::spawn(move || [0, 1, 2].map(|k| cache.model_intern(&exprs[(t + k) % 3])))
+            })
+            .collect();
+        let views: Vec<[u32; 3]> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, h)| {
+                let ids = h.join().expect("intern thread panicked");
+                // Undo the per-thread rotation: view[e] = id of exprs[e].
+                let mut view = [0u32; 3];
+                for (k, &id) in ids.iter().enumerate() {
+                    view[(t + k) % 3] = id;
+                }
+                view
+            })
+            .collect();
+        let reference = [0, 1, 2].map(|e| cache.model_intern(&exprs[e]));
+        for view in &views {
+            assert_eq!(*view, reference, "threads disagree on interned ids");
+        }
+        assert_ne!(reference[0], reference[1]);
+        assert_ne!(reference[1], reference[2]);
+        assert_ne!(reference[0], reference[2]);
+    });
+}
+
+#[test]
+fn racing_verdicts_agree_and_account_every_query() {
+    loom::model(|| {
+        let cache = Arc::new(HazardCache::new());
+        // Two threads race the same key (deterministic compute: the verdict
+        // for a fixed key is a pure function in production); a third works a
+        // different key that must not alias.
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    if t < 2 {
+                        cache.model_verdict(5, &[0, 1, 2], 9, 3, || true)
+                    } else {
+                        cache.model_verdict(5, &[0, 2, 1], 9, 3, || false)
+                    }
+                    .expect("packable binding")
+                })
+            })
+            .collect();
+        let results: Vec<bool> = handles
+            .into_iter()
+            .map(|h| h.join().expect("verdict thread panicked"))
+            .collect();
+        assert!(results[0]);
+        assert!(results[1]);
+        assert!(!results[2]);
+        // Re-queries are pure hits and the cached booleans are stable.
+        assert_eq!(
+            cache.model_verdict(5, &[0, 1, 2], 9, 3, || false),
+            Some(true)
+        );
+        assert_eq!(
+            cache.model_verdict(5, &[0, 2, 1], 9, 3, || true),
+            Some(false)
+        );
+        // Every query was exactly one hit or one miss: 3 racing + 2 re-queries.
+        assert_eq!(cache.hits() + cache.misses(), 5);
+        // The distinct-key compute always runs; the same-key pair computes
+        // at least once and, when the race loses, twice.
+        assert!((2..=3).contains(&cache.misses()));
+        assert_eq!(cache.hits(), 5 - cache.misses());
+    });
+}

@@ -1,0 +1,113 @@
+//! Accumulate-vs-reset semantics of the mapping counters.
+//!
+//! [`MapStats`] must be per-run: repeated mapping calls on a shared
+//! verdict cache (the reused-engine pattern) each report only their own
+//! run's hazard checks, memo traffic and phase times. A directly-held
+//! [`Matcher`], by contrast, accumulates — explicitly, with a snapshot /
+//! delta / reset API.
+
+use asyncmap_core::{
+    async_tmap_cached, enumerate_clusters, ClusterLimits, HazardCache, HazardPolicy, MapOptions,
+    Matcher,
+};
+use asyncmap_cube::{Cover, VarTable};
+use asyncmap_library::builtin;
+use asyncmap_network::{async_tech_decomp, partition, EquationSet};
+use std::sync::Arc;
+
+fn figure3_eqs() -> EquationSet {
+    let vars = VarTable::from_names(["a", "b", "c"]);
+    let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+    EquationSet::new(vars, vec![("f".to_owned(), f)])
+}
+
+#[test]
+fn repeated_runs_on_shared_cache_report_per_run_stats() {
+    let mut lib = builtin::cmos3();
+    lib.annotate_hazards();
+    let eqs = figure3_eqs();
+    let options = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let cache = Arc::new(HazardCache::new());
+    let first = async_tmap_cached(&eqs, &lib, &options, &cache).unwrap();
+    let second = async_tmap_cached(&eqs, &lib, &options, &cache).unwrap();
+    let third = async_tmap_cached(&eqs, &lib, &options, &cache).unwrap();
+
+    // The same work happens each run (cache warmth changes only the
+    // hit/miss split), so identical — not doubled or tripled — counters
+    // prove per-run semantics.
+    assert!(first.stats.hazard_checks > 0);
+    assert_eq!(second.stats.hazard_checks, first.stats.hazard_checks);
+    assert_eq!(third.stats.hazard_checks, first.stats.hazard_checks);
+    assert_eq!(second.stats.hazard_rejects, first.stats.hazard_rejects);
+    assert_eq!(second.stats.npn_hits, first.stats.npn_hits);
+    assert_eq!(second.stats.npn_misses, first.stats.npn_misses);
+    assert_eq!(third.stats.npn_misses, first.stats.npn_misses);
+    assert_eq!(
+        second.stats.cache_hits + second.stats.cache_misses,
+        second.stats.hazard_checks
+    );
+
+    // Phase timers are process-global atomics; MapStats must carry the
+    // run's delta, not the running total. Counts are deterministic
+    // per-run, so equality (not growth) is the proof.
+    for ((phase1, _, count1), (phase3, _, count3)) in first
+        .stats
+        .phases
+        .entries()
+        .zip(third.stats.phases.entries())
+    {
+        assert_eq!(phase1, phase3);
+        assert_eq!(
+            count1, count3,
+            "phase {phase1} count accumulated across runs"
+        );
+    }
+}
+
+#[test]
+fn reused_matcher_accumulates_until_reset() {
+    let mut lib = builtin::cmos3();
+    lib.annotate_hazards();
+    let net = async_tech_decomp(&figure3_eqs());
+    let cones = partition(&net);
+    let clusters = enumerate_clusters(&net, &cones[0], &ClusterLimits::default());
+
+    let matcher = Matcher::new(&lib, HazardPolicy::SubsetCheck);
+    assert_eq!(matcher.counters(), Default::default());
+
+    let run = |m: &Matcher<'_>| {
+        for cluster_list in clusters.values() {
+            for cluster in cluster_list {
+                let _ = m.find_matches(cluster);
+            }
+        }
+    };
+
+    run(&matcher);
+    let after_one = matcher.counters();
+    assert!(after_one.hazard_checks > 0);
+
+    // Second identical pass: counters accumulate on a held matcher...
+    run(&matcher);
+    let after_two = matcher.counters();
+    assert_eq!(after_two.hazard_checks, 2 * after_one.hazard_checks);
+    assert_eq!(after_two.hazard_rejects, 2 * after_one.hazard_rejects);
+    // ...and the delta isolates the second run exactly.
+    let second_run = after_two.delta(&after_one);
+    assert_eq!(second_run.hazard_checks, after_one.hazard_checks);
+    assert_eq!(
+        second_run.npn_hits + second_run.npn_misses,
+        after_one.npn_hits + after_one.npn_misses
+    );
+
+    // Reset zeroes the accounting without changing matching behavior.
+    matcher.reset_counters();
+    assert_eq!(matcher.counters(), Default::default());
+    run(&matcher);
+    let after_reset = matcher.counters();
+    assert_eq!(after_reset.hazard_checks, after_one.hazard_checks);
+    assert_eq!(after_reset.hazard_rejects, after_one.hazard_rejects);
+}

@@ -61,6 +61,7 @@ mod kinds;
 mod multilevel;
 pub mod oracle;
 mod repair;
+mod reverify;
 mod sic;
 mod static1;
 mod ternary_sim;
@@ -80,6 +81,7 @@ pub use multilevel::{
     confirm_on_structure, dynamic_hazard_on_structure, find_mic_dyn_haz_multilevel,
 };
 pub use repair::{prune_pulsing_redundancy, repair_static1, Repair};
+pub use reverify::{reverify_containment, ContainmentReverification, ORACLE_VAR_LIMIT};
 pub use sic::{find_sic_hazards, find_sic_hazards_raw, SicAnalysis};
 pub use static1::{
     is_static_1_hazard_free, static1_subset, static_1_analysis, static_1_complete, static_1_free_on,

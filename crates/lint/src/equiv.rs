@@ -1,0 +1,107 @@
+//! The decomposition certificate: each instance's cell function,
+//! instantiated on its pin bindings, must be truth-table equal to the
+//! covered subnetwork's function over the full reached cut space.
+//!
+//! Checking over the *reached* cut signals — not just the bound pins —
+//! matters: a binding whose cell ignores a cut variable the subnetwork
+//! depends on computes a different function, and projecting onto the
+//! bound pins alone would hide that.
+
+use crate::{
+    path_of, subnetwork_expr, substitute, truth_equal, InstanceView, LintReport, Severity,
+};
+use asyncmap_bff::Expr;
+use asyncmap_core::MappedDesign;
+use asyncmap_library::Library;
+use asyncmap_network::{Cone, SignalId};
+use std::collections::{HashMap, HashSet};
+
+/// Widest cut space the packed truth tables handle comfortably.
+const SUPPORT_LIMIT: usize = 20;
+
+pub(crate) fn check_cover(
+    design: &MappedDesign,
+    library: &Library,
+    cone: &Cone,
+    views: &[InstanceView<'_>],
+    report: &mut LintReport,
+) {
+    let net = &design.subject;
+    // An instance is live if its output is the cover root or feeds some
+    // other instance of the cover; anything else contributes area without
+    // function.
+    let mut live: HashSet<SignalId> = HashSet::new();
+    for view in views {
+        live.extend(view.inst.inputs.iter().copied());
+    }
+    for view in views {
+        let inst = view.inst;
+        if inst.output != design.covers[view.cone_idx].root && !live.contains(&inst.output) {
+            report.push(
+                Severity::Info,
+                "function.dead-instance",
+                path_of(net, cone, Some(inst)),
+                "instance drives no load in its cover".to_owned(),
+            );
+        }
+        if !view.structurally_sound {
+            continue;
+        }
+        report.counters.function_checks += 1;
+        let var_of: HashMap<SignalId, usize> = view
+            .cut_signals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        let mut args_ok = true;
+        let args: Vec<Expr> = inst
+            .inputs
+            .iter()
+            .map(|s| match var_of.get(s) {
+                Some(&v) => Expr::Var(asyncmap_cube::VarId(v)),
+                None => {
+                    report.push(
+                        Severity::Error,
+                        "function.unbound-pin",
+                        path_of(net, cone, Some(inst)),
+                        format!(
+                            "pin bound to signal {} which the covered subnetwork never reaches",
+                            net.name(*s)
+                        ),
+                    );
+                    args_ok = false;
+                    Expr::Const(false)
+                }
+            })
+            .collect();
+        if !args_ok {
+            continue;
+        }
+        let n = view.cut_signals.len();
+        if n > SUPPORT_LIMIT {
+            report.push(
+                Severity::Warning,
+                "function.support-too-wide",
+                path_of(net, cone, Some(inst)),
+                format!("cut space of {n} signals exceeds the truth-table limit ({SUPPORT_LIMIT})"),
+            );
+            continue;
+        }
+        let subnet = subnetwork_expr(net, inst.output, &var_of);
+        let cell = &library.cells()[inst.cell_index];
+        let mapped = substitute(cell.bff(), &args);
+        if !truth_equal(&mapped, &subnet, n) {
+            report.push(
+                Severity::Error,
+                "function.mismatch",
+                path_of(net, cone, Some(inst)),
+                format!(
+                    "cell {} on this binding does not compute the covered subnetwork's function \
+                     over its {n}-signal cut space",
+                    cell.name()
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Theorem 3.2 re-verification: every binding of a hazardous cell must
+//! satisfy `hazards(cell) ⊆ hazards(covered subnetwork)`, re-derived here
+//! through the hazard crate's full battery
+//! ([`asyncmap_hazard::reverify_containment`]) rather than through the
+//! mapper's cached fast path. Where the cone is narrow enough, the
+//! composed cone structure is additionally swept against the original
+//! cone — the composition the paper's Lemma 4.5 licenses, checked rather
+//! than assumed.
+
+use crate::{
+    composed_cover_expr, path_of, subnetwork_expr, substitute, InstanceView, LintReport, Severity,
+};
+use asyncmap_bff::Expr;
+use asyncmap_core::{ConeCover, MappedDesign};
+use asyncmap_hazard::{hazards_subset_exhaustive, reverify_containment, EXHAUSTIVE_VAR_LIMIT};
+use asyncmap_library::Library;
+use asyncmap_network::{Cone, SignalId};
+use std::collections::HashMap;
+
+pub(crate) fn check_cover(
+    design: &MappedDesign,
+    library: &Library,
+    cone: &Cone,
+    cover: &ConeCover,
+    views: &[InstanceView<'_>],
+    cell_hazardous: &[bool],
+    report: &mut LintReport,
+) {
+    let net = &design.subject;
+    let mut all_sound = true;
+    for view in views {
+        if !view.structurally_sound {
+            all_sound = false;
+            continue;
+        }
+        let inst = view.inst;
+        if !cell_hazardous
+            .get(inst.cell_index)
+            .copied()
+            .unwrap_or(false)
+        {
+            // A hazard-free cell can never glitch, so containment holds
+            // trivially on any binding.
+            continue;
+        }
+        let var_of: HashMap<SignalId, usize> = view
+            .cut_signals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        if !inst.inputs.iter().all(|s| var_of.contains_key(s)) {
+            continue; // unbound pin, already an error from the function pass
+        }
+        let n = view.cut_signals.len();
+        let cell = &library.cells()[inst.cell_index];
+        let args: Vec<Expr> = inst
+            .inputs
+            .iter()
+            .map(|s| Expr::Var(asyncmap_cube::VarId(var_of[s])))
+            .collect();
+        let candidate = substitute(cell.bff(), &args);
+        let reference = subnetwork_expr(net, inst.output, &var_of);
+        report.counters.theorem32_checks += 1;
+        let r = reverify_containment(&candidate, &reference, n);
+        if !r.accepted() {
+            let severity = if r.exhaustive.is_some() {
+                // The exhaustive sweep is exact: this is a real violation.
+                Severity::Error
+            } else {
+                // Guided-only verdict on a wide support; may be
+                // conservative.
+                Severity::Warning
+            };
+            report.push(
+                severity,
+                "theorem32.containment-violation",
+                path_of(net, cone, Some(inst)),
+                format!(
+                    "hazardous cell {} on this binding has hazards the covered subnetwork lacks \
+                     (exhaustive: {:?}, analytic: {}, static-1 adjacency: {})",
+                    cell.name(),
+                    r.exhaustive,
+                    r.analytic,
+                    r.static1_adjacency
+                ),
+            );
+        } else if !r.methods_agree() {
+            report.push(
+                Severity::Info,
+                "theorem32.method-disagreement",
+                path_of(net, cone, Some(inst)),
+                format!(
+                    "hazard analyses disagree on cell {} (exhaustive: {:?}, analytic: {}, \
+                     static-1 adjacency: {}, oracle static-1: {:?}) — possible analysis bug",
+                    cell.name(),
+                    r.exhaustive,
+                    r.analytic,
+                    r.static1_adjacency,
+                    r.oracle_static1
+                ),
+            );
+        }
+    }
+
+    // Whole-cone sweep: the composed mapped structure against the original
+    // cone, over the cone's leaf space.
+    let n = cone.leaves.len();
+    if n > EXHAUSTIVE_VAR_LIMIT {
+        report.counters.cone_sweeps_skipped += 1;
+        return;
+    }
+    if !all_sound {
+        return; // composition is meaningless on a structurally broken cover
+    }
+    let Some(composed) = composed_cover_expr(cone, cover, library) else {
+        return; // missing driver, already a structure finding
+    };
+    report.counters.cone_sweeps += 1;
+    let (orig, _) = cone.to_expr(net);
+    if !hazards_subset_exhaustive(&composed, &orig, n) {
+        report.push(
+            Severity::Error,
+            "theorem32.cone-containment",
+            path_of(net, cone, None),
+            "the composed mapped cone has hazards the original cone lacks".to_owned(),
+        );
+    }
+}

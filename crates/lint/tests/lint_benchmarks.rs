@@ -1,0 +1,376 @@
+//! The lint pass against real mapper output: zero findings on every
+//! Table 5 benchmark mapped with hazard filtering on, and guaranteed
+//! detection of deliberately corrupted bindings.
+//!
+//! The corruption tests re-derive their ground truth (is the injected
+//! binding actually a violation?) with their own subnetwork walk, so the
+//! "lint must flag it" assertion does not depend on any lint-crate
+//! internals.
+
+use asyncmap_bff::Expr;
+use asyncmap_core::{async_tmap, truth, Instance, MapOptions, MappedDesign};
+use asyncmap_cube::{Cover, VarId, VarTable};
+use asyncmap_hazard::hazards_subset;
+use asyncmap_library::{builtin, Library};
+use asyncmap_lint::lint_mapped_design;
+use asyncmap_network::{Cone, EquationSet, GateOp, Network, NodeKind, SignalId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// The paper's Table 5 pairings: scsi and abcs map to LSI9K, pe-send-ifc
+/// and dme to Actel.
+#[allow(clippy::type_complexity)]
+const BENCHES: [(&str, fn() -> Library); 4] = [
+    ("scsi", builtin::lsi9k),
+    ("abcs", builtin::lsi9k),
+    ("pe-send-ifc", builtin::actel),
+    ("dme", builtin::actel),
+];
+
+fn mapped_bench(idx: usize) -> (MappedDesign, Library) {
+    let (name, lib_fn) = BENCHES[idx % BENCHES.len()];
+    let mut lib = lib_fn();
+    lib.annotate_hazards();
+    let eqs = asyncmap_burst::benchmark(name);
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let design = async_tmap(&eqs, &lib, &opts).expect("benchmark maps");
+    (design, lib)
+}
+
+/// Test-local ground truth for one binding: the subnetwork expression under
+/// `inst` over its reached cut space, built by an independent walk (cut at
+/// the cone's leaves and the other instances' outputs).
+fn subnet_of(
+    net: &Network,
+    cone: &Cone,
+    instances: &[Instance],
+    inst: &Instance,
+) -> Option<(Expr, HashMap<SignalId, usize>)> {
+    let mut cut: HashSet<SignalId> = cone.leaves.iter().copied().collect();
+    cut.extend(
+        instances
+            .iter()
+            .map(|i| i.output)
+            .filter(|&o| o != inst.output),
+    );
+    let mut order: Vec<SignalId> = Vec::new();
+    let mut var_of: HashMap<SignalId, usize> = HashMap::new();
+    fn go(
+        net: &Network,
+        s: SignalId,
+        root: SignalId,
+        cut: &HashSet<SignalId>,
+        order: &mut Vec<SignalId>,
+        var_of: &mut HashMap<SignalId, usize>,
+    ) -> Option<Expr> {
+        if s != root && cut.contains(&s) {
+            let v = *var_of.entry(s).or_insert_with(|| {
+                order.push(s);
+                order.len() - 1
+            });
+            return Some(Expr::Var(VarId(v)));
+        }
+        match net.node(s) {
+            NodeKind::Input => None, // escaped the cone: not a valid walk
+            NodeKind::Gate { op, fanin } => {
+                let args: Vec<Expr> = fanin
+                    .iter()
+                    .map(|&f| go(net, f, root, cut, order, var_of))
+                    .collect::<Option<_>>()?;
+                Some(match op {
+                    GateOp::And => Expr::and(args),
+                    GateOp::Or => Expr::or(args),
+                    GateOp::Inv => args.into_iter().next()?.not(),
+                    GateOp::Buf => args.into_iter().next()?,
+                })
+            }
+        }
+    }
+    let expr = go(net, inst.output, inst.output, &cut, &mut order, &mut var_of)?;
+    Some((expr, var_of))
+}
+
+fn bind_cell(cell_bff: &Expr, inst: &Instance, var_of: &HashMap<SignalId, usize>) -> Option<Expr> {
+    let args: Vec<Expr> = inst
+        .inputs
+        .iter()
+        .map(|s| var_of.get(s).map(|&v| Expr::Var(VarId(v))))
+        .collect::<Option<_>>()?;
+    fn sub(bff: &Expr, args: &[Expr]) -> Expr {
+        match bff {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Var(v) => args[v.index()].clone(),
+            Expr::Not(e) => sub(e, args).not(),
+            Expr::And(es) => Expr::and(es.iter().map(|e| sub(e, args)).collect()),
+            Expr::Or(es) => Expr::or(es.iter().map(|e| sub(e, args)).collect()),
+        }
+    }
+    Some(sub(cell_bff, &args))
+}
+
+fn truth_eq(a: &Expr, b: &Expr, n: usize) -> bool {
+    if n <= 6 {
+        truth::truth6_of(a, n) == truth::truth6_of(b, n)
+    } else {
+        truth::truth_table_words(a, n) == truth::truth_table_words(b, n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every Table 5 benchmark, mapped with hazard filtering on, lints
+    /// clean — the standing gate every future mapper change must keep.
+    #[test]
+    fn benchmarks_lint_clean(idx in 0usize..4) {
+        let (design, lib) = mapped_bench(idx);
+        let report = lint_mapped_design(&design, &lib);
+        prop_assert!(
+            report.is_clean(),
+            "{} ({}): {}",
+            BENCHES[idx].0,
+            lib.name(),
+            report.render()
+        );
+        prop_assert_eq!(report.counters.cones, design.cones.len());
+        prop_assert_eq!(report.counters.function_checks, design.num_instances());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Swapping a random binding's cell for a random same-arity cell must
+    /// be flagged whenever the replacement is actually wrong — wrong
+    /// function, or hazards the covered subnetwork lacks (Theorem 3.2).
+    /// Legal replacements (equivalent and hazard-contained) must stay
+    /// clean: the lint may not cry wolf either.
+    #[test]
+    fn corrupted_binding_is_always_detected(idx in 0usize..4, seed in any::<u64>()) {
+        let (mut design, lib) = mapped_bench(idx);
+        let total: usize = design.num_instances();
+        let mut k = (seed as usize) % total;
+        let (ci, ii) = 'found: {
+            for (ci, cover) in design.covers.iter().enumerate() {
+                if k < cover.instances.len() {
+                    break 'found (ci, k);
+                }
+                k -= cover.instances.len();
+            }
+            unreachable!("index within total instance count");
+        };
+        let arity = design.covers[ci].instances[ii].inputs.len();
+        let same_arity: Vec<usize> = lib
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(j, c)| {
+                c.num_inputs() == arity && *j != design.covers[ci].instances[ii].cell_index
+            })
+            .map(|(j, _)| j)
+            .collect();
+        if same_arity.is_empty() {
+            return Ok(()); // no same-arity alternative to inject
+        }
+        let new_cell = same_arity[(seed >> 32) as usize % same_arity.len()];
+
+        // Ground truth before mutating: is the replacement legal?
+        let cone = &design.cones[ci];
+        let inst = &design.covers[ci].instances[ii];
+        let (subnet, var_of) =
+            subnet_of(&design.subject, cone, &design.covers[ci].instances, inst)
+                .expect("mapper-produced binding walks cleanly");
+        let n = var_of.len();
+        let bound = bind_cell(lib.cells()[new_cell].bff(), inst, &var_of)
+            .expect("same signals still bound");
+        let legal = truth_eq(&bound, &subnet, n) && hazards_subset(&bound, &subnet, n);
+
+        design.covers[ci].instances[ii].cell_index = new_cell;
+        // Keep the area bookkeeping consistent with the swapped cell so the
+        // function/hazard checks — not the area re-add — decide the verdict.
+        design.covers[ci].area = design.covers[ci]
+            .instances
+            .iter()
+            .map(|i| lib.cells()[i.cell_index].area())
+            .sum();
+        let buf_area = lib
+            .cells()
+            .iter()
+            .filter(|c| c.name().starts_with("BUF"))
+            .map(|c| c.area())
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        design.area = design.covers.iter().map(|c| c.area).sum::<f64>()
+            + design.stats.buffers as f64 * buf_area;
+        let report = lint_mapped_design(&design, &lib);
+        if legal {
+            prop_assert!(
+                report.is_clean(),
+                "legal replacement by {} flagged: {}",
+                lib.cells()[new_cell].name(),
+                report.render()
+            );
+        } else {
+            prop_assert!(
+                !report.is_clean(),
+                "violating replacement by {} on {} went undetected",
+                lib.cells()[new_cell].name(),
+                BENCHES[idx].0
+            );
+        }
+    }
+}
+
+/// The canonical Theorem 3.2 corruption: a hazardous mux covering a
+/// consensus-protected (hazard-free) cluster of the same function. The
+/// function certificate passes — only the hazard re-check can catch it,
+/// and it must.
+#[test]
+fn injected_mux_on_hazard_free_cluster_is_flagged() {
+    let mut lib = builtin::cmos3();
+    lib.annotate_hazards();
+    let vars = VarTable::from_names(["s", "a", "b"]);
+    let f = Cover::parse("sa + s'b + ab", &vars).unwrap();
+    let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let mut design = async_tmap(&eqs, &lib, &opts).expect("maps");
+    assert!(lint_mapped_design(&design, &lib).is_clean());
+
+    let (mux_index, mux) = lib
+        .cells()
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.name().starts_with("MUX2"))
+        .expect("cmos3 has a mux");
+    assert!(!mux.compute_hazards().is_hazard_free());
+
+    // Bind the mux's pins to the primary inputs by name (its BFF is
+    // s*a + s'*b over its own pin table).
+    let net = &design.subject;
+    let by_name: HashMap<&str, SignalId> = net.inputs().iter().map(|&s| (net.name(s), s)).collect();
+    let pin_signals: Vec<SignalId> = mux.pins().iter().map(|(_, name)| by_name[name]).collect();
+
+    // Replace the output cone's entire cover with the single mux: same
+    // function (the consensus cube ab is redundant), strictly more
+    // hazards than the protected structure.
+    let root_cone = design
+        .cones
+        .iter()
+        .position(|c| net.outputs().iter().any(|(_, s)| *s == c.root))
+        .expect("output cone");
+    let root = design.cones[root_cone].root;
+    let inst_areas: f64 = mux.area();
+    design.covers[root_cone].instances = vec![Instance {
+        cell_index: mux_index,
+        output: root,
+        inputs: pin_signals,
+    }];
+    design.covers[root_cone].area = inst_areas;
+
+    // Keep the total-area invariant intact so the only findings are the
+    // hazard ones under test.
+    design.area = design.covers.iter().map(|c| c.area).sum::<f64>();
+
+    let report = lint_mapped_design(&design, &lib);
+    assert!(!report.is_clean(), "mux injection went undetected");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code.starts_with("theorem32.")),
+        "expected a theorem32 finding, got: {}",
+        report.render()
+    );
+}
+
+/// Structural corruptions — the non-hazard half of the checker.
+#[test]
+fn structural_corruptions_are_flagged() {
+    let (design, lib) = mapped_bench(3); // dme on actel, the smallest
+    let base = lint_mapped_design(&design, &lib);
+    assert!(base.is_clean());
+
+    // Drop an instance: its covered gates become uncovered.
+    let (mut d, lib) = mapped_bench(3);
+    let ci = d
+        .covers
+        .iter()
+        .position(|c| c.instances.len() > 1)
+        .expect("some multi-instance cover");
+    let dropped = d.covers[ci].instances.pop().unwrap();
+    let report = lint_mapped_design(&d, &lib);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code.starts_with("coverage.")
+                || f.code == "structure.undriven"
+                || f.code == "structure.cover-area"),
+        "dropping instance {:?} went undetected: {}",
+        dropped.output,
+        report.render()
+    );
+
+    // Misreport the area.
+    let (mut d, lib) = mapped_bench(3);
+    d.area += 42.0;
+    let report = lint_mapped_design(&d, &lib);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.code == "structure.total-area"));
+
+    // Re-route a pin to a signal outside the covered subnetwork.
+    let (mut d, lib) = mapped_bench(3);
+    let extra_input = *d.subject.inputs().last().unwrap();
+    let ci = d
+        .covers
+        .iter()
+        .position(|c| c.instances.iter().any(|i| !i.inputs.contains(&extra_input)))
+        .expect("an instance not using the last input");
+    let ii = d.covers[ci]
+        .instances
+        .iter()
+        .position(|i| !i.inputs.contains(&extra_input))
+        .unwrap();
+    d.covers[ci].instances[ii].inputs[0] = extra_input;
+    let report = lint_mapped_design(&d, &lib);
+    assert!(
+        !report.is_clean(),
+        "pin re-route went undetected: {}",
+        report.render()
+    );
+}
+
+/// The mapper binds hazardous cells (muxes) where Theorem 3.2 allows it;
+/// the re-verification pass must actually exercise those bindings.
+#[test]
+fn theorem32_rechecks_run_on_hazardous_bindings() {
+    let mut lib = builtin::cmos3();
+    lib.annotate_hazards();
+    let vars = VarTable::from_names(["s", "a", "b"]);
+    // The bare mux function, no consensus protection: the subnetwork has
+    // the mux's hazards, so the mapper may (and does, on area) take MUX2.
+    let f = Cover::parse("sa + s'b", &vars).unwrap();
+    let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let design = async_tmap(&eqs, &lib, &opts).expect("maps");
+    let report = lint_mapped_design(&design, &lib);
+    assert!(report.is_clean(), "{}", report.render());
+    if design.covers.iter().any(|c| {
+        c.instances
+            .iter()
+            .any(|i| !lib.cells()[i.cell_index].compute_hazards().is_hazard_free())
+    }) {
+        assert!(report.counters.theorem32_checks > 0);
+    }
+}

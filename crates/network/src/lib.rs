@@ -39,4 +39,4 @@ mod partition;
 
 pub use decomp::{async_tech_decomp, decompose_expr, sync_tech_decomp, EquationSet};
 pub use network::{GateOp, Network, NodeKind, SignalId};
-pub use partition::{partition, Cone};
+pub use partition::{is_partition_boundary, partition, partition_roots, Cone};

@@ -21,9 +21,17 @@ pub struct Cone {
     pub gates: Vec<SignalId>,
 }
 
-/// Splits the network into cones rooted at primary outputs and at internal
-/// multi-fanout gates. Every gate belongs to exactly one cone.
-pub fn partition(net: &Network) -> Vec<Cone> {
+/// The canonical partition boundary of a network: the signals at which
+/// [`partition`] cuts it into cones, in topological order. A gate is a
+/// legal cone root iff it drives a primary output or has fanout ≥ 2 —
+/// cutting anywhere else would split a single-fanout tree edge, which the
+/// paper's §3.1.2 argument (cuts only at multi-fanout points preserve
+/// hazard behavior) does not license.
+///
+/// Exposed so that independent checkers can re-derive the boundary from
+/// the raw network and compare it against a mapped design's cone roots
+/// without going through [`partition`] itself.
+pub fn partition_roots(net: &Network) -> Vec<SignalId> {
     let fanout = net.fanout_counts();
     let mut output_signals: HashSet<SignalId> = HashSet::new();
     for (_, s) in net.outputs() {
@@ -41,6 +49,23 @@ pub fn partition(net: &Network) -> Vec<Cone> {
             roots.push(s);
         }
     }
+    roots
+}
+
+/// `true` iff `signal` is a legal partition boundary point of `net`: a
+/// gate that drives a primary output or fans out to at least two gates.
+/// Primary inputs are implicit cone leaves, never roots.
+pub fn is_partition_boundary(net: &Network, signal: SignalId) -> bool {
+    if matches!(net.node(signal), NodeKind::Input) {
+        return false;
+    }
+    net.outputs().iter().any(|(_, s)| *s == signal) || net.fanout_counts()[signal.index()] >= 2
+}
+
+/// Splits the network into cones rooted at primary outputs and at internal
+/// multi-fanout gates. Every gate belongs to exactly one cone.
+pub fn partition(net: &Network) -> Vec<Cone> {
+    let roots = partition_roots(net);
     let root_set: HashSet<SignalId> = roots.iter().copied().collect();
     roots
         .iter()

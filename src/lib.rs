@@ -47,6 +47,7 @@ pub use asyncmap_core as mapper;
 pub use asyncmap_cube as cube;
 pub use asyncmap_hazard as hazard;
 pub use asyncmap_library as library;
+pub use asyncmap_lint as lint;
 pub use asyncmap_network as network;
 
 /// The most common items, for glob import.
@@ -58,5 +59,25 @@ pub mod prelude {
     pub use asyncmap_cube::{Cover, Cube, VarTable};
     pub use asyncmap_hazard::{analyze_expr, hazards_subset, HazardReport};
     pub use asyncmap_library::{builtin, Cell, Library};
+    pub use asyncmap_lint::{lint_mapped_design, LintReport};
     pub use asyncmap_network::EquationSet;
+}
+
+/// Installs the independent lint pass ([`lint::lint_mapped_design`]) as the
+/// mapper's post-map hook, so `ASYNCMAP_LINT=1` makes every
+/// [`prelude::async_tmap`] call verify its own output and panic with the
+/// rendered report on any finding. Idempotent.
+///
+/// The hook indirection exists because `asyncmap-core` cannot depend on
+/// `asyncmap-lint`: the lint pass is only trustworthy while it shares no
+/// code with the mapper it checks.
+pub fn install_lint_hook() {
+    asyncmap_core::set_post_map_hook(|design, library| {
+        let report = asyncmap_lint::lint_mapped_design(design, library);
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(report.render())
+        }
+    });
 }

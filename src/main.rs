@@ -6,7 +6,13 @@
 //! asyncmap synth <machine.bms>                   hazard-free equations + dot
 //! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
 //!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
+//! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
 //! ```
+//!
+//! `lint` also accepts a builtin Table 5 benchmark name (e.g. `scsi`) in
+//! place of the `.bms` path and a builtin library name (e.g. `lsi9k`) in
+//! place of the library path. Setting `ASYNCMAP_LINT=1` makes every `map`
+//! run lint its own output as well, panicking on findings.
 
 use asyncmap::burst::{expand, hazard_free_cover, parse_bms, to_dot};
 use asyncmap::mapper::{render_report, to_verilog, Objective};
@@ -14,13 +20,15 @@ use asyncmap::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    asyncmap::install_lint_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("audit") => cmd_audit(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         _ => {
-            eprintln!("usage: asyncmap <audit|synth|map> ... (see crate docs)");
+            eprintln!("usage: asyncmap <audit|synth|map|lint> ... (see crate docs)");
             return ExitCode::from(2);
         }
     };
@@ -148,4 +156,59 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Resolves a `.bms` path or a builtin Table 5 benchmark name.
+fn load_equations(arg: &str) -> Result<EquationSet, String> {
+    if std::path::Path::new(arg).is_file() {
+        return synthesize(&load_spec(arg)?);
+    }
+    if asyncmap::burst::BENCHMARKS.iter().any(|d| d.name == arg) {
+        return Ok(asyncmap::burst::benchmark(arg));
+    }
+    Err(format!(
+        "lint: {arg} is neither a .bms file nor a builtin benchmark ({})",
+        asyncmap::burst::BENCHMARKS
+            .iter()
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+/// Resolves a library file path or a builtin library name.
+fn load_library_or_builtin(arg: &str) -> Result<Library, String> {
+    if std::path::Path::new(arg).is_file() {
+        return load_library(arg);
+    }
+    builtin::all_libraries()
+        .into_iter()
+        .find(|l| l.name().eq_ignore_ascii_case(arg))
+        .ok_or_else(|| format!("lint: {arg} is neither a library file nor a builtin library"))
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let inner = || -> Result<asyncmap::lint::LintReport, String> {
+        let spec_arg = args.first().ok_or("lint: missing .bms path or benchmark")?;
+        let lib_arg = args.get(1).ok_or("lint: missing library path or name")?;
+        let eqs = load_equations(spec_arg)?;
+        let mut lib = load_library_or_builtin(lib_arg)?;
+        lib.annotate_hazards();
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
+        Ok(lint_mapped_design(&design, &lib))
+    };
+    match inner() {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
 }

