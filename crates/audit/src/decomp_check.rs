@@ -1,0 +1,463 @@
+//! Replay of decomposition certificates ([`DecompTrace`]) against the
+//! produced network, without calling the decomposition code.
+//!
+//! Per [`RewriteStep`] the checker discharges three obligations:
+//!
+//! 1. **Rule applicability** — the `before`/`after` pair is syntactically
+//!    an instance of the claimed rule (associative regrouping over the
+//!    same operand sequence, a one-level DeMorgan push or its involution,
+//!    or an input-inverter realization on the right input signal);
+//! 2. **Functional equivalence** — re-proved by [`crate::equiv`]'s packed
+//!    truth tables / BDDs;
+//! 3. **Hazard monotonicity** — `hazards(after) ⊆ hazards(before)`,
+//!    re-proved by the [`crate::monotone`] ladder.
+//!
+//! Per [`EquationCert`] it additionally re-derives, by an independent walk
+//! of the network, the expression the emitted gate tree realizes and
+//! requires it to be structurally identical to the certified result; and
+//! it requires every gate of the network to be covered by some equation's
+//! walk (no uncertified logic).
+
+use std::collections::{HashMap, HashSet};
+
+use asyncmap_bff::Expr;
+use asyncmap_cube::VarId;
+use asyncmap_network::{
+    DecompTrace, EquationSet, GateOp, Network, NodeKind, RewriteRule, RewriteStep, SignalId,
+};
+
+use crate::equiv::{prove_equal, EquivProof};
+use crate::monotone::recheck_monotone;
+use crate::report::{AuditReport, Severity};
+
+/// Re-derives the expression the gate tree rooted at `signal` realizes:
+/// inputs become variables (by input position), inverters become `Not`,
+/// AND/OR gates become the raw binary `Expr` nodes the certified
+/// balanced-tree regrouping claims. Every gate visited is recorded in
+/// `visited`.
+fn realized_expr(
+    net: &Network,
+    signal: SignalId,
+    positions: &HashMap<SignalId, usize>,
+    visited: &mut HashSet<SignalId>,
+) -> Expr {
+    match net.node(signal) {
+        NodeKind::Input => Expr::Var(VarId(positions[&signal])),
+        NodeKind::Gate { op, fanin } => {
+            visited.insert(signal);
+            let mut args: Vec<Expr> = fanin
+                .iter()
+                .map(|&f| realized_expr(net, f, positions, visited))
+                .collect();
+            match op {
+                GateOp::Inv => args.pop().expect("inverter fanin").not(),
+                GateOp::Buf => args.pop().expect("buffer fanin"),
+                GateOp::And => Expr::And(args),
+                GateOp::Or => Expr::Or(args),
+            }
+        }
+    }
+}
+
+/// Greedy left-to-right fringe match: `true` iff splitting same-operator
+/// binary nodes of `tree` (without any commutation) yields exactly the
+/// operand sequence `operands`. Operand equality is tried before
+/// splitting, so operands that themselves use the same operator are
+/// matched whole.
+fn fringe_matches(tree: &Expr, operands: &[Expr], is_and: bool) -> bool {
+    fn go(tree: &Expr, operands: &[Expr], pos: usize, is_and: bool) -> Option<usize> {
+        if pos < operands.len() && *tree == operands[pos] {
+            return Some(pos + 1);
+        }
+        let es = match (tree, is_and) {
+            (Expr::And(es), true) | (Expr::Or(es), false) => es,
+            _ => return None,
+        };
+        let mut pos = pos;
+        for e in es {
+            pos = go(e, operands, pos, is_and)?;
+        }
+        Some(pos)
+    }
+    go(tree, operands, 0, is_and) == Some(operands.len())
+}
+
+/// `true` iff `step` is syntactically an instance of its claimed rule.
+fn rule_applies(step: &RewriteStep) -> bool {
+    match step.rule {
+        RewriteRule::AssocRegroup => match &step.before {
+            Expr::And(es) => es.len() >= 2 && fringe_matches(&step.after, es, true),
+            Expr::Or(es) => es.len() >= 2 && fringe_matches(&step.after, es, false),
+            _ => false,
+        },
+        RewriteRule::DeMorganPush => {
+            let Expr::Not(inner) = &step.before else {
+                return false;
+            };
+            match &**inner {
+                // Involution: (e')' → e.
+                Expr::Not(e) => step.after == **e,
+                // One-level push: (x₁·…·xₖ)' → x₁'+…+xₖ' and the dual.
+                Expr::And(es) => {
+                    step.after == Expr::or(es.iter().map(|e| e.clone().not()).collect())
+                }
+                Expr::Or(es) => {
+                    step.after == Expr::and(es.iter().map(|e| e.clone().not()).collect())
+                }
+                _ => false,
+            }
+        }
+        RewriteRule::InputInverter => {
+            step.before == step.after
+                && matches!(&step.before, Expr::Not(v) if matches!(**v, Expr::Var(_)))
+        }
+    }
+}
+
+fn count_proof(report: &mut AuditReport, proof: EquivProof) {
+    match proof {
+        EquivProof::Truth => report.counters.truth_proofs += 1,
+        EquivProof::Bdd => report.counters.bdd_proofs += 1,
+    }
+}
+
+fn check_monotone(
+    report: &mut AuditReport,
+    candidate: &Expr,
+    reference: &Expr,
+    code: &'static str,
+    path: &str,
+) {
+    let out = recheck_monotone(candidate, reference);
+    if out.partial {
+        report.counters.hazard_partial += 1;
+        if out.skipped {
+            report.push(
+                Severity::Info,
+                "decomp.hazard-partial",
+                path.to_owned(),
+                format!("hazard re-check degraded: {}", out.detail),
+            );
+        }
+    } else {
+        report.counters.hazard_rechecks += 1;
+    }
+    if !out.ok {
+        report.push(
+            Severity::Error,
+            code,
+            path.to_owned(),
+            format!("hazards(after) ⊆ hazards(before) refuted ({})", out.detail),
+        );
+    }
+}
+
+/// Replays a [`DecompTrace`] against the network it claims to describe.
+/// Does not consult the source equations — see [`check_decomp`] for the
+/// variant that additionally checks source fidelity.
+pub fn check_decomp_trace(net: &Network, trace: &DecompTrace) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.counters.rewrite_steps = trace.steps.len();
+    report.counters.equations = trace.equations.len();
+    let positions = net.input_positions();
+    let mut visited: HashSet<SignalId> = HashSet::new();
+
+    for (i, step) in trace.steps.iter().enumerate() {
+        let path = format!("{}:step{}:{}", step.equation, i, step.rule.name());
+        if !rule_applies(step) {
+            report.push(
+                Severity::Error,
+                "decomp.rule-mismatch",
+                path.clone(),
+                format!(
+                    "before/after pair is not an instance of {}",
+                    step.rule.name()
+                ),
+            );
+            continue;
+        }
+        match step.rule {
+            RewriteRule::InputInverter => {
+                // before == after: nothing to prove functionally. The
+                // obligation is the node realization: an inverter gate
+                // over exactly the claimed primary input.
+                let Expr::Not(v) = &step.before else {
+                    unreachable!("rule_applies checked the shape");
+                };
+                let Expr::Var(v) = **v else {
+                    unreachable!("rule_applies checked the shape");
+                };
+                let ok = match net.node(step.node) {
+                    NodeKind::Gate {
+                        op: GateOp::Inv,
+                        fanin,
+                    } => fanin.len() == 1 && fanin[0] == net.inputs()[v.index()],
+                    _ => false,
+                };
+                if ok {
+                    visited.insert(step.node);
+                } else {
+                    report.push(
+                        Severity::Error,
+                        "decomp.node-mismatch",
+                        path,
+                        format!(
+                            "node {:?} is not an inverter over input {}",
+                            step.node,
+                            v.index()
+                        ),
+                    );
+                }
+                continue;
+            }
+            RewriteRule::AssocRegroup | RewriteRule::DeMorganPush => {
+                let (eq, proof) = prove_equal(&step.before, &step.after, trace.nvars);
+                count_proof(&mut report, proof);
+                if !eq {
+                    report.push(
+                        Severity::Error,
+                        "decomp.not-equivalent",
+                        path.clone(),
+                        "before and after compute different functions".to_owned(),
+                    );
+                    continue;
+                }
+                check_monotone(
+                    &mut report,
+                    &step.after,
+                    &step.before,
+                    "decomp.hazard-containment",
+                    &path,
+                );
+                // Only assoc steps certify the final shape of their node's
+                // gate tree (a DeMorgan push is an intermediate rewrite;
+                // its node realizes the *fully pushed* form, covered by
+                // the equation certificate).
+                if step.rule == RewriteRule::AssocRegroup {
+                    let walked = realized_expr(net, step.node, &positions, &mut visited);
+                    if walked != step.after {
+                        report.push(
+                            Severity::Error,
+                            "decomp.node-mismatch",
+                            path,
+                            format!(
+                                "gate tree at {:?} does not realize the certified regrouping",
+                                step.node
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let outputs: HashMap<&str, SignalId> = net
+        .outputs()
+        .iter()
+        .map(|(n, s)| (n.as_str(), *s))
+        .collect();
+    for cert in &trace.equations {
+        let path = format!("{}:equation", cert.name);
+        match outputs.get(cert.name.as_str()) {
+            Some(&root) if root == cert.root => {}
+            _ => {
+                report.push(
+                    Severity::Error,
+                    "decomp.output-mismatch",
+                    path.clone(),
+                    format!(
+                        "network does not mark {:?} as output {:?}",
+                        cert.root, cert.name
+                    ),
+                );
+                continue;
+            }
+        }
+        let (eq, proof) = prove_equal(&cert.source, &cert.result, trace.nvars);
+        count_proof(&mut report, proof);
+        if !eq {
+            report.push(
+                Severity::Error,
+                "decomp.not-equivalent",
+                path.clone(),
+                "decomposed result computes a different function than the source".to_owned(),
+            );
+            continue;
+        }
+        check_monotone(
+            &mut report,
+            &cert.result,
+            &cert.source,
+            "decomp.hazard-containment",
+            &path,
+        );
+        let walked = realized_expr(net, cert.root, &positions, &mut visited);
+        if walked != cert.result {
+            report.push(
+                Severity::Error,
+                "decomp.node-mismatch",
+                path,
+                "network walk from the output root does not realize the certified expression"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // No uncertified logic: every gate must be reachable from a certified
+    // walk (output roots expand through every cube tree and every shared
+    // inverter).
+    for s in net.signals() {
+        if matches!(net.node(s), NodeKind::Gate { .. }) && !visited.contains(&s) {
+            report.push(
+                Severity::Error,
+                "decomp.uncovered-gate",
+                format!("{:?}", s),
+                "gate is not covered by any certified equation walk".to_owned(),
+            );
+        }
+    }
+    report
+}
+
+/// [`check_decomp_trace`], plus source fidelity: every equation of `eqs`
+/// must have a certificate whose source expression is exactly the
+/// two-level form of its cover (no simplification slipped in before the
+/// certified rewrites started).
+pub fn check_decomp(eqs: &EquationSet, net: &Network, trace: &DecompTrace) -> AuditReport {
+    let mut report = check_decomp_trace(net, trace);
+    if trace.nvars != eqs.inputs.len() {
+        report.push(
+            Severity::Error,
+            "decomp.nvars-mismatch",
+            "trace".to_owned(),
+            format!(
+                "trace ranges over {} variables, equations over {}",
+                trace.nvars,
+                eqs.inputs.len()
+            ),
+        );
+    }
+    let certs: HashMap<&str, &asyncmap_network::EquationCert> = trace
+        .equations
+        .iter()
+        .map(|c| (c.name.as_str(), c))
+        .collect();
+    for (name, cover) in &eqs.equations {
+        match certs.get(name.as_str()) {
+            None => report.push(
+                Severity::Error,
+                "decomp.missing-equation",
+                name.clone(),
+                "equation has no end-to-end certificate".to_owned(),
+            ),
+            Some(cert) => {
+                if cert.source != Expr::from_cover(cover) {
+                    report.push(
+                        Severity::Error,
+                        "decomp.source-mismatch",
+                        name.clone(),
+                        "certificate source is not the two-level form of the equation's cover"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+    }
+    if trace.equations.len() != eqs.equations.len() {
+        report.push(
+            Severity::Error,
+            "decomp.missing-equation",
+            "trace".to_owned(),
+            format!(
+                "{} equation certificate(s) for {} equation(s)",
+                trace.equations.len(),
+                eqs.equations.len()
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_network::{async_tech_decomp_traced, decompose_expr_demorgan};
+
+    fn figure3() -> EquationSet {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        EquationSet::new(vars, vec![("f".to_owned(), f)])
+    }
+
+    #[test]
+    fn honest_trace_is_clean() {
+        let eqs = figure3();
+        let (net, trace) = async_tech_decomp_traced(&eqs);
+        let report = check_decomp(&eqs, &net, &trace);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.counters.rewrite_steps, trace.steps.len());
+        assert_eq!(report.counters.equations, 1);
+    }
+
+    #[test]
+    fn demorgan_trace_is_clean() {
+        let inputs = VarTable::from_names(["w", "x", "y"]);
+        let mut scratch = inputs.clone();
+        let e = Expr::parse("(w*x + y)' + w*y", &mut scratch).unwrap();
+        let (net, trace) = decompose_expr_demorgan(&inputs, &e, "f");
+        let report = check_decomp_trace(&net, &trace);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn commuted_regroup_is_rejected() {
+        let eqs = figure3();
+        let (net, mut trace) = async_tech_decomp_traced(&eqs);
+        // Swap the operand order inside the first regroup's `before`:
+        // commutation is not a hazard-preserving law, so the fringe match
+        // must fail even though the function is unchanged.
+        let step = trace
+            .steps
+            .iter_mut()
+            .find(|s| s.rule == RewriteRule::AssocRegroup)
+            .unwrap();
+        let Expr::And(es) = &mut step.before else {
+            panic!("AND regroup expected")
+        };
+        es.reverse();
+        let report = check_decomp_trace(&net, &trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "decomp.rule-mismatch"));
+    }
+
+    #[test]
+    fn pruned_source_is_rejected() {
+        // A certificate claiming the decomposition started from the
+        // *simplified* cover (dropping the consensus cube bc) fails both
+        // source fidelity and the node-realization obligations.
+        let eqs = figure3();
+        let (net, mut trace) = async_tech_decomp_traced(&eqs);
+        let mut pruned_vars = VarTable::from_names(["a", "b", "c"]);
+        trace.equations[0].source = Expr::parse("a*b + a'*c", &mut pruned_vars).unwrap();
+        let report = check_decomp(&eqs, &net, &trace);
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "decomp.source-mismatch"));
+    }
+
+    #[test]
+    fn forged_node_is_rejected() {
+        let eqs = figure3();
+        let (net, mut trace) = async_tech_decomp_traced(&eqs);
+        let (a, b) = (trace.equations[0].root, trace.steps[0].node);
+        trace.steps[0].node = a;
+        trace.equations[0].root = b;
+        let report = check_decomp_trace(&net, &trace);
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,254 @@
+//! Replay of hazard-preserving flatten collapse traces
+//! ([`FlattenTrace`]) against the [`FlatSop`] they certify.
+//!
+//! Obligations:
+//!
+//! 1. the traced normal form really is an NNF (complements only over
+//!    variables) and computes the same function as the source;
+//! 2. the claimed product count matches both the produced SOP and an
+//!    independent arithmetic replay of the distribution over the NNF
+//!    shape (sums under OR, products under AND) — catching silently
+//!    dropped products, which is exactly how absorption or idempotence
+//!    would manifest;
+//! 3. every vacuous product really clashes (some variable in both
+//!    phases), with its clash list honest;
+//! 4. the SOP (proper cubes ∪ vacuous products) computes the source
+//!    function;
+//! 5. on supports small enough to sweep, the full SOP has *identical*
+//!    static hazard behavior to the source on every transition — Unger's
+//!    Theorem 4.3 promises preservation, not mere containment.
+
+use asyncmap_bff::{Expr, FlatSop, FlattenTrace};
+use asyncmap_cube::{Bits, Phase};
+use asyncmap_hazard::{wave_eval, ORACLE_VAR_LIMIT};
+
+use crate::equiv::{compact_onto, prove_equal, union_support, EquivProof};
+use crate::monotone::product_estimate;
+use crate::report::{AuditReport, Severity};
+
+fn is_nnf(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::Not(inner) => matches!(**inner, Expr::Var(_)),
+        Expr::And(es) | Expr::Or(es) => es.iter().all(is_nnf),
+    }
+}
+
+/// The full distribution image as an expression: the proper cubes *plus*
+/// the vacuous products, which carry the static-0 hazard behavior the
+/// cover alone cannot represent.
+fn image_expr(flat: &FlatSop) -> Expr {
+    let mut terms: Vec<Expr> = flat
+        .cover
+        .cubes()
+        .iter()
+        .map(|c| Expr::and(c.literals().map(|(v, p)| Expr::literal(v, p)).collect()))
+        .collect();
+    for vac in &flat.vacuous {
+        terms.push(Expr::and(
+            vac.literals
+                .iter()
+                .map(|&(v, p)| Expr::literal(v, p))
+                .collect(),
+        ));
+    }
+    Expr::or(terms)
+}
+
+/// Replays one flatten certificate. `nvars` is the variable space the
+/// flatten ran over.
+pub fn check_flatten(flat: &FlatSop, trace: &FlattenTrace, nvars: usize) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.counters.flatten_traces = 1;
+    let path = "flatten".to_owned();
+
+    if !is_nnf(&trace.nnf) {
+        report.push(
+            Severity::Error,
+            "flatten.nnf-shape",
+            path.clone(),
+            "traced normal form complements a compound subexpression".to_owned(),
+        );
+        return report;
+    }
+    let (eq, proof) = prove_equal(&trace.source, &trace.nnf, nvars);
+    count_proof(&mut report, proof);
+    if !eq {
+        report.push(
+            Severity::Error,
+            "flatten.nnf-divergence",
+            path.clone(),
+            "traced normal form computes a different function than the source".to_owned(),
+        );
+    }
+
+    let produced = flat.cover.len() + flat.vacuous.len();
+    let replayed = product_estimate(&trace.nnf);
+    if trace.products != produced || replayed != produced as u64 {
+        report.push(
+            Severity::Error,
+            "flatten.count-mismatch",
+            path.clone(),
+            format!(
+                "certificate claims {} product(s), SOP has {}, independent replay expects {}",
+                trace.products, produced, replayed
+            ),
+        );
+    }
+
+    for (i, vac) in flat.vacuous.iter().enumerate() {
+        let honest = !vac.clashing.is_empty()
+            && vac.clashing.iter().all(|v| {
+                vac.literals.contains(&(*v, Phase::Pos)) && vac.literals.contains(&(*v, Phase::Neg))
+            });
+        if !honest {
+            report.push(
+                Severity::Error,
+                "flatten.vacuous-clash",
+                format!("{path}:vacuous{i}"),
+                "vacuous product's clash evidence does not match its literals".to_owned(),
+            );
+        }
+    }
+
+    let image = image_expr(flat);
+    let (eq, proof) = prove_equal(&trace.source, &image, nvars);
+    count_proof(&mut report, proof);
+    if !eq {
+        report.push(
+            Severity::Error,
+            "flatten.not-equivalent",
+            path.clone(),
+            "flattened SOP computes a different function than the source".to_owned(),
+        );
+        return report;
+    }
+
+    // Static hazard fidelity: sweep every transition of the compacted
+    // support when small enough (Theorem 4.3 — the laws preserve static
+    // hazard behavior exactly, in both directions).
+    let support = union_support(&trace.source, &image);
+    let k = support.len();
+    if k <= ORACLE_VAR_LIMIT {
+        report.counters.hazard_rechecks += 1;
+        let src = compact_onto(&trace.source, &support);
+        let img = compact_onto(&image, &support);
+        'sweep: for a in 0..(1usize << k) {
+            for b in 0..(1usize << k) {
+                if a == b {
+                    continue;
+                }
+                let from = index_bits(k, a);
+                let to = index_bits(k, b);
+                let sw = wave_eval(&src, &from, &to);
+                let iw = wave_eval(&img, &from, &to);
+                if sw.is_static_hazard() != iw.is_static_hazard() {
+                    report.push(
+                        Severity::Error,
+                        "flatten.static-hazard-divergence",
+                        path.clone(),
+                        format!(
+                            "transition {a:#b} → {b:#b}: source {} a static hazard, SOP {}",
+                            if sw.is_static_hazard() {
+                                "has"
+                            } else {
+                                "lacks"
+                            },
+                            if iw.is_static_hazard() {
+                                "has one"
+                            } else {
+                                "does not"
+                            },
+                        ),
+                    );
+                    break 'sweep;
+                }
+            }
+        }
+    } else {
+        report.counters.hazard_partial += 1;
+        report.push(
+            Severity::Info,
+            "flatten.hazard-partial",
+            path,
+            format!("support of {k} variables is too wide for the static-hazard sweep"),
+        );
+    }
+    report
+}
+
+fn count_proof(report: &mut AuditReport, proof: EquivProof) {
+    match proof {
+        EquivProof::Truth => report.counters.truth_proofs += 1,
+        EquivProof::Bdd => report.counters.bdd_proofs += 1,
+    }
+}
+
+fn index_bits(nvars: usize, m: usize) -> Bits {
+    let mut bits = Bits::new(nvars);
+    for v in 0..nvars {
+        bits.set(v, (m >> v) & 1 == 1);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_bff::flatten_traced;
+    use asyncmap_cube::VarTable;
+
+    fn traced(text: &str) -> (FlatSop, FlattenTrace, usize) {
+        let mut vars = VarTable::new();
+        let e = Expr::parse(text, &mut vars).unwrap();
+        let (flat, trace) = flatten_traced(&e, vars.len());
+        (flat, trace, vars.len())
+    }
+
+    #[test]
+    fn honest_traces_are_clean() {
+        for text in [
+            "(w + y')*(x + y)",
+            "(w + y')*(x*y + y'*z)",
+            "a*b + a'*c + b*c",
+            "(a + b*(c + d'))' + a*d",
+        ] {
+            let (flat, trace, nvars) = traced(text);
+            let report = check_flatten(&flat, &trace, nvars);
+            assert!(report.is_clean(), "{text}: {}", report.render());
+        }
+    }
+
+    #[test]
+    fn dropped_vacuous_product_is_caught() {
+        // Deleting the vacuous y'y product (what a non-hazard-preserving
+        // flatten would do) breaks the count replay.
+        let (mut flat, trace, nvars) = traced("(w + y')*(x + y)");
+        assert_eq!(flat.vacuous.len(), 1);
+        flat.vacuous.clear();
+        let report = check_flatten(&flat, &trace, nvars);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "flatten.count-mismatch"));
+    }
+
+    #[test]
+    fn forged_nnf_is_caught() {
+        let (flat, mut trace, nvars) = traced("(w + y')*(x + y)");
+        trace.nnf = trace.source.clone().not();
+        let report = check_flatten(&flat, &trace, nvars);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn forged_clash_evidence_is_caught() {
+        let (mut flat, trace, nvars) = traced("(w + y')*(x + y)");
+        flat.vacuous[0].clashing.clear();
+        let report = check_flatten(&flat, &trace, nvars);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "flatten.vacuous-clash"));
+    }
+}

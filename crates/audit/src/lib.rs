@@ -1,0 +1,145 @@
+//! Translation-validation audit trail for the asyncmap front end.
+//!
+//! The paper's soundness story rests on every pre-mapping transformation
+//! using only hazard-preserving laws: decomposition restricted to
+//! associativity and DeMorgan (Unger), partitioning cut only at
+//! multi-fanout points (§3.1.2), flattening by distribution without
+//! absorption or idempotence (Theorem 4.3). The instrumented entry points
+//! in `asyncmap-network`, `asyncmap-bff` and `asyncmap-hazard` emit one
+//! structured certificate per rewrite step, cut point and collapse; this
+//! crate replays those certificates **without calling the transformation
+//! code**:
+//!
+//! * rule applicability is re-checked syntactically
+//!   ([`check_decomp_trace`]);
+//! * functional equivalence is re-proved with this crate's own packed
+//!   truth tables (supports of ≤ 8 variables) or BDDs from
+//!   `asyncmap-bdd` ([`equiv`]);
+//! * hazard-set monotonicity per step is re-proved through
+//!   `asyncmap-hazard`'s [`reverification ladder`](asyncmap_hazard::reverify_containment)
+//!   ([`monotone`]);
+//! * partition cut evidence is re-derived from the raw network
+//!   ([`check_partition`]);
+//! * flatten collapses are replayed by independent product-count
+//!   arithmetic and transition sweeps ([`check_flatten`]);
+//! * burst-mode specs are checked against the unique-entry-point, maximal
+//!   set and distinguishability properties, collecting every violation
+//!   ([`check_spec`]).
+//!
+//! Deliberately **not** a dependency of `asyncmap-core`: the mapper can
+//! be pointed at this checker through a hook (see the `ASYNCMAP_AUDIT`
+//! environment variable on the CLI), but nothing here is consulted on the
+//! mapping fast path, and nothing in the crates being audited depends on
+//! the auditor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp_check;
+pub mod equiv;
+pub mod flatten_check;
+pub mod monotone;
+pub mod partition_check;
+pub mod report;
+pub mod spec_check;
+
+pub use decomp_check::{check_decomp, check_decomp_trace};
+pub use equiv::{prove_equal, EquivProof, TRUTH_VAR_LIMIT};
+pub use flatten_check::check_flatten;
+pub use monotone::{product_estimate, recheck_monotone, MonotoneOutcome, FLATTEN_REPLAY_CAP};
+pub use partition_check::check_partition;
+pub use report::{AuditCounters, AuditReport, Finding, Severity};
+pub use spec_check::check_spec;
+
+use asyncmap_hazard::multilevel_flatten_traced;
+use asyncmap_network::{
+    async_tech_decomp_traced, partition_traced, Cone, DecompTrace, EquationSet, Network,
+    PartitionTrace,
+};
+
+/// Audits the flatten collapse of every cone: replays
+/// [`multilevel_flatten_traced`] per cone and checks the resulting
+/// certificate, skipping (with an info note) cones whose independent
+/// product estimate exceeds [`FLATTEN_REPLAY_CAP`].
+pub fn audit_cone_flattens(net: &Network, cones: &[Cone]) -> AuditReport {
+    let mut report = AuditReport::default();
+    for cone in cones {
+        let (expr, vars) = cone.to_expr(net);
+        let path = format!("cone:{}", net.name(cone.root));
+        if product_estimate(&expr) > FLATTEN_REPLAY_CAP {
+            report.counters.flatten_skipped += 1;
+            report.push(
+                Severity::Info,
+                "flatten.replay-skipped",
+                path,
+                "product estimate over the replay cap".to_owned(),
+            );
+            continue;
+        }
+        let (flat, trace) = multilevel_flatten_traced(&expr, vars.len());
+        if trace.source != expr {
+            report.push(
+                Severity::Error,
+                "flatten.source-mismatch",
+                path,
+                "collapse trace does not start from the cone's expression".to_owned(),
+            );
+            continue;
+        }
+        report.merge(check_flatten(&flat, &trace, vars.len()));
+    }
+    report
+}
+
+/// Checks a full front-end run — decomposition, partition and per-cone
+/// flatten certificates — against the equations it claims to implement.
+pub fn check_pipeline(
+    eqs: &EquationSet,
+    net: &Network,
+    dtrace: &DecompTrace,
+    cones: &[Cone],
+    ptrace: &PartitionTrace,
+) -> AuditReport {
+    let mut report = check_decomp(eqs, net, dtrace);
+    report.merge(check_partition(net, cones, ptrace));
+    report.merge(audit_cone_flattens(net, cones));
+    report
+}
+
+/// Runs the instrumented front end on `eqs` and audits every certificate
+/// it emits. This is the one place the audit *invokes* transformation
+/// code — to obtain the traces; every check then replays them
+/// independently.
+pub fn audit_equations(eqs: &EquationSet) -> AuditReport {
+    let (net, dtrace) = async_tech_decomp_traced(eqs);
+    let (cones, ptrace) = partition_traced(&net);
+    check_pipeline(eqs, &net, &dtrace, &cones, &ptrace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::{Cover, VarTable};
+
+    #[test]
+    fn figure3_pipeline_audits_clean() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let report = audit_equations(&eqs);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.num_certificates() > 0);
+        assert!(report.counters.cones >= 1);
+    }
+
+    #[test]
+    fn multi_output_pipeline_audits_clean() {
+        let vars = VarTable::from_names(["a", "b", "c", "d"]);
+        let f = Cover::parse("ab + a'c", &vars).unwrap();
+        let g = Cover::parse("a'd + bc'd", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f), ("g".to_owned(), g)]);
+        let report = audit_equations(&eqs);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.counters.equations, 2);
+    }
+}

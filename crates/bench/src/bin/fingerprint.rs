@@ -3,10 +3,18 @@
 //! rejects. Used to verify that performance work leaves the mapped output
 //! bit-identical (`cargo run --release -p asyncmap-bench --bin fingerprint`).
 //!
-//! Each mapped design is also run through the independent static verifier
-//! (`asyncmap-lint`); any finding fails the run. CI uses this as its
-//! lint-the-mapped-outputs gate.
+//! Each benchmark is additionally run through two independent verifiers,
+//! and any finding fails the run:
+//!
+//! * the translation-validation audit (`asyncmap-audit`): the burst-mode
+//!   spec is statically checked (maximal set, distinguishability, unique
+//!   entry point) and the hazard-preserving front end's certificate trail
+//!   is replayed;
+//! * the static lint (`asyncmap-lint`) over the mapped design.
+//!
+//! CI uses this as its verify-the-mapped-outputs gate.
 
+use asyncmap_audit::{audit_equations, check_spec};
 use asyncmap_bench::design_fingerprint;
 use asyncmap_core::{async_tmap, MapOptions};
 use asyncmap_library::builtin;
@@ -28,22 +36,30 @@ fn main() {
         ("pe-send-ifc", &actel),
         ("dme", &actel),
     ] {
+        let mut audit = check_spec(&asyncmap_burst::benchmark_spec(design));
         let eqs = asyncmap_burst::benchmark(design);
+        audit.merge(audit_equations(&eqs));
         let d = async_tmap(&eqs, lib, &opts).expect("mappable");
         let (area, delay, instances, rejects) = design_fingerprint(&d);
         let report = lint_mapped_design(&d, lib);
         println!(
             "{design:12} area={area:016x} delay={delay:016x} instances={instances} \
-             rejects={rejects} lint={}",
+             rejects={rejects} audit={} ({} certs) lint={}",
+            if audit.is_clean() { "clean" } else { "DIRTY" },
+            audit.num_certificates(),
             if report.is_clean() { "clean" } else { "DIRTY" }
         );
+        if !audit.is_clean() {
+            findings += audit.findings.len();
+            eprint!("{}", audit.render());
+        }
         if !report.is_clean() {
             findings += report.findings.len();
             eprint!("{}", report.render());
         }
     }
     if findings > 0 {
-        eprintln!("fingerprint: {findings} lint finding(s) on mapped benchmark outputs");
+        eprintln!("fingerprint: {findings} audit/lint finding(s) on benchmark outputs");
         std::process::exit(1);
     }
 }

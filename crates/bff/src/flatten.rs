@@ -117,7 +117,43 @@ fn distribute(e: &Expr, nvars: usize) -> Vec<TriProduct> {
 /// ```
 pub fn flatten(expr: &Expr, nvars: usize) -> FlatSop {
     let nnf = expr.to_nnf().simplify_assoc();
-    let products = distribute(&nnf, nvars);
+    flatten_nnf(&nnf, nvars)
+}
+
+/// A collapse trace for one hazard-preserving flattening: enough evidence
+/// for an independent checker ([`asyncmap-audit`]) to replay the
+/// transformation without calling it — the source expression, the
+/// NNF/associative normal form actually distributed, and the claimed
+/// product count (proper cubes plus vacuous products).
+///
+/// [`asyncmap-audit`]: https://docs.rs/asyncmap-audit
+#[derive(Debug, Clone)]
+pub struct FlattenTrace {
+    /// The expression handed to [`flatten`].
+    pub source: Expr,
+    /// `source.to_nnf().simplify_assoc()` — DeMorgan pushed to the leaves,
+    /// nested same-op nodes regrouped.
+    pub nnf: Expr,
+    /// Total products produced by distribution: `cover.len() +
+    /// vacuous.len()`.
+    pub products: usize,
+}
+
+/// [`flatten`], additionally returning the [`FlattenTrace`] certificate
+/// describing the collapse.
+pub fn flatten_traced(expr: &Expr, nvars: usize) -> (FlatSop, FlattenTrace) {
+    let nnf = expr.to_nnf().simplify_assoc();
+    let flat = flatten_nnf(&nnf, nvars);
+    let trace = FlattenTrace {
+        source: expr.clone(),
+        products: flat.cover.len() + flat.vacuous.len(),
+        nnf,
+    };
+    (flat, trace)
+}
+
+fn flatten_nnf(nnf: &Expr, nvars: usize) -> FlatSop {
+    let products = distribute(nnf, nvars);
     let mut cover = Cover::zero(nvars);
     let mut vacuous = Vec::new();
     for p in products {

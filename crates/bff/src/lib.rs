@@ -43,7 +43,7 @@ mod paths;
 mod ternary;
 
 pub use ast::{DisplayExpr, Expr};
-pub use flatten::{flatten, FlatSop, VacuousProduct};
+pub use flatten::{flatten, flatten_traced, FlatSop, FlattenTrace, VacuousProduct};
 pub use parser::{parse_letters, ParseBffError};
 pub use paths::{label_paths, PathLabeling, PathSop};
 pub use ternary::{burst_assignment, eval_ternary, Tern};

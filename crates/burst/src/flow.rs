@@ -224,12 +224,13 @@ pub fn expand(spec: &BurstSpec) -> Result<FlowTable, SpecError> {
         for a in func.on.cubes() {
             for b in func.off.cubes() {
                 if a.intersect(b).is_some() {
-                    return Err(SpecError {
-                        message: format!(
+                    return Err(SpecError::new(
+                        crate::SpecErrorKind::Conflict,
+                        format!(
                             "function {}: conflicting specified values (ON {:?} vs OFF {:?})",
                             func.name, a, b
                         ),
-                    });
+                    ));
                 }
             }
         }

@@ -41,5 +41,7 @@ pub use benchmarks::{
 pub use flow::{expand, FlowTable, SpecFunction, SpecTransition, TransKind};
 pub use minimize::{hazard_free_cover, SynthesisError};
 pub use simulate::{simulate_machine, CombinationalBlock, SimulationError};
-pub use spec::{figure1_example, BurstEdge, BurstSpec, EntryVectors, SpecError, StateId};
+pub use spec::{
+    figure1_example, BurstEdge, BurstSpec, EntryVectors, SpecError, SpecErrorKind, StateId,
+};
 pub use text::{parse_bms, to_bms, to_dot};

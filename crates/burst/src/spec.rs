@@ -6,10 +6,18 @@
 //!
 //! * **entry-vector consistency** — every path into a state arrives with
 //!   the same input vector (burst-mode well-formedness);
-//! * **maximal set property** — no input burst out of a state is a subset
-//!   of another from the same state (so burst completion is unambiguous);
+//! * **maximal set property** — no input burst out of a state is a proper
+//!   subset of another from the same state (so burst completion is
+//!   unambiguous);
+//! * **distinguishability** — no two input bursts out of a state are
+//!   identical (so the machine can tell which transition fired);
 //! * output consistency — every path into a state arrives with the same
 //!   output values.
+//!
+//! Each violation is reported as a [`SpecError`] carrying a typed
+//! [`SpecErrorKind`]; [`crate::parse_bms`] runs [`BurstSpec::validate`] on
+//! load, so malformed `.bms` files are rejected rather than silently
+//! accepted.
 
 use asyncmap_cube::Bits;
 use std::error::Error;
@@ -51,11 +59,55 @@ pub struct BurstSpec {
     pub initial_outputs: Bits,
 }
 
+/// Machine-readable class of a burst-mode spec violation. Carried by every
+/// [`SpecError`] so callers (and the `asyncmap-audit` spec checker) can
+/// dispatch on the violated property instead of parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// Malformed spec text (bad directive, bad token, missing section).
+    Syntax,
+    /// A vector or burst has the wrong bit width.
+    Width,
+    /// An edge's input burst is empty.
+    EmptyBurst,
+    /// An edge loops back to its own source state.
+    SelfLoop,
+    /// An edge references a state outside `0..num_states`.
+    DanglingState,
+    /// An input burst out of a state is a *proper subset* of a sibling
+    /// burst (maximal set property, paper §2.1).
+    MaximalSet,
+    /// Two input bursts out of the same state are identical, so the
+    /// machine cannot distinguish which transition fired.
+    Indistinguishable,
+    /// A state is entered with differing input or output vectors along
+    /// different paths.
+    EntryInconsistency,
+    /// A state cannot be reached from the initial state.
+    Unreachable,
+    /// Specified ON/OFF function values conflict during flow-table
+    /// expansion.
+    Conflict,
+}
+
 /// Validation failure for a burst-mode spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError {
+    /// Which well-formedness property was violated.
+    pub kind: SpecErrorKind,
     /// Description of the violation.
     pub message: String,
+}
+
+impl SpecError {
+    /// Builds a typed spec error.
+    pub fn new(kind: SpecErrorKind, message: impl Into<String>) -> Self {
+        SpecError {
+            kind,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -95,29 +147,47 @@ impl BurstSpec {
     /// entry vectors, subset bursts from a common state, or unreachable
     /// states.
     pub fn validate(&self) -> Result<EntryVectors, SpecError> {
-        let err = |m: String| SpecError { message: m };
+        let err = SpecError::new;
         if self.initial_inputs.len() != self.num_inputs()
             || self.initial_outputs.len() != self.num_outputs()
         {
-            return Err(err("initial vector width mismatch".into()));
+            return Err(err(
+                SpecErrorKind::Width,
+                "initial vector width mismatch".to_owned(),
+            ));
         }
         for (i, e) in self.edges.iter().enumerate() {
             if e.from.0 >= self.num_states || e.to.0 >= self.num_states {
-                return Err(err(format!("edge {i} references undefined state")));
+                return Err(err(
+                    SpecErrorKind::DanglingState,
+                    format!("edge {i} references undefined state"),
+                ));
             }
             if e.input_burst.len() != self.num_inputs()
                 || e.output_burst.len() != self.num_outputs()
             {
-                return Err(err(format!("edge {i} has wrong burst width")));
+                return Err(err(
+                    SpecErrorKind::Width,
+                    format!("edge {i} has wrong burst width"),
+                ));
             }
             if e.input_burst.is_zero() {
-                return Err(err(format!("edge {i} has an empty input burst")));
+                return Err(err(
+                    SpecErrorKind::EmptyBurst,
+                    format!("edge {i} has an empty input burst"),
+                ));
             }
             if e.from == e.to {
-                return Err(err(format!("edge {i} is a self-loop")));
+                return Err(err(
+                    SpecErrorKind::SelfLoop,
+                    format!("edge {i} is a self-loop"),
+                ));
             }
         }
-        // Maximal set property.
+        // Maximal set property + distinguishability. Equal bursts violate
+        // distinguishability (the machine cannot tell which transition
+        // fired); a *proper* subset violates the maximal set property
+        // (burst completion becomes ambiguous).
         for s in 0..self.num_states {
             let bursts: Vec<&Bits> = self
                 .edges
@@ -127,10 +197,23 @@ impl BurstSpec {
                 .collect();
             for (i, a) in bursts.iter().enumerate() {
                 for (j, b) in bursts.iter().enumerate() {
-                    if i != j && a.is_subset(b) {
-                        return Err(err(format!(
-                            "state {s}: input burst {i} is a subset of burst {j}"
-                        )));
+                    if i == j {
+                        continue;
+                    }
+                    if *a == *b {
+                        if i < j {
+                            return Err(err(
+                                SpecErrorKind::Indistinguishable,
+                                format!(
+                                    "state {s}: input bursts {i} and {j} are indistinguishable"
+                                ),
+                            ));
+                        }
+                    } else if a.is_subset(b) {
+                        return Err(err(
+                            SpecErrorKind::MaximalSet,
+                            format!("state {s}: input burst {i} is a subset of burst {j}"),
+                        ));
                     }
                 }
             }
@@ -158,23 +241,26 @@ impl BurstSpec {
                     }
                     Some(existing) => {
                         if *existing != ni {
-                            return Err(err(format!(
-                                "state {} has inconsistent entry inputs",
-                                e.to.0
-                            )));
+                            return Err(err(
+                                SpecErrorKind::EntryInconsistency,
+                                format!("state {} has inconsistent entry inputs", e.to.0),
+                            ));
                         }
                         if outputs[e.to.0].as_ref() != Some(&no) {
-                            return Err(err(format!(
-                                "state {} has inconsistent entry outputs",
-                                e.to.0
-                            )));
+                            return Err(err(
+                                SpecErrorKind::EntryInconsistency,
+                                format!("state {} has inconsistent entry outputs", e.to.0),
+                            ));
                         }
                     }
                 }
             }
         }
         if let Some(s) = inputs.iter().position(Option::is_none) {
-            return Err(err(format!("state {s} is unreachable")));
+            return Err(err(
+                SpecErrorKind::Unreachable,
+                format!("state {s} is unreachable"),
+            ));
         }
         Ok(EntryVectors { inputs, outputs })
     }
@@ -249,6 +335,43 @@ mod tests {
         });
         let e = spec.validate().unwrap_err();
         assert!(e.to_string().contains("subset"));
+        assert_eq!(e.kind, SpecErrorKind::MaximalSet);
+    }
+
+    #[test]
+    fn identical_bursts_rejected_as_indistinguishable() {
+        let mut spec = figure1_example();
+        // A second edge from state 0 with the *same* burst {a,b}: the
+        // machine cannot tell which transition fired.
+        spec.num_states = 3;
+        spec.edges.push(BurstEdge {
+            from: StateId(0),
+            to: StateId(2),
+            input_burst: spec.edges[0].input_burst.clone(),
+            output_burst: Bits::new(1),
+        });
+        let e = spec.validate().unwrap_err();
+        assert_eq!(e.kind, SpecErrorKind::Indistinguishable);
+        assert!(e.to_string().contains("indistinguishable"), "{e}");
+    }
+
+    #[test]
+    fn error_kinds_are_typed() {
+        let mut spec = figure1_example();
+        spec.edges[0].input_burst = Bits::new(2);
+        assert_eq!(spec.validate().unwrap_err().kind, SpecErrorKind::EmptyBurst);
+        let mut spec = figure1_example();
+        spec.edges[0].to = StateId(7);
+        assert_eq!(
+            spec.validate().unwrap_err().kind,
+            SpecErrorKind::DanglingState
+        );
+        let mut spec = figure1_example();
+        spec.num_states = 3;
+        assert_eq!(
+            spec.validate().unwrap_err().kind,
+            SpecErrorKind::Unreachable
+        );
     }
 
     #[test]

@@ -17,15 +17,20 @@
 //! recomputes actual directions from the entry vectors, and the writer
 //! emits them faithfully.
 
-use crate::spec::{BurstEdge, BurstSpec, SpecError, StateId};
+use crate::spec::{BurstEdge, BurstSpec, SpecError, SpecErrorKind, StateId};
 use asyncmap_cube::Bits;
 use std::fmt::Write as _;
 
-/// Parses the text format described in the module docs.
+/// Parses the text format described in the module docs and validates the
+/// resulting spec ([`BurstSpec::validate`]): a `.bms` file that violates
+/// the maximal-set, distinguishability, or entry-vector properties is
+/// rejected with a typed [`SpecError`], not silently accepted.
 ///
 /// # Errors
 ///
-/// Returns [`SpecError`] with a line-numbered message on malformed input.
+/// Returns [`SpecError`] with a line-numbered message on malformed input
+/// ([`SpecErrorKind::Syntax`]), or with the violated property's kind when
+/// the parsed spec fails validation.
 /// # Examples
 ///
 /// ```
@@ -54,9 +59,8 @@ pub fn parse_bms(text: &str) -> Result<BurstSpec, SpecError> {
         if line.is_empty() {
             continue;
         }
-        let err = |m: String| SpecError {
-            message: format!("line {}: {m}", lineno + 1),
-        };
+        let err =
+            |m: String| SpecError::new(SpecErrorKind::Syntax, format!("line {}: {m}", lineno + 1));
         let mut tokens = line.split_whitespace();
         match tokens.next() {
             Some("machine") => {
@@ -112,13 +116,11 @@ pub fn parse_bms(text: &str) -> Result<BurstSpec, SpecError> {
         }
     }
 
-    let name = name.ok_or(SpecError {
-        message: "missing `machine` directive".into(),
-    })?;
-    let num_states = num_states.ok_or(SpecError {
-        message: "missing `states` directive".into(),
-    })?;
-    Ok(BurstSpec {
+    let name =
+        name.ok_or_else(|| SpecError::new(SpecErrorKind::Syntax, "missing `machine` directive"))?;
+    let num_states = num_states
+        .ok_or_else(|| SpecError::new(SpecErrorKind::Syntax, "missing `states` directive"))?;
+    let spec = BurstSpec {
         name,
         initial_inputs: initial_inputs.unwrap_or_else(|| Bits::new(inputs.len())),
         initial_outputs: initial_outputs.unwrap_or_else(|| Bits::new(outputs.len())),
@@ -126,7 +128,12 @@ pub fn parse_bms(text: &str) -> Result<BurstSpec, SpecError> {
         output_names: outputs,
         num_states,
         edges,
-    })
+    };
+    // Loading is not just parsing: the well-formedness properties the
+    // paper assumes (maximal set, distinguishability, entry-vector
+    // consistency) are enforced here, with the typed kind preserved.
+    spec.validate()?;
+    Ok(spec)
 }
 
 fn parse_vector(

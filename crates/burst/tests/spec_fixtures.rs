@@ -1,0 +1,39 @@
+//! Fixture `.bms` files that violate the burst-mode well-formedness
+//! properties must be rejected *on load* (not just by an explicit
+//! `validate()` call), with the violated property identified by a typed
+//! [`SpecErrorKind`].
+
+use asyncmap_burst::{parse_bms, SpecErrorKind};
+
+#[test]
+fn maximal_set_violation_rejected_on_load() {
+    let e = parse_bms(include_str!("fixtures/maximal_set.bms")).unwrap_err();
+    assert_eq!(e.kind, SpecErrorKind::MaximalSet);
+    assert!(e.message.contains("subset"), "{e}");
+}
+
+#[test]
+fn indistinguishable_bursts_rejected_on_load() {
+    let e = parse_bms(include_str!("fixtures/indistinguishable.bms")).unwrap_err();
+    assert_eq!(e.kind, SpecErrorKind::Indistinguishable);
+    assert!(e.message.contains("indistinguishable"), "{e}");
+}
+
+#[test]
+fn fixtures_differ_only_in_the_offending_burst() {
+    // Both fixtures are the same machine except for the second edge's
+    // burst; removing that edge from either yields a valid spec. This
+    // pins the rejections on the intended violation, not a side effect.
+    for fixture in [
+        include_str!("fixtures/maximal_set.bms"),
+        include_str!("fixtures/indistinguishable.bms"),
+    ] {
+        let cleaned: String = fixture
+            .lines()
+            .filter(|l| !l.starts_with("edge 0 2"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let cleaned = cleaned.replace("states 3", "states 2");
+        parse_bms(&cleaned).expect("fixture minus the offending edge is valid");
+    }
+}

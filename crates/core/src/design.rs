@@ -45,6 +45,9 @@ pub struct MapStats {
     pub subject_gates: usize,
     /// Fanout buffers added.
     pub buffers: usize,
+    /// Translation-validation certificates replayed by the post-transform
+    /// audit hook (`ASYNCMAP_AUDIT=1`); zero when the audit did not run.
+    pub audit_certificates: usize,
     /// Per-phase wall-clock breakdown of the run (all zero when the
     /// `profile` feature is disabled).
     pub phases: crate::profile::PhaseTimes,

@@ -73,6 +73,6 @@ pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher, Mat
 pub use profile::{MapPhase, PhaseTimes};
 pub use report::{cell_usage, render_report, CellUsage};
 pub use tmap::{
-    async_tmap, async_tmap_cached, hand_map, set_post_map_hook, tmap, MapOptions, Objective,
-    PostMapHook,
+    async_tmap, async_tmap_cached, hand_map, set_post_map_hook, set_post_transform_hook, tmap,
+    MapOptions, Objective, PostMapHook, PostTransformHook,
 };

@@ -92,6 +92,13 @@ pub fn render_report(design: &MappedDesign, library: &Library) -> String {
             design.stats.cut_truncations
         );
     }
+    if design.stats.audit_certificates > 0 {
+        let _ = writeln!(
+            out,
+            "transformation audit: {} certificate(s) replayed clean",
+            design.stats.audit_certificates
+        );
+    }
     // Wall-clock phase times vary run to run, so they are opt-in via the
     // same switch as the stderr dump — default report output stays
     // byte-reproducible across runs and thread counts.

@@ -9,7 +9,10 @@ use crate::hcache::HazardCache;
 use crate::matcher::{HazardPolicy, Matcher};
 use crate::profile::{self, MapPhase, PhaseTimes};
 use asyncmap_library::Library;
-use asyncmap_network::{async_tech_decomp, partition, sync_tech_decomp, EquationSet};
+use asyncmap_network::{
+    async_tech_decomp, async_tech_decomp_traced, partition, partition_traced, sync_tech_decomp,
+    Cone, DecompTrace, EquationSet, Network, PartitionTrace,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -18,6 +21,37 @@ use std::sync::{Arc, OnceLock};
 pub type PostMapHook = fn(&MappedDesign, &Library) -> Result<(), String>;
 
 static POST_MAP_HOOK: OnceLock<PostMapHook> = OnceLock::new();
+
+/// A post-transform audit callback: replays the front end's certificate
+/// trail (decomposition steps, partition cuts) against the subject
+/// network and the source equations. Returns the number of certificates
+/// checked, or `Err` with a rendered report when any certificate fails.
+pub type PostTransformHook =
+    fn(&EquationSet, &Network, &DecompTrace, &[Cone], &PartitionTrace) -> Result<usize, String>;
+
+static POST_TRANSFORM_HOOK: OnceLock<PostTransformHook> = OnceLock::new();
+
+/// Installs the process-wide transformation audit hook. The hook runs
+/// after every successful [`async_tmap`]/[`async_tmap_cached`] call when
+/// the `ASYNCMAP_AUDIT=1` environment variable is set; a failing hook
+/// panics with the hook's report. The first installation wins; later
+/// calls are ignored.
+///
+/// Mirrors [`set_post_map_hook`]: the core crate cannot depend on the
+/// audit crate (the checker must share no code with the transformations
+/// it certifies), so the facade installs the checker through this
+/// indirection.
+pub fn set_post_transform_hook(hook: PostTransformHook) {
+    let _ = POST_TRANSFORM_HOOK.set(hook);
+}
+
+/// The audit hook to run, when `ASYNCMAP_AUDIT=1` and one is installed.
+fn audit_hook() -> Option<PostTransformHook> {
+    if !std::env::var("ASYNCMAP_AUDIT").is_ok_and(|v| v.trim() == "1") {
+        return None;
+    }
+    POST_TRANSFORM_HOOK.get().copied()
+}
 
 /// Installs the process-wide post-map verification hook. The hook runs
 /// after every successful [`async_tmap`]/[`async_tmap_cached`] call when
@@ -174,11 +208,17 @@ pub fn async_tmap_cached(
     cache: &Arc<HazardCache>,
 ) -> Result<MappedDesign, CoverError> {
     let phases_before = profile::snapshot();
-    let subject = {
+    let audit = audit_hook();
+    let (subject, dtrace) = {
         let _t = profile::timer(MapPhase::Decompose);
-        async_tech_decomp(eqs)
+        if audit.is_some() {
+            let (net, trace) = async_tech_decomp_traced(eqs);
+            (net, Some(trace))
+        } else {
+            (async_tech_decomp(eqs), None)
+        }
     };
-    run_with_cache(
+    let mut design = run_with_cache(
         subject,
         library,
         HazardPolicy::SubsetCheck,
@@ -186,7 +226,17 @@ pub fn async_tmap_cached(
         false,
         cache,
         phases_before,
-    )
+    )?;
+    if let (Some(hook), Some(dtrace)) = (audit, dtrace) {
+        // Re-partitioning is deterministic and cheap relative to covering;
+        // running it traced here keeps the mapping fast path untouched.
+        let (cones, ptrace) = partition_traced(&design.subject);
+        match hook(eqs, &design.subject, &dtrace, &cones, &ptrace) {
+            Ok(certificates) => design.stats.audit_certificates = certificates,
+            Err(report) => panic!("ASYNCMAP_AUDIT=1: transformation audit failed\n{report}"),
+        }
+    }
+    Ok(design)
 }
 
 /// A "designer-style" structural mapping without hazard filtering: the

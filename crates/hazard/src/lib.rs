@@ -79,6 +79,7 @@ pub use function::{
 pub use kinds::{DisplayHazard, Hazard, HazardKind, HazardReport};
 pub use multilevel::{
     confirm_on_structure, dynamic_hazard_on_structure, find_mic_dyn_haz_multilevel,
+    find_mic_dyn_haz_multilevel_traced, multilevel_flatten_traced,
 };
 pub use repair::{prune_pulsing_redundancy, repair_static1, Repair};
 pub use reverify::{reverify_containment, ContainmentReverification, ORACLE_VAR_LIMIT};

@@ -1,0 +1,118 @@
+//! Translation-validation certificates for the hazard-preserving front
+//! end (decomposition and partitioning).
+//!
+//! The paper's soundness argument rests on every pre-mapping step using
+//! only hazard-preserving laws: decomposition restricted to associativity
+//! and DeMorgan (Unger), partitioning cut only at multi-fanout points
+//! (§3.1.2). The traced entry points
+//! ([`crate::async_tech_decomp_traced`], [`crate::partition_traced`],
+//! [`crate::decompose_expr_demorgan`]) emit one structured certificate per
+//! rewrite step / cut point; the independent checker in `asyncmap-audit`
+//! replays them *without calling the transformation code*, re-proving rule
+//! applicability, functional equivalence and hazard-set monotonicity.
+//!
+//! The types live here — next to the producers — because the checker
+//! crate depends on this one; nothing in this crate depends on the
+//! checker, preserving the independence that makes the audit meaningful.
+
+use crate::SignalId;
+use asyncmap_bff::Expr;
+
+/// The hazard-preserving rewrite rule a [`RewriteStep`] claims to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RewriteRule {
+    /// Associative regrouping: an n-ary AND/OR is rebuilt as a binary
+    /// tree of the same operator over the *same operand sequence* (no
+    /// commutation — operand order is part of the obligation).
+    AssocRegroup,
+    /// One DeMorgan push: `(x₁ · … · xₖ)' → x₁' + … + xₖ'` (or the dual),
+    /// or the involution `(e')' → e` that the push produces en route.
+    DeMorganPush,
+    /// Realization of a negative literal as an inverter gate on a primary
+    /// input (input fanout does not alter hazard behavior).
+    InputInverter,
+}
+
+impl RewriteRule {
+    /// Short lowercase name used in audit findings.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteRule::AssocRegroup => "assoc-regroup",
+            RewriteRule::DeMorganPush => "demorgan-push",
+            RewriteRule::InputInverter => "input-inverter",
+        }
+    }
+}
+
+/// One certified rewrite step of a decomposition: the rule applied, the
+/// sub-expression before and after, and the network node (the affected
+/// node path) whose logic the step produced.
+///
+/// Expressions are over the primary-input variable space of the equation
+/// set (`VarId` *i* ↔ input *i*).
+#[derive(Debug, Clone)]
+pub struct RewriteStep {
+    /// Rule the step claims to instantiate.
+    pub rule: RewriteRule,
+    /// Output equation this step belongs to.
+    pub equation: String,
+    /// Root signal of the gate tree this step produced.
+    pub node: SignalId,
+    /// Sub-expression before the rewrite.
+    pub before: Expr,
+    /// Sub-expression after the rewrite.
+    pub after: Expr,
+}
+
+/// End-to-end certificate for one decomposed output equation: the claimed
+/// source function and the expression the emitted gate tree realizes.
+#[derive(Debug, Clone)]
+pub struct EquationCert {
+    /// Output name.
+    pub name: String,
+    /// Root signal marked as this output.
+    pub root: SignalId,
+    /// The source the decomposition started from (for SOP decomposition,
+    /// the two-level `Expr::from_cover` form of the equation, which has
+    /// exactly the cover's hazard behavior).
+    pub source: Expr,
+    /// The expression the emitted gate tree claims to realize, with
+    /// negative literals as `Not(Var)` leaves.
+    pub result: Expr,
+}
+
+/// The full certificate trail of one decomposition run.
+#[derive(Debug, Clone)]
+pub struct DecompTrace {
+    /// Number of primary-input variables the expressions range over.
+    pub nvars: usize,
+    /// Every rewrite step, in emission order.
+    pub steps: Vec<RewriteStep>,
+    /// One end-to-end certificate per output equation.
+    pub equations: Vec<EquationCert>,
+}
+
+/// Fanout evidence for one partition cut point: why cutting here is legal
+/// (paper §3.1.2 — a cut is licensed only at a primary output or at a
+/// signal consumed by at least two gate inputs).
+#[derive(Debug, Clone)]
+pub struct CutCertificate {
+    /// The signal the partition cut at (a cone root).
+    pub signal: SignalId,
+    /// Claimed fanout: the number of gate fanin references to `signal`.
+    pub fanout: usize,
+    /// The consuming gates, in topological order, with multiplicity (a
+    /// gate reading the signal twice appears twice).
+    pub consumers: Vec<SignalId>,
+    /// Primary-output names driven by `signal` (may be empty when the cut
+    /// is licensed by fanout alone).
+    pub outputs: Vec<String>,
+}
+
+/// The certificate trail of one partitioning run: one [`CutCertificate`]
+/// per cone root, in root order.
+#[derive(Debug, Clone)]
+pub struct PartitionTrace {
+    /// The cut points, in the same order as the returned cones.
+    pub cuts: Vec<CutCertificate>,
+}

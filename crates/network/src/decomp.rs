@@ -8,6 +8,7 @@
 //! (removing redundant cubes); that is exactly the step that can introduce
 //! static 1-hazards (Figure 3) and is kept as the baseline for comparison.
 
+use crate::certificate::{DecompTrace, EquationCert, RewriteRule, RewriteStep};
 use crate::{GateOp, Network, SignalId};
 use asyncmap_bff::Expr;
 use asyncmap_cube::{Cover, Phase, VarTable};
@@ -79,17 +80,31 @@ impl EquationSet {
 /// # Ok::<(), asyncmap_cube::ParseSopError>(())
 /// ```
 pub fn async_tech_decomp(eqs: &EquationSet) -> Network {
-    decompose(eqs, false)
+    decompose(eqs, false, None)
+}
+
+/// [`async_tech_decomp`], additionally emitting the translation-validation
+/// certificate trail: one [`RewriteStep`] per associative regrouping and
+/// per input inverter, plus one end-to-end [`EquationCert`] per output.
+/// The produced network is bit-identical to the untraced entry point.
+pub fn async_tech_decomp_traced(eqs: &EquationSet) -> (Network, DecompTrace) {
+    let mut trace = DecompTrace {
+        nvars: eqs.inputs.len(),
+        steps: Vec::new(),
+        equations: Vec::new(),
+    };
+    let net = decompose(eqs, false, Some(&mut trace));
+    (net, trace)
 }
 
 /// The synchronous decomposition baseline: equations are first made
 /// irredundant (as MIS-style simplification would), *then* decomposed. May
 /// introduce static 1-hazards relative to the source equations.
 pub fn sync_tech_decomp(eqs: &EquationSet) -> Network {
-    decompose(eqs, true)
+    decompose(eqs, true, None)
 }
 
-fn decompose(eqs: &EquationSet, simplify: bool) -> Network {
+fn decompose(eqs: &EquationSet, simplify: bool, mut trace: Option<&mut DecompTrace>) -> Network {
     let mut net = Network::new();
     let input_ids: Vec<SignalId> = eqs
         .inputs
@@ -104,21 +119,75 @@ fn decompose(eqs: &EquationSet, simplify: bool) -> Network {
             cover.clone()
         };
         let mut cube_signals = Vec::with_capacity(cover.len());
+        let mut cube_exprs: Vec<Expr> = Vec::new();
         for cube in cover.cubes() {
             let mut literal_signals = Vec::new();
+            let mut literal_exprs: Vec<Expr> = Vec::new();
             for (v, phase) in cube.literals() {
                 let sig = input_ids[v.index()];
                 let sig = match phase {
                     Phase::Pos => sig,
-                    Phase::Neg => *inverters
-                        .entry(sig)
-                        .or_insert_with(|| net.add_gate(GateOp::Inv, vec![sig])),
+                    Phase::Neg => match inverters.get(&sig) {
+                        Some(&inv) => inv,
+                        None => {
+                            let inv = net.add_gate(GateOp::Inv, vec![sig]);
+                            inverters.insert(sig, inv);
+                            if let Some(t) = trace.as_deref_mut() {
+                                let lit = Expr::literal(v, Phase::Neg);
+                                t.steps.push(RewriteStep {
+                                    rule: RewriteRule::InputInverter,
+                                    equation: name.clone(),
+                                    node: inv,
+                                    before: lit.clone(),
+                                    after: lit,
+                                });
+                            }
+                            inv
+                        }
+                    },
                 };
                 literal_signals.push(sig);
+                if trace.is_some() {
+                    literal_exprs.push(Expr::literal(v, phase));
+                }
             }
-            cube_signals.push(balanced_tree(&mut net, GateOp::And, literal_signals));
+            let arity = literal_signals.len();
+            let and_root = balanced_tree(&mut net, GateOp::And, literal_signals);
+            if let Some(t) = trace.as_deref_mut() {
+                let tree = balanced_tree_expr(literal_exprs.clone(), GateOp::And);
+                if arity >= 2 {
+                    t.steps.push(RewriteStep {
+                        rule: RewriteRule::AssocRegroup,
+                        equation: name.clone(),
+                        node: and_root,
+                        before: Expr::And(literal_exprs),
+                        after: tree.clone(),
+                    });
+                }
+                cube_exprs.push(tree);
+            }
+            cube_signals.push(and_root);
         }
+        let n_cubes = cube_signals.len();
         let root = balanced_tree(&mut net, GateOp::Or, cube_signals);
+        if let Some(t) = trace.as_deref_mut() {
+            let tree = balanced_tree_expr(cube_exprs.clone(), GateOp::Or);
+            if n_cubes >= 2 {
+                t.steps.push(RewriteStep {
+                    rule: RewriteRule::AssocRegroup,
+                    equation: name.clone(),
+                    node: root,
+                    before: Expr::Or(cube_exprs),
+                    after: tree.clone(),
+                });
+            }
+            t.equations.push(EquationCert {
+                name: name.clone(),
+                root,
+                source: Expr::from_cover(&cover),
+                result: tree,
+            });
+        }
         net.mark_output(name, root);
     }
     net
@@ -154,6 +223,157 @@ fn emit_expr(net: &mut Network, inputs: &[SignalId], expr: &Expr) -> SignalId {
     }
 }
 
+/// Decomposes a single factored-form expression into base gates with
+/// inverters only on primary inputs: every complement over a compound
+/// subexpression is pushed to the leaves with DeMorgan's law (and double
+/// negation elimination), and every n-ary operator is regrouped into a
+/// balanced binary tree. Both laws are hazard-preserving (Unger), and each
+/// application is recorded as a certificate step — this is the entry point
+/// that exercises [`RewriteRule::DeMorganPush`].
+///
+/// Returns the network plus the certificate trail. Inverters are shared
+/// per input, as in [`async_tech_decomp`].
+///
+/// # Panics
+///
+/// Panics if the expression is (or simplifies to) a constant.
+pub fn decompose_expr_demorgan(
+    inputs: &VarTable,
+    expr: &Expr,
+    output: &str,
+) -> (Network, DecompTrace) {
+    let mut net = Network::new();
+    let input_ids: Vec<SignalId> = inputs.iter().map(|(_, name)| net.add_input(name)).collect();
+    let mut trace = DecompTrace {
+        nvars: inputs.len(),
+        steps: Vec::new(),
+        equations: Vec::new(),
+    };
+    let mut inverters: HashMap<SignalId, SignalId> = HashMap::new();
+    let (root, result) = emit_demorgan(
+        &mut net,
+        &input_ids,
+        &mut inverters,
+        &mut trace,
+        output,
+        expr,
+        false,
+    );
+    trace.equations.push(EquationCert {
+        name: output.to_owned(),
+        root,
+        source: expr.clone(),
+        result: result.clone(),
+    });
+    net.mark_output(output, root);
+    (net, trace)
+}
+
+/// Emits `expr` (complemented iff `negate`) as gates, pushing complements
+/// to the leaves. Returns the root signal and the expression the emitted
+/// tree realizes (`Not` only over `Var` leaves).
+fn emit_demorgan(
+    net: &mut Network,
+    inputs: &[SignalId],
+    inverters: &mut HashMap<SignalId, SignalId>,
+    trace: &mut DecompTrace,
+    equation: &str,
+    expr: &Expr,
+    negate: bool,
+) -> (SignalId, Expr) {
+    match expr {
+        Expr::Const(_) => panic!("cannot decompose a constant expression"),
+        Expr::Var(v) => {
+            let sig = inputs[v.index()];
+            if !negate {
+                return (sig, Expr::Var(*v));
+            }
+            let lit = Expr::literal(*v, Phase::Neg);
+            let inv = match inverters.get(&sig) {
+                Some(&g) => g,
+                None => {
+                    let g = net.add_gate(GateOp::Inv, vec![sig]);
+                    inverters.insert(sig, g);
+                    trace.steps.push(RewriteStep {
+                        rule: RewriteRule::InputInverter,
+                        equation: equation.to_owned(),
+                        node: g,
+                        before: lit.clone(),
+                        after: lit.clone(),
+                    });
+                    g
+                }
+            };
+            (inv, lit)
+        }
+        Expr::Not(inner) => {
+            let (sig, realized) =
+                emit_demorgan(net, inputs, inverters, trace, equation, inner, !negate);
+            if negate {
+                // (e')' = e: double negation elimination, the involution
+                // half of the DeMorgan push.
+                trace.steps.push(RewriteStep {
+                    rule: RewriteRule::DeMorganPush,
+                    equation: equation.to_owned(),
+                    node: sig,
+                    before: Expr::Not(Box::new(Expr::Not(inner.clone()))),
+                    after: (**inner).clone(),
+                });
+            }
+            (sig, realized)
+        }
+        Expr::And(es) | Expr::Or(es) => {
+            let is_and = matches!(expr, Expr::And(_));
+            if negate {
+                // One DeMorgan push over this node: (x₁·…·xₖ)' → x₁'+…+xₖ'
+                // (or the dual). Certified *before* recursing, so the step's
+                // `after` is the one-level rewrite, not the fully pushed form.
+                let pushed: Vec<Expr> = es.iter().map(|e| e.clone().not()).collect();
+                let after = if is_and {
+                    Expr::or(pushed)
+                } else {
+                    Expr::and(pushed)
+                };
+                let (sig, realized) =
+                    emit_demorgan(net, inputs, inverters, trace, equation, &after, false);
+                trace.steps.push(RewriteStep {
+                    rule: RewriteRule::DeMorganPush,
+                    equation: equation.to_owned(),
+                    node: sig,
+                    before: Expr::Not(Box::new(expr.clone())),
+                    after,
+                });
+                return (sig, realized);
+            }
+            let mut signals = Vec::with_capacity(es.len());
+            let mut realized = Vec::with_capacity(es.len());
+            for e in es {
+                let (s, r) = emit_demorgan(net, inputs, inverters, trace, equation, e, false);
+                signals.push(s);
+                realized.push(r);
+            }
+            let op = if is_and { GateOp::And } else { GateOp::Or };
+            let arity = signals.len();
+            let root = balanced_tree(net, op, signals);
+            let tree = balanced_tree_expr(realized.clone(), op);
+            if arity >= 2 {
+                trace.steps.push(RewriteStep {
+                    rule: RewriteRule::AssocRegroup,
+                    equation: equation.to_owned(),
+                    node: root,
+                    before: if is_and {
+                        Expr::And(realized)
+                    } else {
+                        Expr::Or(realized)
+                    },
+                    after: tree.clone(),
+                });
+            }
+            (root, tree)
+        }
+    }
+}
+
 /// Combines `signals` with a balanced tree of 2-input `op` gates (the
 /// associative law, applied repeatedly).
 ///
@@ -175,6 +395,31 @@ fn balanced_tree(net: &mut Network, op: GateOp, mut signals: Vec<SignalId>) -> S
         signals = next;
     }
     signals[0]
+}
+
+/// The expression-level mirror of [`balanced_tree`]: combines `exprs` with
+/// the same pairing order, so the returned expression is exactly what the
+/// emitted gate tree realizes. `op` must be [`GateOp::And`] or
+/// [`GateOp::Or`].
+fn balanced_tree_expr(mut exprs: Vec<Expr>, op: GateOp) -> Expr {
+    assert!(!exprs.is_empty(), "balanced_tree_expr of zero expressions");
+    let pair = |a: Expr, b: Expr| match op {
+        GateOp::And => Expr::And(vec![a, b]),
+        GateOp::Or => Expr::Or(vec![a, b]),
+        _ => unreachable!("balanced trees are built from AND/OR only"),
+    };
+    while exprs.len() > 1 {
+        let mut next = Vec::with_capacity(exprs.len().div_ceil(2));
+        let mut iter = exprs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(pair(a, b)),
+                None => next.push(a),
+            }
+        }
+        exprs = next;
+    }
+    exprs.pop().expect("len checked")
 }
 
 #[cfg(test)]
@@ -262,6 +507,82 @@ mod tests {
         bits.set(0, true);
         assert!(!net.eval_output("f", &bits));
         assert!(net.eval_output("g", &bits));
+    }
+
+    #[test]
+    fn traced_decomp_matches_untraced_and_certifies_every_step() {
+        let eqs = figure3_eqs();
+        let untraced = async_tech_decomp(&eqs);
+        let (net, trace) = async_tech_decomp_traced(&eqs);
+        assert_eq!(net.num_gates(), untraced.num_gates());
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(
+                net.eval_output("f", &bits),
+                untraced.eval_output("f", &bits)
+            );
+        }
+        // ab + a'c + bc: three 2-literal cubes (3 AND regroups), one OR
+        // regroup over 3 cubes, one input inverter for a.
+        let regroups = trace
+            .steps
+            .iter()
+            .filter(|s| s.rule == RewriteRule::AssocRegroup)
+            .count();
+        let inverters = trace
+            .steps
+            .iter()
+            .filter(|s| s.rule == RewriteRule::InputInverter)
+            .count();
+        assert_eq!(regroups, 4);
+        assert_eq!(inverters, 1);
+        assert_eq!(trace.equations.len(), 1);
+        // The end-to-end certificate's result expression is what the
+        // network computes.
+        let cert = &trace.equations[0];
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(cert.result.eval(&bits), net.eval_output("f", &bits));
+            assert_eq!(cert.source.eval(&bits), cert.result.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn demorgan_decomposition_pushes_inverters_to_leaves() {
+        let inputs = VarTable::from_names(["w", "x", "y"]);
+        let mut scratch = inputs.clone();
+        let e = Expr::parse("(w*x + y)'", &mut scratch).unwrap();
+        let (net, trace) = decompose_expr_demorgan(&inputs, &e, "f");
+        // Inverters only directly on primary inputs.
+        for s in net.signals() {
+            if let crate::NodeKind::Gate {
+                op: GateOp::Inv,
+                fanin,
+            } = net.node(s)
+            {
+                assert!(
+                    matches!(net.node(fanin[0]), crate::NodeKind::Input),
+                    "inverter over a compound survived the DeMorgan push"
+                );
+            }
+        }
+        assert!(trace
+            .steps
+            .iter()
+            .any(|s| s.rule == RewriteRule::DeMorganPush));
+        for m in 0..8usize {
+            let mut bits = Bits::new(3);
+            for v in 0..3 {
+                bits.set(v, (m >> v) & 1 == 1);
+            }
+            assert_eq!(net.eval_output("f", &bits), e.eval(&bits));
+        }
     }
 
     #[test]

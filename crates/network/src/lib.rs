@@ -32,11 +32,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certificate;
 mod decomp;
 #[allow(clippy::module_inception)]
 mod network;
 mod partition;
 
-pub use decomp::{async_tech_decomp, decompose_expr, sync_tech_decomp, EquationSet};
+pub use certificate::{
+    CutCertificate, DecompTrace, EquationCert, PartitionTrace, RewriteRule, RewriteStep,
+};
+pub use decomp::{
+    async_tech_decomp, async_tech_decomp_traced, decompose_expr, decompose_expr_demorgan,
+    sync_tech_decomp, EquationSet,
+};
 pub use network::{GateOp, Network, NodeKind, SignalId};
-pub use partition::{is_partition_boundary, partition, partition_roots, Cone};
+pub use partition::{is_partition_boundary, partition, partition_roots, partition_traced, Cone};

@@ -3,6 +3,7 @@
 //! network, cutting at fanout points does not alter hazard behavior; it
 //! only bounds what the covering step may replace at once.
 
+use crate::certificate::{CutCertificate, PartitionTrace};
 use crate::{Network, NodeKind, SignalId};
 use asyncmap_bff::Expr;
 use asyncmap_cube::{VarId, VarTable};
@@ -71,6 +72,43 @@ pub fn partition(net: &Network) -> Vec<Cone> {
         .iter()
         .map(|&root| build_cone(net, root, &root_set))
         .collect()
+}
+
+/// [`partition`], additionally emitting one [`CutCertificate`] per cone
+/// root recording the evidence that licenses the cut: the consuming gates
+/// (fanout) and/or the primary outputs the signal drives. The cones are
+/// identical to the untraced entry point's; `cuts[i]` certifies
+/// `cones[i].root`.
+pub fn partition_traced(net: &Network) -> (Vec<Cone>, PartitionTrace) {
+    let mut consumers: Vec<Vec<SignalId>> = vec![Vec::new(); net.len()];
+    for s in net.signals() {
+        if let NodeKind::Gate { fanin, .. } = net.node(s) {
+            for f in fanin {
+                consumers[f.index()].push(s);
+            }
+        }
+    }
+    let roots = partition_roots(net);
+    let cuts = roots
+        .iter()
+        .map(|&r| CutCertificate {
+            signal: r,
+            fanout: consumers[r.index()].len(),
+            consumers: consumers[r.index()].clone(),
+            outputs: net
+                .outputs()
+                .iter()
+                .filter(|(_, s)| *s == r)
+                .map(|(n, _)| n.clone())
+                .collect(),
+        })
+        .collect();
+    let root_set: HashSet<SignalId> = roots.iter().copied().collect();
+    let cones = roots
+        .iter()
+        .map(|&root| build_cone(net, root, &root_set))
+        .collect();
+    (cones, PartitionTrace { cuts })
 }
 
 fn build_cone(net: &Network, root: SignalId, root_set: &HashSet<SignalId>) -> Cone {
@@ -221,6 +259,38 @@ mod tests {
             }
             assert_eq!(expr.eval(&local), f.eval(&bits), "mismatch at {m}");
         }
+    }
+
+    #[test]
+    fn traced_partition_certifies_every_cut() {
+        let vars = VarTable::from_names(["a", "b"]);
+        let f = Cover::parse("a'b", &vars).unwrap();
+        let g = Cover::parse("a'b'", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f), ("g".to_owned(), g)]);
+        let net = async_tech_decomp(&eqs);
+        let (cones, trace) = partition_traced(&net);
+        assert_eq!(cones.len(), trace.cuts.len());
+        let untraced = partition(&net);
+        for (a, b) in cones.iter().zip(&untraced) {
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.gates, b.gates);
+            assert_eq!(a.leaves, b.leaves);
+        }
+        let fanout = net.fanout_counts();
+        for (cone, cut) in cones.iter().zip(&trace.cuts) {
+            assert_eq!(cut.signal, cone.root);
+            assert_eq!(cut.fanout, fanout[cut.signal.index()]);
+            assert_eq!(cut.consumers.len(), cut.fanout);
+            // Every cut is licensed: drives an output or fans out ≥ 2.
+            assert!(!cut.outputs.is_empty() || cut.fanout >= 2);
+        }
+        // The shared inverter of `a` is cut on fanout evidence alone.
+        let inv_cut = trace
+            .cuts
+            .iter()
+            .find(|c| c.outputs.is_empty())
+            .expect("internal multi-fanout cut");
+        assert_eq!(inv_cut.fanout, 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`library`] | `asyncmap-library` | cells, libraries, Table 1 builtins |
 //! | [`mapper`] | `asyncmap-core` | `tmap` / `async_tmap` / `hand_map` |
 //! | [`burst`] | `asyncmap-burst` | burst-mode specs, hazard-free synthesis, Table 5 benchmarks |
+//! | [`audit`] | `asyncmap-audit` | translation-validation certificate replay, spec checking |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use asyncmap_audit as audit;
 pub use asyncmap_bdd as bdd;
 pub use asyncmap_bff as bff;
 pub use asyncmap_burst as burst;
@@ -76,6 +78,27 @@ pub fn install_lint_hook() {
         let report = asyncmap_lint::lint_mapped_design(design, library);
         if report.is_clean() {
             Ok(())
+        } else {
+            Err(report.render())
+        }
+    });
+}
+
+/// Installs the translation-validation checker
+/// ([`audit::check_pipeline`]) as the mapper's post-transform hook, so
+/// `ASYNCMAP_AUDIT=1` makes every [`prelude::async_tmap`] call replay the
+/// front end's certificate trail (decomposition rewrite steps, partition
+/// cuts, cone flatten traces) and panic with the rendered report on any
+/// failing certificate. Idempotent.
+///
+/// The hook indirection exists because `asyncmap-core` cannot depend on
+/// `asyncmap-audit`: the replay only certifies the transformations while
+/// it shares no code with them.
+pub fn install_audit_hook() {
+    asyncmap_core::set_post_transform_hook(|eqs, net, dtrace, cones, ptrace| {
+        let report = asyncmap_audit::check_pipeline(eqs, net, dtrace, cones, ptrace);
+        if report.is_clean() {
+            Ok(report.num_certificates())
         } else {
             Err(report.render())
         }

@@ -3,16 +3,20 @@
 //!
 //! ```text
 //! asyncmap audit <library.lib>                   hazard audit (Table 1 style)
+//! asyncmap audit <machine.bms> <library.lib>     spec check + certificate replay + lint
 //! asyncmap synth <machine.bms>                   hazard-free equations + dot
 //! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
 //!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
 //! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
 //! ```
 //!
-//! `lint` also accepts a builtin Table 5 benchmark name (e.g. `scsi`) in
-//! place of the `.bms` path and a builtin library name (e.g. `lsi9k`) in
-//! place of the library path. Setting `ASYNCMAP_LINT=1` makes every `map`
-//! run lint its own output as well, panicking on findings.
+//! `lint` and the two-argument `audit` also accept a builtin Table 5
+//! benchmark name (e.g. `scsi`) in place of the `.bms` path and a builtin
+//! library name (e.g. `lsi9k`) in place of the library path. Setting
+//! `ASYNCMAP_LINT=1` makes every `map` run lint its own output as well,
+//! panicking on findings; `ASYNCMAP_AUDIT=1` makes every hazard-aware map
+//! replay the front end's translation-validation certificates the same
+//! way.
 
 use asyncmap::burst::{expand, hazard_free_cover, parse_bms, to_dot};
 use asyncmap::mapper::{render_report, to_verilog, Objective};
@@ -21,9 +25,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     asyncmap::install_lint_hook();
+    asyncmap::install_audit_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("audit") => cmd_audit(&args[1..]),
+        Some("audit") => return cmd_audit(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
@@ -51,26 +56,85 @@ fn load_spec(path: &str) -> Result<asyncmap::burst::BurstSpec, String> {
     parse_bms(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("audit: missing library path")?;
-    let mut lib = load_library(path)?;
-    lib.annotate_hazards();
-    let hazardous = lib.hazardous_cells();
-    println!(
-        "{}: {} elements, {} hazardous ({:.0}%)",
-        lib.name(),
-        lib.len(),
-        hazardous.len(),
-        100.0 * hazardous.len() as f64 / lib.len().max(1) as f64
-    );
-    for cell in hazardous {
-        println!(
-            "  {:12} {}",
-            cell.name(),
-            cell.hazards().expect("annotated").summary()
-        );
+fn cmd_audit(args: &[String]) -> ExitCode {
+    if args.len() >= 2 {
+        return cmd_audit_pipeline(&args[0], &args[1]);
     }
-    Ok(())
+    let inner = || -> Result<(), String> {
+        let path = args.first().ok_or("audit: missing library path")?;
+        let mut lib = load_library(path)?;
+        lib.annotate_hazards();
+        let hazardous = lib.hazardous_cells();
+        println!(
+            "{}: {} elements, {} hazardous ({:.0}%)",
+            lib.name(),
+            lib.len(),
+            hazardous.len(),
+            100.0 * hazardous.len() as f64 / lib.len().max(1) as f64
+        );
+        for cell in hazardous {
+            println!(
+                "  {:12} {}",
+                cell.name(),
+                cell.hazards().expect("annotated").summary()
+            );
+        }
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The translation-validation audit: statically checks the burst-mode
+/// spec, replays the certificate trail of the hazard-preserving front end
+/// on its equations, then maps against the library and lints the result.
+/// Exit code is nonzero on any finding.
+fn cmd_audit_pipeline(spec_arg: &str, lib_arg: &str) -> ExitCode {
+    let inner = || -> Result<(asyncmap::audit::AuditReport, asyncmap::lint::LintReport), String> {
+        let (spec, eqs) = if std::path::Path::new(spec_arg).is_file() {
+            let spec = load_spec(spec_arg)?;
+            let eqs = synthesize(&spec)?;
+            (spec, eqs)
+        } else if asyncmap::burst::BENCHMARKS
+            .iter()
+            .any(|d| d.name == spec_arg)
+        {
+            (
+                asyncmap::burst::benchmark_spec(spec_arg),
+                asyncmap::burst::benchmark(spec_arg),
+            )
+        } else {
+            return Err(format!(
+                "audit: {spec_arg} is neither a .bms file nor a builtin benchmark"
+            ));
+        };
+        let mut report = asyncmap::audit::check_spec(&spec);
+        report.merge(asyncmap::audit::audit_equations(&eqs));
+        let mut lib = load_library_or_builtin(lib_arg)?;
+        lib.annotate_hazards();
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
+        Ok((report, lint_mapped_design(&design, &lib)))
+    };
+    match inner() {
+        Ok((audit, lint)) => {
+            print!("{}", audit.render());
+            print!("{}", lint.render());
+            if audit.is_clean() && lint.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn synthesize(spec: &asyncmap::burst::BurstSpec) -> Result<EquationSet, String> {
