@@ -7,13 +7,18 @@
 //! path against the scalar generic path and abort on divergence, and the
 //! cut-enumeration benchmark maps `dme` with the dominance-pruned and the
 //! legacy enumerator and aborts on any mapped-design fingerprint mismatch,
-//! so a CI run of this bench doubles as an equivalence smoke test.
+//! so a CI run of this bench doubles as an equivalence smoke test. The
+//! `simd_kernels` group extends the gate to every 4-lane [`U64x4`]-widened
+//! kernel (fused cube ops, delta-swap permuters): each is cross-checked
+//! against its scalar twin before being timed.
 
 use asyncmap_bench::design_fingerprint;
 use asyncmap_bff::Expr;
+use asyncmap_core::truth;
 use asyncmap_core::{
     async_tmap, truth_table_of, truth_table_of_generic, ClusterLimits, MapOptions,
 };
+use asyncmap_cube::simd;
 use asyncmap_cube::{Cover, Cube, Phase, VarId};
 use asyncmap_hazard::find_mic_dyn_haz_2level;
 use asyncmap_library::builtin;
@@ -146,6 +151,100 @@ fn bench_cut_enumeration(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x51D5);
+    // Deterministic word blocks, sized past the 4-lane width so the tail
+    // path is exercised too.
+    let nwords = 11usize;
+    let gen_block = |rng: &mut StdRng| -> (Vec<u64>, Vec<u64>) {
+        let used: Vec<u64> = (0..nwords).map(|_| rng.random()).collect();
+        let phase: Vec<u64> = used.iter().map(|&u| u & rng.random::<u64>()).collect();
+        (used, phase)
+    };
+    let (u1, p1) = gen_block(&mut rng);
+    let (u2, p2) = gen_block(&mut rng);
+    // Divergence gates: every lane-widened kernel must agree with its
+    // scalar twin on the same block, else the bench (and CI) fails.
+    assert_eq!(
+        simd::contains_words(&u1, &p1, &u2, &p2),
+        simd::contains_words_scalar(&u1, &p1, &u2, &p2),
+        "SIMD/scalar divergence in contains_words"
+    );
+    assert_eq!(
+        simd::distance_words(&u1, &p1, &u2, &p2),
+        simd::distance_words_scalar(&u1, &p1, &u2, &p2),
+        "SIMD/scalar divergence in distance_words"
+    );
+    assert_eq!(
+        simd::conflicts_any_words(&u1, &p1, &u2, &p2),
+        simd::conflicts_any_words_scalar(&u1, &p1, &u2, &p2),
+        "SIMD/scalar divergence in conflicts_any_words"
+    );
+    assert_eq!(
+        simd::eval_words(&u1, &p1, &u2),
+        simd::eval_words_scalar(&u1, &p1, &u2),
+        "SIMD/scalar divergence in eval_words"
+    );
+    assert_eq!(
+        simd::subset_words(&u1, &u2),
+        simd::subset_words_scalar(&u1, &u2),
+        "SIMD/scalar divergence in subset_words"
+    );
+    assert_eq!(
+        simd::disjoint_words(&u1, &u2),
+        simd::disjoint_words_scalar(&u1, &u2),
+        "SIMD/scalar divergence in disjoint_words"
+    );
+    for n in 1..=6 {
+        let t: u64 = rng.random::<u64>() & truth::full_mask(n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.random_range(0..i + 1));
+        }
+        assert_eq!(
+            truth::apply_perm6(t, &perm, n),
+            truth::apply_perm6_generic(t, &perm, n),
+            "SIMD/scalar divergence in apply_perm6 at n={n}"
+        );
+    }
+    for n in 7..=8 {
+        let live_words = (1usize << n) / 64;
+        let mut t = [0u64; 4];
+        for w in t.iter_mut().take(live_words) {
+            *w = rng.random();
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.random_range(0..i + 1));
+        }
+        assert_eq!(
+            truth::apply_perm_wide(t, &perm, n),
+            truth::apply_perm_wide_generic(t, &perm, n),
+            "SIMD/scalar divergence in apply_perm_wide at n={n}"
+        );
+    }
+    let mut g = c.benchmark_group("simd_kernels");
+    g.bench_function("contains_words/simd", |b| {
+        b.iter(|| simd::contains_words(black_box(&u1), &p1, &u2, &p2))
+    });
+    g.bench_function("contains_words/scalar", |b| {
+        b.iter(|| simd::contains_words_scalar(black_box(&u1), &p1, &u2, &p2))
+    });
+    g.bench_function("distance_words/simd", |b| {
+        b.iter(|| simd::distance_words(black_box(&u1), &p1, &u2, &p2))
+    });
+    g.bench_function("distance_words/scalar", |b| {
+        b.iter(|| simd::distance_words_scalar(black_box(&u1), &p1, &u2, &p2))
+    });
+    g.bench_function("subset_words/simd", |b| {
+        b.iter(|| simd::subset_words(black_box(&u1), &u2))
+    });
+    g.bench_function("subset_words/scalar", |b| {
+        b.iter(|| simd::subset_words_scalar(black_box(&u1), &u2))
+    });
+    g.finish();
+}
+
 fn bench_hazard_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("find_mic_dyn_haz_2level");
     for w in WIDTHS {
@@ -162,6 +261,7 @@ criterion_group!(
     bench_cover_kernels,
     bench_truth_tables,
     bench_cut_enumeration,
+    bench_simd_kernels,
     bench_hazard_search
 );
 criterion_main!(kernels);

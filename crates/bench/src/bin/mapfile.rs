@@ -1,0 +1,73 @@
+//! Times end-to-end sequential mapping of a design dumped by
+//! `asyncmap gen --emit`. The dump format and this binary's APIs are
+//! restricted to what the mapper exposed from the first release, so the
+//! same file (and an identical copy of this source) can be built against
+//! an older checkout for a fair old-vs-new comparison on one machine.
+//!
+//! Usage: `mapfile <design.sop> [runs]`
+
+use asyncmap_core::{async_tmap, MapOptions};
+use asyncmap_cube::{Cover, VarTable};
+use asyncmap_library::builtin;
+use asyncmap_network::EquationSet;
+use std::time::Instant;
+
+fn parse_design(text: &str) -> EquationSet {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().expect("empty design dump");
+    let mut words = header.split_whitespace();
+    assert_eq!(
+        words.next(),
+        Some("inputs"),
+        "dump must start with `inputs`"
+    );
+    let mut vars = VarTable::new();
+    for name in words {
+        vars.intern(name);
+    }
+    let equations = lines
+        .map(|line| {
+            let (name, expr) = line.split_once('=').expect("equation line without `=`");
+            let cover = Cover::parse_tokens(expr.trim(), &vars).expect("bad cube tokens");
+            (name.trim().to_string(), cover)
+        })
+        .collect();
+    EquationSet::new(vars, equations)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("usage: mapfile <design.sop> [runs]");
+    let runs: usize = args.next().map_or(7, |r| r.parse().expect("bad run count"));
+    let text = std::fs::read_to_string(&path).expect("readable design dump");
+    let eqs = parse_design(&text);
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    // One untimed warm-up run populates caches and the allocator.
+    let warm = async_tmap(&eqs, &lib, &opts).expect("mappable");
+    println!(
+        "{path}: {} equations -> {} instances, area {:.1}, delay {:.1}",
+        eqs.equations.len(),
+        warm.num_instances(),
+        warm.area,
+        warm.delay
+    );
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(async_tmap(&eqs, &lib, &opts).expect("mappable"));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    println!(
+        "median {:.1} ms over {runs} runs (min {:.1}, max {:.1})",
+        samples[runs / 2] * 1e3,
+        samples[0] * 1e3,
+        samples[runs - 1] * 1e3
+    );
+}

@@ -13,11 +13,20 @@
 //!   Cache misses equal actual `hazards_subset` evaluations, so the warm
 //!   run must show strictly fewer.
 //!
+//! * **Generated large design** — a seeded 50 000-gate multi-cone design
+//!   from the workload generator (`gen50000-s7`), sequential vs N worker
+//!   threads, timed with fewer samples (each map runs orders of magnitude
+//!   longer than the built-ins). Same bit-identity check as above.
+//!
 //! Usage: `speedup [--runs N] [--threads N] [--out PATH]`
-//! (defaults: 5 runs, 4 threads, `BENCH_mapping.json`).
+//! (defaults: 9 runs, 4 threads, `BENCH_mapping.json`). Every timed
+//! configuration is preceded by untimed warm-up runs (see
+//! [`asyncmap_bench::WARMUP_RUNS`]) so first-touch page faults and cold
+//! allocator arenas never land in a sample.
 
 use asyncmap_bench::{
     design_fingerprint, header, secs, time_median, time_median_pair, write_json, BenchRecord,
+    GenSpec,
 };
 use asyncmap_core::{async_tmap, async_tmap_cached, HazardCache, MapOptions, MappedDesign};
 use asyncmap_library::builtin;
@@ -38,7 +47,7 @@ fn npn_rate(d: &MappedDesign) -> Option<f64> {
 }
 
 fn main() {
-    let mut runs = 5usize;
+    let mut runs = 9usize;
     let mut threads = 4usize;
     let mut out = "BENCH_mapping.json".to_owned();
     let mut args = std::env::args().skip(1);
@@ -115,6 +124,73 @@ fn main() {
         });
         records.push(BenchRecord {
             name: format!("{design}/par{threads}"),
+            median: par_t,
+            threads,
+            cache_hit_rate: hit_rate(&par_design),
+            npn_hit_rate: npn_rate(&par_design),
+            phases: par_design.stats.phases,
+            speedup_vs_seq: Some(ratio),
+        });
+    }
+
+    header(
+        "Generated large design (LSI9K)",
+        &format!(
+            "{:12} {:>8} {:>12} {:>12} {:>9}",
+            "Design", "Cones", "Sequential", "Parallel", "Speedup"
+        ),
+    );
+    {
+        let spec = GenSpec {
+            target_gates: 50_000,
+            inputs: 16,
+            seed: 7,
+        };
+        let eqs = asyncmap_bench::generate(&spec);
+        let seq_opts = MapOptions {
+            threads: 1,
+            ..MapOptions::default()
+        };
+        let par_opts = MapOptions {
+            threads,
+            ..MapOptions::default()
+        };
+        let seq_design = async_tmap(&eqs, &lib, &seq_opts).expect("mappable");
+        let par_design = async_tmap(&eqs, &lib, &par_opts).expect("mappable");
+        assert_eq!(
+            design_fingerprint(&seq_design),
+            design_fingerprint(&par_design),
+            "{}: parallel mapping diverged from sequential",
+            spec.name()
+        );
+        // Each map takes seconds, so sample a third as often as the
+        // built-ins (at least 3 for a meaningful median).
+        let gen_runs = (runs / 3).max(3);
+        let (seq_t, par_t) = time_median_pair(
+            gen_runs,
+            || async_tmap(&eqs, &lib, &seq_opts).expect("mappable"),
+            || async_tmap(&eqs, &lib, &par_opts).expect("mappable"),
+        );
+        let ratio = seq_t.as_secs_f64() / par_t.as_secs_f64().max(1e-9);
+        println!(
+            "{:12} {:>8} {:>12} {:>12} {:>8.2}x",
+            spec.name(),
+            seq_design.stats.cones,
+            secs(seq_t),
+            secs(par_t),
+            ratio
+        );
+        records.push(BenchRecord {
+            name: format!("{}/seq", spec.name()),
+            median: seq_t,
+            threads: 1,
+            cache_hit_rate: hit_rate(&seq_design),
+            npn_hit_rate: npn_rate(&seq_design),
+            phases: seq_design.stats.phases,
+            speedup_vs_seq: None,
+        });
+        records.push(BenchRecord {
+            name: format!("{}/par{threads}", spec.name()),
             median: par_t,
             threads,
             cache_hit_rate: hit_rate(&par_design),

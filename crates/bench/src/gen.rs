@@ -1,0 +1,251 @@
+//! Seeded deterministic generator of large multi-cone workloads.
+//!
+//! The four built-in Table 5 benchmarks top out at a few hundred subject
+//! gates, which is too small to exercise parallel covering, verdict-cache
+//! pressure, or the word-parallel kernels. [`generate`] produces
+//! burst-mode-shaped designs — many independent SOP equations over a
+//! shared input space, exactly what a burst-mode synthesizer hands the
+//! mapper — whose decomposed networks scale to 10⁵–10⁶ base gates.
+//!
+//! Determinism is a hard requirement: the generator is driven by a single
+//! [`StdRng`] stream seeded from [`GenSpec::seed`], so the same spec
+//! always yields the same [`EquationSet`] (and therefore the same mapped
+//! design fingerprint, regardless of mapper thread count). Benchmarks and
+//! CI smoke runs reference designs purely by `(gates, inputs, seed)`.
+
+use asyncmap_cube::{Cover, Cube, Phase, VarId, VarTable};
+use asyncmap_network::EquationSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated design. The defaults give cones comparable
+/// in shape to the built-in benchmarks (2–5 cubes of 2–4 literals per
+/// output) over a 16-input space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSpec {
+    /// Approximate number of base gates after `async_tech_decomp`. The
+    /// generator adds whole equations until its gate estimate reaches
+    /// this target, so the realized count overshoots by at most one
+    /// equation (a few dozen gates).
+    pub target_gates: usize,
+    /// Number of shared primary inputs (4..=24).
+    pub inputs: usize,
+    /// RNG seed; every generated artifact is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A spec with the default input count and seed.
+    pub fn new(target_gates: usize) -> Self {
+        GenSpec {
+            target_gates,
+            inputs: 16,
+            seed: 0xA5_7C,
+        }
+    }
+
+    /// Canonical benchmark name of this spec, e.g. `gen50000-s42`.
+    pub fn name(&self) -> String {
+        format!("gen{}-s{}", self.target_gates, self.seed)
+    }
+}
+
+/// Generates a deterministic multi-cone equation set for `spec`.
+///
+/// Each equation is a random non-tautological SOP cover; decomposition
+/// turns each into its own cone (plus shared input-inverter cones), so a
+/// 50 000-gate spec yields on the order of a thousand independent cones —
+/// enough work for every mapper thread and enough distinct cone functions
+/// to pressure the hazard-verdict cache.
+///
+/// # Panics
+///
+/// Panics if `spec.inputs` is outside `4..=24`.
+pub fn generate(spec: &GenSpec) -> EquationSet {
+    assert!(
+        (4..=24).contains(&spec.inputs),
+        "generator wants 4..=24 inputs, got {}",
+        spec.inputs
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut vars = VarTable::new();
+    for i in 0..spec.inputs {
+        vars.intern(&format!("i{i}"));
+    }
+    let mut equations: Vec<(String, Cover)> = Vec::new();
+    // Gate estimate mirroring async_tech_decomp: an l-literal cube costs
+    // l-1 AND gates, a c-cube cover c-1 OR gates, and each input's first
+    // negative literal one shared inverter.
+    let mut est_gates = 0usize;
+    let mut inverted = vec![false; spec.inputs];
+    while est_gates < spec.target_gates {
+        let ncubes = 2 + rng.random_range(0..4usize);
+        let mut cubes = Vec::with_capacity(ncubes);
+        for _ in 0..ncubes {
+            let nlits = 2 + rng.random_range(0..3usize).min(spec.inputs - 2);
+            let mut literals: Vec<(VarId, Phase)> = Vec::with_capacity(nlits);
+            while literals.len() < nlits {
+                let v = rng.random_range(0..spec.inputs);
+                if literals.iter().any(|(w, _)| w.index() == v) {
+                    continue;
+                }
+                let phase = if rng.random::<bool>() {
+                    Phase::Pos
+                } else {
+                    Phase::Neg
+                };
+                literals.push((VarId(v), phase));
+            }
+            cubes.push(Cube::from_literals(spec.inputs, literals));
+        }
+        let cover = Cover::from_cubes(spec.inputs, cubes);
+        if cover.is_tautology() {
+            continue;
+        }
+        for cube in cover.cubes() {
+            est_gates += cube.num_literals() as usize - 1;
+            for (v, phase) in cube.literals() {
+                if !phase.is_pos() && !inverted[v.index()] {
+                    inverted[v.index()] = true;
+                    est_gates += 1;
+                }
+            }
+        }
+        est_gates += cover.len() - 1;
+        equations.push((format!("o{}", equations.len()), cover));
+    }
+    EquationSet::new(vars, equations)
+}
+
+/// Serializes an equation set as token SOP text: an `inputs` header line
+/// followed by one `name = lit*lit' + ...` line per equation. The format
+/// round-trips through [`parse_design`] and is deliberately restricted to
+/// constructs [`Cover::parse_tokens`] understood from the first release,
+/// so a dump can be replayed against older mapper builds for fair
+/// end-to-end comparisons.
+pub fn emit_design(eqs: &EquationSet) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("inputs");
+    for (_, name) in eqs.inputs.iter() {
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (name, cover) in &eqs.equations {
+        write!(out, "{name} =").unwrap();
+        for (ci, cube) in cover.cubes().iter().enumerate() {
+            out.push_str(if ci == 0 { " " } else { " + " });
+            for (li, (v, phase)) in cube.literals().enumerate() {
+                if li > 0 {
+                    out.push('*');
+                }
+                out.push_str(eqs.inputs.name(v));
+                if !phase.is_pos() {
+                    out.push('\'');
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses text produced by [`emit_design`] back into an [`EquationSet`].
+///
+/// # Panics
+///
+/// Panics on malformed input — the format is an internal interchange
+/// format, not a user-facing one.
+pub fn parse_design(text: &str) -> EquationSet {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().expect("empty design dump");
+    let mut words = header.split_whitespace();
+    assert_eq!(
+        words.next(),
+        Some("inputs"),
+        "dump must start with `inputs`"
+    );
+    let mut vars = VarTable::new();
+    for name in words {
+        vars.intern(name);
+    }
+    let equations = lines
+        .map(|line| {
+            let (name, expr) = line.split_once('=').expect("equation line without `=`");
+            let cover = Cover::parse_tokens(expr.trim(), &vars).expect("bad cube tokens");
+            (name.trim().to_string(), cover)
+        })
+        .collect();
+    EquationSet::new(vars, equations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_equations() {
+        let spec = GenSpec {
+            target_gates: 500,
+            inputs: 12,
+            seed: 99,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.equations.len(), b.equations.len());
+        for ((na, ca), (nb, cb)) in a.equations.iter().zip(&b.equations) {
+            assert_eq!(na, nb);
+            assert!(ca.equivalent(cb));
+            assert_eq!(ca.cubes(), cb.cubes());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenSpec {
+            target_gates: 300,
+            inputs: 12,
+            seed: 1,
+        });
+        let b = generate(&GenSpec {
+            target_gates: 300,
+            inputs: 12,
+            seed: 2,
+        });
+        let same = a.equations.len() == b.equations.len()
+            && a.equations
+                .iter()
+                .zip(&b.equations)
+                .all(|((_, ca), (_, cb))| ca.cubes() == cb.cubes());
+        assert!(!same, "independent seeds produced identical designs");
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let spec = GenSpec {
+            target_gates: 400,
+            inputs: 10,
+            seed: 7,
+        };
+        let eqs = generate(&spec);
+        let back = parse_design(&emit_design(&eqs));
+        assert_eq!(eqs.inputs.len(), back.inputs.len());
+        assert_eq!(eqs.equations.len(), back.equations.len());
+        for ((na, ca), (nb, cb)) in eqs.equations.iter().zip(&back.equations) {
+            assert_eq!(na, nb);
+            assert_eq!(ca.cubes(), cb.cubes());
+        }
+    }
+
+    #[test]
+    fn gate_target_is_reached() {
+        let spec = GenSpec::new(2_000);
+        let eqs = generate(&spec);
+        let net = asyncmap_network::async_tech_decomp(&eqs);
+        // The estimate counts exactly what async_tech_decomp emits, so
+        // the realized network can overshoot by at most one equation.
+        assert!(net.num_gates() >= spec.target_gates);
+        assert!(net.num_gates() < spec.target_gates + 200);
+    }
+}

@@ -10,6 +10,10 @@ use asyncmap_core::{MappedDesign, PhaseTimes};
 use asyncmap_library::{builtin, Library};
 use std::time::{Duration, Instant};
 
+pub mod gen;
+
+pub use gen::{emit_design, generate, parse_design, GenSpec};
+
 /// Summary of a mapped design used to assert two mapping configurations
 /// produced bit-identical results (shared by the `speedup` and
 /// `fingerprint` binaries and the CI divergence gate).
@@ -27,9 +31,22 @@ pub fn libraries() -> Vec<Library> {
     builtin::all_libraries()
 }
 
-/// Median wall-clock time of `runs` executions of `f`.
+/// Untimed executions before sampling begins. Page faults on
+/// freshly-mapped code, lazily-grown allocator arenas, and cold verdict
+/// caches all land in the first couple of runs; without discarding them a
+/// warm-cache configuration measured *after* its own cold baseline could
+/// paradoxically report a median above it (the seed benchmarks showed
+/// `pe-send-ifc/warm` at 0.88× sequential with a 100% cache hit rate —
+/// pure first-sample noise).
+pub const WARMUP_RUNS: usize = 2;
+
+/// Median wall-clock time of `runs` executions of `f`, preceded by
+/// [`WARMUP_RUNS`] untimed warm-up executions.
 pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
     assert!(runs > 0);
+    for _ in 0..WARMUP_RUNS {
+        std::hint::black_box(f());
+    }
     let mut samples: Vec<Duration> = (0..runs)
         .map(|_| {
             let t = Instant::now();
@@ -43,13 +60,18 @@ pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
 
 /// Median wall-clock times of `runs` executions each of `a` and `b`,
 /// sampled alternately so slow environment drift (thermal throttling, a
-/// busy container) biases neither side.
+/// busy container) biases neither side, after [`WARMUP_RUNS`] untimed
+/// warm-up executions of each.
 pub fn time_median_pair<T, U>(
     runs: usize,
     mut a: impl FnMut() -> T,
     mut b: impl FnMut() -> U,
 ) -> (Duration, Duration) {
     assert!(runs > 0);
+    for _ in 0..WARMUP_RUNS {
+        std::hint::black_box(a());
+        std::hint::black_box(b());
+    }
     let mut sa: Vec<Duration> = Vec::with_capacity(runs);
     let mut sb: Vec<Duration> = Vec::with_capacity(runs);
     for _ in 0..runs {

@@ -1,0 +1,64 @@
+//! Determinism of the workload generator through the full mapping
+//! pipeline: the same spec must produce the same design fingerprint on
+//! every run and under every mapper thread count, because benchmarks and
+//! the CI divergence gate reference generated designs purely by
+//! `(gates, inputs, seed)`.
+
+use asyncmap_bench::{design_fingerprint, emit_design, generate, GenSpec};
+use asyncmap_core::{async_tmap, MapOptions};
+use asyncmap_library::builtin;
+
+const SPEC: GenSpec = GenSpec {
+    target_gates: 3_000,
+    inputs: 14,
+    seed: 42,
+};
+
+fn map_with_threads(threads: usize) -> (u64, u64, usize, usize) {
+    let eqs = generate(&SPEC);
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    let opts = MapOptions {
+        threads,
+        ..MapOptions::default()
+    };
+    design_fingerprint(&async_tmap(&eqs, &lib, &opts).expect("mappable"))
+}
+
+#[test]
+fn same_seed_same_fingerprint() {
+    assert_eq!(map_with_threads(1), map_with_threads(1));
+}
+
+#[test]
+fn fingerprint_invariant_across_thread_counts() {
+    let seq = map_with_threads(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            seq,
+            map_with_threads(threads),
+            "{threads}-thread mapping diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn emitted_text_is_stable() {
+    // The dump is the cross-version interchange format; its bytes must be
+    // a pure function of the spec too.
+    assert_eq!(emit_design(&generate(&SPEC)), emit_design(&generate(&SPEC)));
+}
+
+#[test]
+fn different_seed_changes_fingerprint() {
+    let other = GenSpec { seed: 43, ..SPEC };
+    let eqs = generate(&other);
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    let opts = MapOptions {
+        threads: 1,
+        ..MapOptions::default()
+    };
+    let fp = design_fingerprint(&async_tmap(&eqs, &lib, &opts).expect("mappable"));
+    assert_ne!(fp, map_with_threads(1), "seed 42 vs 43 mapped identically");
+}

@@ -42,7 +42,6 @@ use asyncmap_cube::{VarId, VarTable};
 use asyncmap_network::{Cone, GateOp, Network, NodeKind, SignalId};
 use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
-use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// A candidate subnetwork for matching.
 #[derive(Debug, Clone)]
@@ -151,7 +150,7 @@ pub fn enumerate_clusters_legacy(
         cross_product(&fanin_options, &mut gate_cuts, limits.max_leaves);
         // The trivial cut (the gate's own fanin) must always survive the
         // cap: it guarantees every gate is coverable by a base cell.
-        let mut trivial: Vec<SignalId> = fanin.clone();
+        let mut trivial: Vec<SignalId> = fanin.to_vec();
         trivial.sort();
         trivial.dedup();
         gate_cuts.sort();
@@ -287,10 +286,20 @@ impl Cluster {
 // Interned-cut dynamic program (the default enumerator).
 // ---------------------------------------------------------------------------
 
+/// Sentinel for an empty slot of the open-addressed intern table.
+const EMPTY_SLOT: u32 = u32::MAX;
+
 /// Per-cone interner of sorted leaf sets. Sets live concatenated in one
 /// backing vector; an id is an index into the span table, so set equality
 /// is id equality and every set is stored once per cone no matter how many
 /// cross-product combinations produce it.
+///
+/// The arena is designed for reuse across cones (see [`EnumScratch`]):
+/// [`LeafArena::reset`] clears the logical contents but keeps every
+/// backing allocation, so in steady state interning allocates nothing.
+/// The content-hash index is a flat open-addressed table (linear probing,
+/// power-of-two capacity) rather than a `HashMap<u64, Vec<u32>>` — no
+/// per-bucket `Vec`s to allocate, and resetting it is a single `fill`.
 #[derive(Debug, Default)]
 struct LeafArena {
     /// Concatenated sorted sets.
@@ -300,24 +309,81 @@ struct LeafArena {
     /// id → one-word bloom signature (bit `s.index() & 63` per member):
     /// `sig(a) & !sig(b) != 0` proves `a ⊄ b` without touching the slices.
     sigs: Vec<u64>,
-    /// Content-hash index for interning.
-    index: HashMap<u64, Vec<u32>>,
+    /// Open-addressed intern table: set id per slot, [`EMPTY_SLOT`] when
+    /// free. Capacity is a power of two.
+    slots: Vec<u32>,
+    /// Content hash of the set in the same slot (valid where `slots` is
+    /// occupied); lets probes skip slice compares on hash mismatch.
+    hashes: Vec<u64>,
+    /// Number of occupied slots.
+    live: usize,
 }
 
 impl LeafArena {
+    /// Clears the arena for the next cone without releasing any capacity.
+    fn reset(&mut self) {
+        self.data.clear();
+        self.spans.clear();
+        self.sigs.clear();
+        self.slots.fill(EMPTY_SLOT);
+        self.live = 0;
+    }
+
+    fn hash_set(set: &[SignalId]) -> u64 {
+        // Same multiply-rotate fold as the memo hasher; the table probes
+        // from the low bits, which the xor-fold finisher keeps mixed.
+        let mut h = set.len() as u64;
+        for &s in set {
+            h = crate::fxhash::mix(h, s.0 as u64);
+        }
+        crate::fxhash::finish(h)
+    }
+
+    /// Doubles (or initializes) the intern table and reinserts the live
+    /// ids by their stored hashes.
+    fn grow_table(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
+        let old: Vec<(u32, u64)> = self
+            .slots
+            .iter()
+            .zip(&self.hashes)
+            .filter(|&(&id, _)| id != EMPTY_SLOT)
+            .map(|(&id, &h)| (id, h))
+            .collect();
+        self.slots.clear();
+        self.slots.resize(new_cap, EMPTY_SLOT);
+        self.hashes.clear();
+        self.hashes.resize(new_cap, 0);
+        let mask = new_cap - 1;
+        for (id, h) in old {
+            let mut i = h as usize & mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = id;
+            self.hashes[i] = h;
+        }
+    }
+
     /// Interns a sorted, deduplicated set, returning its id (existing or
     /// new).
     fn intern(&mut self, set: &[SignalId]) -> u32 {
         debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
-        let mut h = DefaultHasher::new();
-        set.hash(&mut h);
-        let h = h.finish();
-        if let Some(ids) = self.index.get(&h) {
-            for &id in ids {
-                if self.slice(id) == set {
-                    return id;
-                }
+        let h = Self::hash_set(set);
+        if self.slots.is_empty() {
+            self.grow_table(256);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        loop {
+            let id = self.slots[i];
+            if id == EMPTY_SLOT {
+                break;
             }
+            if self.hashes[i] == h && self.slice(id) == set {
+                return id;
+            }
+            i = (i + 1) & mask;
         }
         let id = u32::try_from(self.spans.len()).expect("leaf-set arena overflow");
         let start = u32::try_from(self.data.len()).expect("leaf-set arena overflow");
@@ -325,7 +391,13 @@ impl LeafArena {
         self.spans.push((start, set.len() as u32));
         self.sigs
             .push(set.iter().fold(0u64, |a, s| a | 1 << (s.index() & 63)));
-        self.index.entry(h).or_default().push(id);
+        self.slots[i] = id;
+        self.hashes[i] = h;
+        self.live += 1;
+        // Rehash at ~3/4 load to keep probe chains short.
+        if (self.live + 1) * 4 > self.slots.len() * 3 {
+            self.grow_table(self.slots.len() * 2);
+        }
         id
     }
 
@@ -472,10 +544,15 @@ impl CutCluster {
 }
 
 /// The cut sets of one cone, enumerated bottom-up with interned leaf sets
-/// and dominance pruning.
+/// and dominance pruning. Storage is dense: one cluster list per cone
+/// gate, aligned with the cone's (ascending) gate order — no per-cone hash
+/// map.
 #[derive(Debug)]
 pub(crate) struct ConeCuts {
-    clusters: HashMap<SignalId, Vec<CutCluster>>,
+    /// The cone's gates, ascending (copied from [`Cone::gates`]).
+    gates: Vec<SignalId>,
+    /// Match-candidate clusters per gate, aligned with `gates`.
+    lists: Vec<Vec<CutCluster>>,
     /// Number of gates whose cut list hit [`ClusterLimits::max_cuts_per_gate`]
     /// and lost cuts to truncation.
     pub(crate) truncations: usize,
@@ -484,8 +561,97 @@ pub(crate) struct ConeCuts {
 impl ConeCuts {
     /// The match-candidate clusters rooted at `g`, trivial cut first.
     pub(crate) fn clusters(&self, g: SignalId) -> &[CutCluster] {
-        &self.clusters[&g]
+        let i = self
+            .gates
+            .binary_search(&g)
+            .expect("signal is a gate of the enumerated cone");
+        &self.lists[i]
     }
+}
+
+/// Reusable per-thread working state of the cut enumerator. Every buffer
+/// the per-cone dynamic program needs lives here and survives across
+/// cones, so after the first few cones have sized them, enumeration runs
+/// allocation-free — only the returned [`ConeCuts`] (the per-cone output)
+/// is freshly allocated. Capacity-growth events are counted per cone and
+/// surfaced through [`crate::profile`] / [`crate::MapStats`].
+#[derive(Debug, Default)]
+struct EnumScratch {
+    arena: LeafArena,
+    /// Cone-membership stamps, indexed by signal id: `stamp[s] == generation`
+    /// iff `s` is a gate of the current cone.
+    stamp: Vec<u32>,
+    /// Dense gate index (position in the cone's gate list) per signal id,
+    /// valid where `stamp` matches the current generation.
+    dense: Vec<u32>,
+    generation: u32,
+    /// CSR storage of the per-gate post-truncation cut-id lists consumed
+    /// by downstream cross-products: `cut_spans[k]` is the `(start, len)`
+    /// of gate `k`'s ids in `cut_data`.
+    cut_data: Vec<u32>,
+    cut_spans: Vec<(u32, u32)>,
+    /// The current gate's cut ids while being built, sorted and truncated.
+    gate_buf: Vec<u32>,
+    /// Output buffer of [`LeafArena::merge_bounded`].
+    merge: Vec<SignalId>,
+    /// Sorted/deduped trivial-cut buffer.
+    trivial_buf: Vec<SignalId>,
+    /// Interned ids of the current gate's materialized clusters (parallel
+    /// to the list under construction), for the dominance subset tests.
+    mat_ids: Vec<u32>,
+    /// Dominance-key support signals, concatenated; keys hold spans.
+    key_sigs: Vec<SignalId>,
+    /// Dominance keys: `(start, len)` into `key_sigs` plus the projected
+    /// truth table; `None` for wide (>6-leaf) cuts.
+    keys: Vec<Option<(u32, u32, u64)>>,
+    keep: Vec<bool>,
+}
+
+/// Capacity snapshot of every [`EnumScratch`] buffer, for counting
+/// allocation (capacity-growth) events per cone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ScratchCaps {
+    caps: [usize; 12],
+}
+
+impl EnumScratch {
+    fn capacities(&self) -> ScratchCaps {
+        ScratchCaps {
+            caps: [
+                self.arena.data.capacity(),
+                self.arena.spans.capacity(),
+                self.arena.sigs.capacity(),
+                self.arena.slots.len(),
+                self.stamp.capacity(),
+                self.cut_data.capacity(),
+                self.cut_spans.capacity(),
+                self.gate_buf.capacity(),
+                self.merge.capacity(),
+                self.trivial_buf.capacity(),
+                self.key_sigs.capacity(),
+                self.keys.capacity(),
+            ],
+        }
+    }
+
+    /// Number of buffers that grew since `before` — each one is at least
+    /// one heap (re)allocation.
+    fn growth_events(&self, before: &ScratchCaps) -> usize {
+        let now = self.capacities();
+        now.caps
+            .iter()
+            .zip(&before.caps)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+thread_local! {
+    /// One [`EnumScratch`] per mapping thread: `enumerate_cuts` is called
+    /// once per cone from the covering loop, and the scratch keeps its
+    /// capacity across cones (and across designs within a process).
+    static SCRATCH: std::cell::RefCell<EnumScratch> =
+        std::cell::RefCell::new(EnumScratch::default());
 }
 
 /// Bottom-up cut enumeration over `cone`: one pass over the gates in
@@ -493,64 +659,155 @@ impl ConeCuts {
 /// lists. Downstream gates consume the truncated-but-unpruned lists (the
 /// exact legacy sets); dominance pruning applies to the materialized
 /// match-candidate lists only.
+///
+/// All working storage comes from the thread-local [`EnumScratch`], so in
+/// steady state the dynamic program allocates only its output.
 pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits) -> ConeCuts {
-    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
-    let mut arena = LeafArena::default();
-    // cuts[g] = interned cut ids of g, trivial first, post-truncation,
-    // including depth-invalid cuts (they still feed downstream
-    // cross-products, exactly as in the legacy enumerator).
-    let mut cuts: HashMap<SignalId, Vec<u32>> = HashMap::new();
-    let mut clusters: HashMap<SignalId, Vec<CutCluster>> = HashMap::new();
+    SCRATCH.with(|s| enumerate_cuts_in(&mut s.borrow_mut(), net, cone, limits))
+}
+
+fn enumerate_cuts_in(
+    scr: &mut EnumScratch,
+    net: &Network,
+    cone: &Cone,
+    limits: &ClusterLimits,
+) -> ConeCuts {
+    let caps_before = scr.capacities();
+    scr.arena.reset();
+    scr.cut_data.clear();
+    scr.cut_spans.clear();
+    // Stamp the cone's gates with a fresh generation; on (u32) wraparound
+    // clear the stamps once.
+    scr.generation = scr.generation.wrapping_add(1);
+    if scr.generation == 0 {
+        scr.stamp.fill(0);
+        scr.generation = 1;
+    }
+    let max_id = cone.gates.last().map_or(0, |g| g.0 + 1);
+    if scr.stamp.len() < max_id {
+        scr.stamp.resize(max_id, 0);
+        scr.dense.resize(max_id, 0);
+    }
+    for (k, &g) in cone.gates.iter().enumerate() {
+        scr.stamp[g.0] = scr.generation;
+        scr.dense[g.0] = k as u32;
+    }
+    // Disjoint field borrows for the main loop.
+    let EnumScratch {
+        arena,
+        stamp,
+        dense,
+        generation,
+        cut_data,
+        cut_spans,
+        gate_buf,
+        merge,
+        trivial_buf,
+        mat_ids,
+        key_sigs,
+        keys,
+        keep,
+    } = scr;
+    let generation = *generation;
+    // Sub-cut span of fanin `f`: its CSR range when `f` is a cone gate
+    // (always already processed — `cone.gates` is topological), else empty.
+    let sub_span = |f: SignalId, cut_spans: &[(u32, u32)], k: usize| -> (u32, u32) {
+        if f.0 < stamp.len() && stamp[f.0] == generation {
+            let d = dense[f.0] as usize;
+            debug_assert!(d < k, "fanin gate follows its user in cone order");
+            cut_spans[d]
+        } else {
+            (0, 0)
+        }
+    };
+    let mut lists: Vec<Vec<CutCluster>> = Vec::with_capacity(cone.gates.len());
     let mut truncations = 0usize;
-    let mut scratch: Vec<SignalId> = Vec::new();
-    for &g in &cone.gates {
+    for (k, &g) in cone.gates.iter().enumerate() {
         let NodeKind::Gate { fanin, .. } = net.node(g) else {
             unreachable!("cone gate is not a gate")
         };
-        let options: Vec<Vec<u32>> = fanin
-            .iter()
-            .map(|&f| {
-                let mut opts = vec![arena.intern(&[f])];
-                if cone_gates.contains(&f) {
-                    if let Some(sub) = cuts.get(&f) {
-                        opts.extend(sub.iter().copied());
+        // Cross product of the fanin option lists (trivial leaf first,
+        // then the fanin's own cuts), merging interned sets pairwise.
+        // Arity is at most 2, so the product is two nested loops — no
+        // recursion, no per-gate option vectors. Over-wide unions — the
+        // bulk of the product in wide cones — are rejected by a bloom
+        // popcount bound or an early-aborting merge before anything is
+        // hashed or interned.
+        gate_buf.clear();
+        let f0 = fanin[0];
+        let s0 = arena.intern(&[f0]);
+        let (r0_start, r0_len) = sub_span(f0, cut_spans, k);
+        match fanin.len() {
+            1 => {
+                for i in 0..=r0_len as usize {
+                    let choice = if i == 0 {
+                        s0
+                    } else {
+                        cut_data[r0_start as usize + i - 1]
+                    };
+                    if arena.len_of(choice) > limits.max_leaves {
+                        continue;
                     }
+                    gate_buf.push(choice);
                 }
-                opts
-            })
-            .collect();
-        let mut gate_cuts: Vec<u32> = Vec::new();
-        cross_ids(
-            &mut arena,
-            &options,
-            limits.max_leaves,
-            &mut gate_cuts,
-            &mut scratch,
-        );
+            }
+            2 => {
+                let f1 = fanin[1];
+                let s1 = arena.intern(&[f1]);
+                let (r1_start, r1_len) = sub_span(f1, cut_spans, k);
+                for i in 0..=r0_len as usize {
+                    let a = if i == 0 {
+                        s0
+                    } else {
+                        cut_data[r0_start as usize + i - 1]
+                    };
+                    if arena.len_of(a) > limits.max_leaves {
+                        continue;
+                    }
+                    cross_pairs(
+                        arena,
+                        a,
+                        s1,
+                        (r1_start, r1_len),
+                        cut_data,
+                        limits.max_leaves,
+                        gate_buf,
+                        merge,
+                    );
+                }
+            }
+            n => unreachable!("base-gate arity {n}"),
+        }
         // Legacy pipeline order: sort lexicographically by set content,
         // dedup (same content ⇒ same id), pull the trivial cut to the
         // front, truncate.
-        let mut trivial: Vec<SignalId> = fanin.clone();
-        trivial.sort();
-        trivial.dedup();
-        let trivial = arena.intern(&trivial);
-        gate_cuts.sort_by(|&a, &b| arena.slice(a).cmp(arena.slice(b)));
-        gate_cuts.dedup();
-        gate_cuts.retain(|&c| c != trivial);
+        trivial_buf.clear();
+        trivial_buf.extend_from_slice(fanin);
+        trivial_buf.sort();
+        trivial_buf.dedup();
+        let trivial = arena.intern(trivial_buf);
+        gate_buf.sort_by(|&a, &b| arena.slice(a).cmp(arena.slice(b)));
+        gate_buf.dedup();
+        gate_buf.retain(|&c| c != trivial);
         let cap = limits.max_cuts_per_gate.saturating_sub(1);
-        if gate_cuts.len() > cap {
+        if gate_buf.len() > cap {
             truncations += 1;
         }
-        gate_cuts.truncate(cap);
-        gate_cuts.insert(0, trivial);
+        gate_buf.truncate(cap);
+        gate_buf.insert(0, trivial);
+        // Publish the post-truncation ids for downstream cross-products.
+        let start = u32::try_from(cut_data.len()).expect("cut CSR overflow");
+        cut_data.extend_from_slice(gate_buf);
+        cut_spans.push((start, gate_buf.len() as u32));
         // Materialize (depth filter happens in the walk), then prune
         // dominated candidates: a cut whose leaf set strictly contains a
         // surviving cut's covers strictly fewer gates — drop it. The
         // trivial cut (index 0) is never pruned: it guarantees every gate
         // stays coverable by a base cell.
-        let mut list: Vec<(u32, CutCluster)> = Vec::new();
-        for &id in &gate_cuts {
-            let mut leaves = Vec::new();
+        let mut list: Vec<CutCluster> = Vec::with_capacity(gate_buf.len());
+        mat_ids.clear();
+        for &id in gate_buf.iter() {
+            let mut leaves = Vec::with_capacity(arena.len_of(id));
             let mut num_gates = 0usize;
             let Some(twords) = walk_truth(
                 net,
@@ -569,18 +826,16 @@ pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits)
             } else {
                 None
             };
-            list.push((
-                id,
-                CutCluster {
-                    root: g,
-                    leaves,
-                    num_gates,
-                    truth6,
-                    twords,
-                    max_depth: limits.max_depth,
-                    expr: OnceCell::new(),
-                },
-            ));
+            mat_ids.push(id);
+            list.push(CutCluster {
+                root: g,
+                leaves,
+                num_gates,
+                truth6,
+                twords,
+                max_depth: limits.max_depth,
+                expr: OnceCell::new(),
+            });
         }
         if limits.prune_dominated && list.len() > 1 {
             // Match-equivalent dominance: cut B is dominated by cut A when
@@ -595,18 +850,35 @@ pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits)
             // cut's function may have no library match while the larger
             // one's does, which the equal-truth condition rules out. The
             // trivial cut (index 0) is never pruned.
-            let keys: Vec<Option<(Vec<SignalId>, u64)>> = list
-                .iter()
-                .map(|(_, c)| {
+            key_sigs.clear();
+            keys.clear();
+            for c in &list {
+                keys.push((|| {
                     let t = c.truth6?;
                     let n = c.leaves.len();
-                    let support: Vec<usize> =
-                        (0..n).filter(|&v| truth::depends6(t, n, v)).collect();
-                    let proj = truth::project6(t, &support);
-                    Some((support.iter().map(|&v| c.leaves[v]).collect(), proj))
-                })
-                .collect();
-            let mut keep = vec![true; list.len()];
+                    let mut sup = [0usize; 6];
+                    let mut ns = 0usize;
+                    for v in 0..n {
+                        if truth::depends6(t, n, v) {
+                            sup[ns] = v;
+                            ns += 1;
+                        }
+                    }
+                    let start = key_sigs.len() as u32;
+                    for &v in &sup[..ns] {
+                        key_sigs.push(c.leaves[v]);
+                    }
+                    let proj = truth::project6(t, &sup[..ns]);
+                    Some((start, ns as u32, proj))
+                })());
+            }
+            keep.clear();
+            keep.resize(list.len(), true);
+            let key_eq = |x: &(u32, u32, u64), y: &(u32, u32, u64)| {
+                x.2 == y.2
+                    && key_sigs[x.0 as usize..(x.0 + x.1) as usize]
+                        == key_sigs[y.0 as usize..(y.0 + y.1) as usize]
+            };
             for j in 1..list.len() {
                 let Some(kj) = &keys[j] else { continue };
                 for i in 0..list.len() {
@@ -614,9 +886,9 @@ pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits)
                         continue;
                     }
                     let Some(ki) = &keys[i] else { continue };
-                    if ki == kj && arena.is_subset(list[i].0, list[j].0) {
+                    if key_eq(ki, kj) && arena.is_subset(mat_ids[i], mat_ids[j]) {
                         debug_assert!(
-                            list[i].1.num_gates > list[j].1.num_gates,
+                            list[i].num_gates > list[j].num_gates,
                             "a sub-cut covers strictly more gates"
                         );
                         keep[j] = false;
@@ -627,76 +899,78 @@ pub(crate) fn enumerate_cuts(net: &Network, cone: &Cone, limits: &ClusterLimits)
             let mut it = keep.iter();
             list.retain(|_| *it.next().expect("keep mask aligned"));
         }
-        clusters.insert(g, list.into_iter().map(|(_, c)| c).collect());
-        cuts.insert(g, gate_cuts);
+        lists.push(list);
     }
+    let grown = scr.growth_events(&caps_before);
+    crate::profile::record_enum_cone(grown as u64);
     ConeCuts {
-        clusters,
+        gates: cone.gates.clone(),
+        lists,
         truncations,
     }
 }
 
-/// Cross product of the fanin option lists, merging interned sets pairwise.
-/// Supersets of an over-wide union only grow, so the descent prunes as
-/// soon as the running union exceeds `max_leaves` (the legacy enumerator
-/// drops the same sets after a full merge). Over-wide pairs — the vast
-/// majority in wide cones — are rejected by the bloom popcount bound or an
-/// early-aborting merge before anything is hashed or interned.
-fn cross_ids(
+/// Inner cross-product loop: pairs the accumulated set `a` with every
+/// option of the second fanin (trivial leaf `s1` first, then the CSR span
+/// `r1` of its own cuts), pushing each in-bound union's interned id.
+///
+/// The bloom popcount lower bound on the union size (distinct signals can
+/// only collide in the bloom word, never split) rejects most over-wide
+/// pairs before the merge; the sub-cut spans are screened four lanes at a
+/// time with [`U64x4`] so the filter runs word-parallel.
+#[allow(clippy::too_many_arguments)]
+fn cross_pairs(
     arena: &mut LeafArena,
-    options: &[Vec<u32>],
+    a: u32,
+    s1: u32,
+    r1: (u32, u32),
+    cut_data: &[u32],
     max_leaves: usize,
     out: &mut Vec<u32>,
-    scratch: &mut Vec<SignalId>,
+    merge: &mut Vec<SignalId>,
 ) {
-    fn rec(
-        arena: &mut LeafArena,
-        options: &[Vec<u32>],
-        idx: usize,
-        acc: Option<u32>,
-        max_leaves: usize,
-        out: &mut Vec<u32>,
-        scratch: &mut Vec<SignalId>,
-    ) {
-        if idx == options.len() {
-            if let Some(id) = acc {
-                out.push(id);
+    let sa = arena.sigs[a as usize];
+    // The trivial second option first (legacy option order).
+    let lb = (sa | arena.sigs[s1 as usize]).count_ones();
+    if lb as usize <= max_leaves && arena.merge_bounded(a, s1, max_leaves, merge) {
+        out.push(arena.intern(merge));
+    }
+    let subs = &cut_data[r1.0 as usize..(r1.0 + r1.1) as usize];
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        use asyncmap_cube::simd::{U64x4, LANES};
+        let sa4 = U64x4::splat(sa);
+        for chunk in subs.chunks(LANES) {
+            // Gather the candidates' bloom words; padding lanes get all
+            // ones (popcount 64, never under any real leaf bound).
+            let sg = U64x4(std::array::from_fn(|i| {
+                chunk.get(i).map_or(!0u64, |&c| arena.sigs[c as usize])
+            }));
+            let counts = (sa4 | sg).count_ones_per_lane();
+            for (i, &c) in chunk.iter().enumerate() {
+                if counts[i] as usize > max_leaves {
+                    continue;
+                }
+                if !arena.merge_bounded(a, c, max_leaves, merge) {
+                    continue;
+                }
+                out.push(arena.intern(merge));
             }
-            return;
-        }
-        for &choice in &options[idx] {
-            let next = match acc {
-                None => {
-                    if arena.len_of(choice) > max_leaves {
-                        continue;
-                    }
-                    choice
-                }
-                Some(a) => {
-                    // Lower bound on the union size: distinct signals can
-                    // only collide in the bloom word, never split.
-                    let lb = (arena.sigs[a as usize] | arena.sigs[choice as usize]).count_ones();
-                    if lb as usize > max_leaves {
-                        continue;
-                    }
-                    if !arena.merge_bounded(a, choice, max_leaves, scratch) {
-                        continue;
-                    }
-                    arena.intern(scratch)
-                }
-            };
-            rec(
-                arena,
-                options,
-                idx + 1,
-                Some(next),
-                max_leaves,
-                out,
-                scratch,
-            );
         }
     }
-    rec(arena, options, 0, None, max_leaves, out, scratch);
+    #[cfg(feature = "scalar-kernels")]
+    {
+        for &c in subs {
+            let lb = (sa | arena.sigs[c as usize]).count_ones();
+            if lb as usize > max_leaves {
+                continue;
+            }
+            if !arena.merge_bounded(a, c, max_leaves, merge) {
+                continue;
+            }
+            out.push(arena.intern(merge));
+        }
+    }
 }
 
 /// Leaf masks for the wide 4-word (256-minterm, ≤ 8-variable) packed
@@ -756,9 +1030,7 @@ fn walk_truth(
             let mut acc = Some([!0u64; 4]);
             for &f in fanin {
                 let w = walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?;
-                acc = acc
-                    .zip(w)
-                    .map(|(a, b)| std::array::from_fn(|i| a[i] & b[i]));
+                acc = acc.zip(w).map(|(a, b)| and4(a, b));
             }
             acc
         }
@@ -766,15 +1038,13 @@ fn walk_truth(
             let mut acc = Some([0u64; 4]);
             for &f in fanin {
                 let w = walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?;
-                acc = acc
-                    .zip(w)
-                    .map(|(a, b)| std::array::from_fn(|i| a[i] | b[i]));
+                acc = acc.zip(w).map(|(a, b)| or4(a, b));
             }
             acc
         }
         GateOp::Inv => {
             let f = *fanin.first().expect("inverter fanin");
-            walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?.map(|w| w.map(|x| !x))
+            walk_truth(net, f, cut, depth + 1, max_depth, leaves, num_gates)?.map(not4)
         }
         GateOp::Buf => {
             let f = *fanin.first().expect("buffer fanin");
@@ -782,6 +1052,45 @@ fn walk_truth(
         }
     };
     Some(words)
+}
+
+// 4-word table combiners for the walk: one `U64x4` op per fold step on the
+// lane-widened build, a plain per-word loop on the scalar fallback.
+
+#[inline]
+fn and4(a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        (asyncmap_cube::U64x4(a) & asyncmap_cube::U64x4(b)).to_array()
+    }
+    #[cfg(feature = "scalar-kernels")]
+    {
+        std::array::from_fn(|i| a[i] & b[i])
+    }
+}
+
+#[inline]
+fn or4(a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        (asyncmap_cube::U64x4(a) | asyncmap_cube::U64x4(b)).to_array()
+    }
+    #[cfg(feature = "scalar-kernels")]
+    {
+        std::array::from_fn(|i| a[i] | b[i])
+    }
+}
+
+#[inline]
+fn not4(a: [u64; 4]) -> [u64; 4] {
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        (!asyncmap_cube::U64x4(a)).to_array()
+    }
+    #[cfg(feature = "scalar-kernels")]
+    {
+        a.map(|x| !x)
+    }
 }
 
 #[cfg(test)]

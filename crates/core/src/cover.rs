@@ -121,59 +121,82 @@ pub fn cover_cone_with(
     // Cover-select time excludes the matcher (paused around each call),
     // which accounts itself under the match / hazard-check phases.
     let mut t_select = profile::timer(MapPhase::CoverSelect);
-    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
-    let mut best: HashMap<SignalId, Choice> = HashMap::new();
+    // Dense DP table aligned with the cone's (ascending) gate order; cone
+    // membership and solution lookup are a binary search over the sorted
+    // gate list — no per-cone hash containers. A `Choice` (with its pin
+    // and gate-leaf vectors) is only built for the winner of each gate,
+    // after all its candidates have been scored.
+    let gate_idx = |s: SignalId| cone.gates.binary_search(&s).ok();
+    let mut best: Vec<Option<Choice>> = Vec::with_capacity(cone.gates.len());
+    best.resize_with(cone.gates.len(), || None);
+    // The winning pin binding of the current gate, copied out of the
+    // matcher's visitor buffer; reused across gates.
+    let mut winner_pins: Vec<usize> = Vec::new();
     for &g in &cone.gates {
-        let mut best_here: Option<Choice> = None;
+        // Winner so far: (cluster, cell_index, cell_area, total_area,
+        // total_delay); its pin binding is in `winner_pins`.
+        let mut best_here: Option<(&CutCluster, usize, f64, f64, f64)> = None;
+        let mut best_score = (f64::INFINITY, f64::INFINITY);
         for cluster in cuts.clusters(g) {
-            let gate_leaves: Vec<SignalId> = cluster
-                .leaves
-                .iter()
-                .copied()
-                .filter(|l| cone_gates.contains(l))
-                .collect();
             // All gate leaves must already have solutions (they precede g
             // topologically).
-            let leaf_area: f64 = gate_leaves
-                .iter()
-                .map(|l| best.get(l).map_or(f64::INFINITY, |c| c.total_area))
-                .sum();
+            let mut leaf_area = 0.0f64;
+            let mut leaf_delay = 0.0f64;
+            for &l in &cluster.leaves {
+                let Some(i) = gate_idx(l) else { continue };
+                match &best[i] {
+                    Some(c) => {
+                        leaf_area += c.total_area;
+                        leaf_delay = leaf_delay.max(c.total_delay);
+                    }
+                    None => {
+                        leaf_area = f64::INFINITY;
+                        break;
+                    }
+                }
+            }
             if !leaf_area.is_finite() {
                 continue;
             }
-            let leaf_delay: f64 = gate_leaves
-                .iter()
-                .map(|l| best[l].total_delay)
-                .fold(0.0, f64::max);
             t_select.pause();
-            let matches = matcher.find_matches_cut(cluster, net);
-            t_select.resume();
-            for m in matches {
-                let cell = &matcher.library().cells()[m.cell_index];
-                let candidate = Choice {
-                    cell_index: m.cell_index,
-                    pin_signals: m.pin_to_leaf.iter().map(|&l| cluster.leaves[l]).collect(),
-                    gate_leaves: gate_leaves.clone(),
-                    cell_area: cell.area(),
-                    total_area: cell.area() + leaf_area,
-                    total_delay: cell.delay() + leaf_delay,
+            matcher.for_each_match_cut(cluster, net, |cell_index, pin_to_leaf| {
+                let cell = &matcher.library().cells()[cell_index];
+                let total_area = cell.area() + leaf_area;
+                let total_delay = cell.delay() + leaf_delay;
+                let score = match objective {
+                    Objective::Area => (total_area, total_delay),
+                    Objective::Delay => (total_delay, total_area),
                 };
-                if best_here
-                    .as_ref()
-                    .is_none_or(|b| candidate.score(objective) < b.score(objective))
-                {
-                    best_here = Some(candidate);
+                if best_here.is_none() || score < best_score {
+                    best_here = Some((cluster, cell_index, cell.area(), total_area, total_delay));
+                    best_score = score;
+                    winner_pins.clear();
+                    winner_pins.extend_from_slice(pin_to_leaf);
                 }
-            }
+            });
+            t_select.resume();
         }
         match best_here {
-            Some(choice) => {
-                best.insert(g, choice);
+            Some((cluster, cell_index, cell_area, total_area, total_delay)) => {
+                let k = gate_idx(g).expect("gate is in its own cone");
+                best[k] = Some(Choice {
+                    cell_index,
+                    pin_signals: winner_pins.iter().map(|&l| cluster.leaves[l]).collect(),
+                    gate_leaves: cluster
+                        .leaves
+                        .iter()
+                        .copied()
+                        .filter(|&l| gate_idx(l).is_some())
+                        .collect(),
+                    cell_area,
+                    total_area,
+                    total_delay,
+                });
             }
             None => return Err(CoverError { gate: g }),
         }
     }
-    let cover = reconstruct(cone, &best, cuts.truncations);
+    let cover = reconstruct(cone, &gate_idx, &best, cuts.truncations);
     drop(t_select);
     Ok(cover)
 }
@@ -243,7 +266,7 @@ fn cover_cone_legacy(
             None => return Err(CoverError { gate: g }),
         }
     }
-    let cover = reconstruct(cone, &best, 0);
+    let cover = reconstruct_map(cone, &best, 0);
     drop(t_select);
     Ok(cover)
 }
@@ -263,7 +286,7 @@ pub fn hand_cover(
         enumerate_cuts(net, cone, &effective_limits(limits, matcher))
     };
     let mut t_select = profile::timer(MapPhase::CoverSelect);
-    let cone_gates: HashSet<SignalId> = cone.gates.iter().copied().collect();
+    let in_cone = |s: SignalId| cone.gates.binary_search(&s).is_ok();
     let mut instances = Vec::new();
     let mut area = 0.0;
     let mut work = vec![cone.root];
@@ -297,7 +320,7 @@ pub fn hand_cover(
             inputs: m.pin_to_leaf.iter().map(|&l| cluster.leaves[l]).collect(),
         });
         for &l in &cluster.leaves {
-            if cone_gates.contains(&l) {
+            if in_cone(l) {
                 work.push(l);
             }
         }
@@ -321,7 +344,41 @@ fn effective_limits(limits: &ClusterLimits, matcher: &Matcher<'_>) -> ClusterLim
     }
 }
 
-fn reconstruct(cone: &Cone, best: &HashMap<SignalId, Choice>, cut_truncations: usize) -> ConeCover {
+fn reconstruct(
+    cone: &Cone,
+    gate_idx: &impl Fn(SignalId) -> Option<usize>,
+    best: &[Option<Choice>],
+    cut_truncations: usize,
+) -> ConeCover {
+    let mut instances = Vec::new();
+    let mut area = 0.0;
+    let mut work = vec![cone.root];
+    while let Some(g) = work.pop() {
+        let k = gate_idx(g).expect("cover gate is in the cone");
+        let choice = best[k].as_ref().expect("every cone gate was covered");
+        area += choice.cell_area;
+        instances.push(Instance {
+            cell_index: choice.cell_index,
+            output: g,
+            inputs: choice.pin_signals.clone(),
+        });
+        work.extend(choice.gate_leaves.iter().copied());
+    }
+    instances.reverse();
+    ConeCover {
+        root: cone.root,
+        instances,
+        area,
+        cut_truncations,
+    }
+}
+
+/// Map-keyed variant of [`reconstruct`] for the legacy reference DP.
+fn reconstruct_map(
+    cone: &Cone,
+    best: &HashMap<SignalId, Choice>,
+    cut_truncations: usize,
+) -> ConeCover {
     let mut instances = Vec::new();
     let mut area = 0.0;
     let mut work = vec![cone.root];

@@ -39,6 +39,15 @@ pub struct MapStats {
     /// Gates whose cut list was truncated at
     /// [`crate::ClusterLimits::max_cuts_per_gate`].
     pub cut_truncations: usize,
+    /// Cones whose cut enumeration ran entirely out of the pre-sized
+    /// thread-local scratch — zero heap allocations beyond the returned
+    /// cut lists. In steady state this tracks [`MapStats::cones`]. Zero
+    /// when the `profile` feature is disabled.
+    pub enum_warm_cones: usize,
+    /// Scratch-buffer capacity-growth events during cut enumeration (each
+    /// at least one heap allocation; cold-start sizing plus any later
+    /// regrowth). Zero when the `profile` feature is disabled.
+    pub enum_alloc_events: usize,
     /// Cones mapped.
     pub cones: usize,
     /// Base gates in the subject network.

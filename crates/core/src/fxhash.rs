@@ -1,0 +1,134 @@
+//! Fast non-cryptographic hasher for the mapper's internal memo tables.
+//!
+//! The match memo, verdict cache, and signature index are hit hundreds of
+//! thousands of times per large design, always with small fixed-size keys
+//! (packed truth tables, interned ids, pin bindings) that the process
+//! builds itself — there is no untrusted input to defend against, so the
+//! SipHash DoS resistance of `std`'s default hasher is pure overhead.
+//! This is the classic multiply-rotate fold used by rustc's FxHash: one
+//! rotate, one xor, one multiply per 8 bytes of key.
+//!
+//! Not for anything order- or security-sensitive: none of the tables
+//! keyed with this hasher are ever iterated, so bucket order can never
+//! leak into mapped output.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier (derived from the golden ratio) spreading each folded
+/// word across the upper bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fold one word into the running state.
+#[inline]
+pub(crate) fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Finalizer: xor-fold the well-mixed upper bits into the lower ones so
+/// masked/bucketed uses (open-addressed tables, shard selection) see
+/// mixed entropy even in the low bits.
+#[inline]
+pub(crate) fn finish(hash: u64) -> u64 {
+    hash ^ (hash >> 32)
+}
+
+/// A `Hasher` over [`mix`]/[`finish`] for use in `HashMap`s via
+/// [`FxBuildHasher`].
+#[derive(Debug, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+/// Deterministic `BuildHasher`: no per-map random state, so hash codes —
+/// though never observable in output — are stable run to run.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.hash = mix(self.hash, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in with the tail so "ab" and "ab\0" differ.
+            self.hash = mix(
+                self.hash,
+                u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56,
+            );
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = mix(self.hash, n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.hash = mix(mix(self.hash, n as u64), (n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        finish(self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (3u8, 0xDEAD_BEEF_u64);
+        assert_eq!(hash_of(&key), hash_of(&key));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a collision-resistance claim, just a smoke test that every
+        // write_* path stirs the state.
+        let a = hash_of(&(1u8, 2u64));
+        let b = hash_of(&(2u8, 1u64));
+        let c = hash_of(&(1u8, 3u64));
+        assert!(a != b && a != c && b != c);
+    }
+
+    #[test]
+    fn byte_tail_length_matters() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"ab");
+        let mut h2 = FxHasher::default();
+        h2.write(b"ab\0");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -25,9 +25,10 @@
 //! a cache must only ever be used with one library; this is enforced by
 //! fingerprinting the library on first attach.
 
+use crate::fxhash::FxBuildHasher;
 use asyncmap_bff::Expr;
 use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -57,8 +58,8 @@ pub struct HazardCache {
     /// Cluster-expression interner: maps each distinct expression to a
     /// dense id. Lookup by `&Expr` is allocation-free; the expression is
     /// cloned only the first time it is seen.
-    interner: RwLock<HashMap<Expr, u32>>,
-    shards: [RwLock<HashMap<VerdictKey, bool>>; SHARDS],
+    interner: RwLock<HashMap<Expr, u32, FxBuildHasher>>,
+    shards: [RwLock<HashMap<VerdictKey, bool, FxBuildHasher>>; SHARDS],
     hits: AtomicUsize,
     misses: AtomicUsize,
     /// Fingerprint of the library the cache is bound to (name + cell
@@ -197,9 +198,7 @@ fn shard_of(key: &VerdictKey) -> usize {
 }
 
 fn hash_shard<K: Hash>(key: &K) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() as usize) & (SHARDS - 1)
+    (FxBuildHasher::default().hash_one(key) as usize) & (SHARDS - 1)
 }
 
 /// One memoized pin binding: the matcher's `pin_to_local` permutation for
@@ -237,7 +236,7 @@ pub(crate) type WideBinding = (u32, [u8; 8]);
 /// A sharded hash map: the memo levels below key into one of [`SHARDS`]
 /// independently locked maps to keep contention negligible under the
 /// parallel cone-mapping engine.
-type Sharded<K, V> = [RwLock<HashMap<K, V>>; SHARDS];
+type Sharded<K, V> = [RwLock<HashMap<K, V, FxBuildHasher>>; SHARDS];
 
 #[derive(Debug)]
 pub(crate) struct MatchMemo {
@@ -251,9 +250,9 @@ pub(crate) struct MatchMemo {
 impl Default for MatchMemo {
     fn default() -> Self {
         MatchMemo {
-            raw: std::array::from_fn(|_| RwLock::new(HashMap::new())),
-            class: std::array::from_fn(|_| RwLock::new(HashMap::new())),
-            wide: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            raw: std::array::from_fn(|_| RwLock::new(HashMap::default())),
+            class: std::array::from_fn(|_| RwLock::new(HashMap::default())),
+            wide: std::array::from_fn(|_| RwLock::new(HashMap::default())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }

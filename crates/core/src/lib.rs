@@ -47,6 +47,7 @@ mod cluster;
 mod cover;
 mod design;
 mod export;
+mod fxhash;
 mod hcache;
 mod hdc;
 mod matcher;

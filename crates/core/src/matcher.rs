@@ -13,6 +13,7 @@
 //! ([`asyncmap_hazard::hazards_subset`]).
 
 use crate::cluster::{Cluster, CutCluster};
+use crate::fxhash::FxBuildHasher;
 use crate::hcache::{HazardCache, MatchMemo, MemoBinding, WideBinding};
 use crate::profile::{self, MapPhase};
 use crate::truth;
@@ -107,7 +108,7 @@ pub struct Matcher<'lib> {
     /// Cells bucketed by [`SigKey`] (sorted per-input signature multiset);
     /// each bucket keeps library order, so iterating a bucket visits cells
     /// in the same order the old linear scan did.
-    sig_index: HashMap<SigKey, Vec<usize>>,
+    sig_index: HashMap<SigKey, Vec<usize>, FxBuildHasher>,
     policy: HazardPolicy,
     cache: Arc<HazardCache>,
     hazard_checks: AtomicUsize,
@@ -180,7 +181,7 @@ impl<'lib> Matcher<'lib> {
                 }
             })
             .collect();
-        let mut sig_index: HashMap<SigKey, Vec<usize>> = HashMap::new();
+        let mut sig_index: HashMap<SigKey, Vec<usize>, FxBuildHasher> = HashMap::default();
         for (e, entry) in entries.iter().enumerate() {
             sig_index
                 .entry(sig_key(entry.ninputs, entry.onset, &entry.input_sigs))
@@ -411,14 +412,41 @@ impl<'lib> Matcher<'lib> {
     /// lists in library-bucket order, and the hazard filter below is the
     /// same code path (same counters, same verdict-cache keys).
     pub(crate) fn find_matches_cut(&self, cluster: &CutCluster, net: &Network) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.for_each_match_cut(cluster, net, |cell_index, pin_to_leaf| {
+            out.push(Match {
+                cell_index,
+                pin_to_leaf: pin_to_leaf.to_vec(),
+            })
+        });
+        out
+    }
+
+    /// Visitor form of [`Matcher::find_matches_cut`]: calls `f(cell_index,
+    /// pin_to_leaf)` for each acceptable match, in the same order the list
+    /// form returns them. On the packed (≤6-leaf) path the pin binding
+    /// lives in a stack buffer, so visiting allocates nothing — the
+    /// covering DP scores candidates through this and materializes only
+    /// each gate's winner.
+    pub(crate) fn for_each_match_cut(
+        &self,
+        cluster: &CutCluster,
+        net: &Network,
+        mut f: impl FnMut(usize, &[usize]),
+    ) {
         let Some(full) = cluster.truth6 else {
             // Wide cluster (7–8 leaves): match on the 4-word table the
             // enumeration walk produced, no `Expr` needed. Beyond 8 leaves
             // fall back to the generic path on a materialized view.
-            if let Some(words) = cluster.twords {
-                return self.find_matches_wide(cluster, words, net);
+            let wide = if let Some(words) = cluster.twords {
+                self.find_matches_wide(cluster, words, net)
+            } else {
+                self.find_matches(&cluster.to_cluster(net))
+            };
+            for m in wide {
+                f(m.cell_index, &m.pin_to_leaf);
             }
-            return self.find_matches(&cluster.to_cluster(net));
+            return;
         };
         let mut t_match = profile::timer(MapPhase::Match);
         let nleaves = cluster.leaves.len();
@@ -431,7 +459,7 @@ impl<'lib> Matcher<'lib> {
             }
         }
         if n == 0 {
-            return Vec::new(); // constant cluster: nothing to match
+            return; // constant cluster: nothing to match
         }
         let support = &support[..n];
         let t = truth::project6(full, support);
@@ -484,11 +512,14 @@ impl<'lib> Matcher<'lib> {
         // verdict-cache keys (the lazily built Expr is the same canonical
         // walk the legacy enumerator produced eagerly).
         let mut cluster_id: Option<u32> = None;
-        let mut out = Vec::with_capacity(bindings.len());
         for &(e, packed) in bindings.iter() {
             let entry = &self.entries[e as usize];
             let cell_index = entry.index;
-            let pin_to_leaf: Vec<usize> = (0..n).map(|p| support[packed[p] as usize]).collect();
+            let mut pins = [0usize; 6];
+            for (p, pin) in pins.iter_mut().enumerate().take(n) {
+                *pin = support[packed[p] as usize];
+            }
+            let pin_to_leaf = &pins[..n];
             if self.policy == HazardPolicy::SubsetCheck && entry.hazardous {
                 self.hazard_checks.fetch_add(1, Ordering::Relaxed);
                 t_match.pause();
@@ -496,16 +527,16 @@ impl<'lib> Matcher<'lib> {
                     let _t_hazard = profile::timer(MapPhase::HazardCheck);
                     let expr = cluster.expr(net);
                     let id = *cluster_id.get_or_insert_with(|| self.cache.intern(expr));
-                    match self.cache.key(cell_index, &pin_to_leaf, id, nleaves) {
+                    match self.cache.key(cell_index, pin_to_leaf, id, nleaves) {
                         Some(key) => self.cache.verdict(key, || {
                             let candidate =
-                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                                instantiate(self.library.cells()[cell_index].bff(), pin_to_leaf);
                             hazards_subset(&candidate, expr, nleaves)
                         }),
                         // Unpackable binding (>15 pins): check without caching.
                         None => {
                             let candidate =
-                                instantiate(self.library.cells()[cell_index].bff(), &pin_to_leaf);
+                                instantiate(self.library.cells()[cell_index].bff(), pin_to_leaf);
                             hazards_subset(&candidate, expr, nleaves)
                         }
                     }
@@ -516,12 +547,8 @@ impl<'lib> Matcher<'lib> {
                     continue;
                 }
             }
-            out.push(Match {
-                cell_index,
-                pin_to_leaf,
-            });
+            f(cell_index, pin_to_leaf);
         }
-        out
     }
 
     /// Full signature-bucket permutation scan on a packed table. Returns
@@ -1040,23 +1067,20 @@ fn backtrack6(
     false
 }
 
+/// Complete-assignment check: `cell(x_{σ(0)}, …) = cluster(x_0, …)`.
+///
+/// Reindexing the cell table by the assignment (`apply_perm6`, a
+/// delta-swap network) gives exactly the table whose minterm `m` is
+/// `cell[cell_m]` of the old per-minterm loop, so one word compare
+/// replaces the `2^n`-iteration bit gather.
 fn verify_permutation6(
     cell_truth: u64,
     cluster_truth: u64,
     assignment: &[usize],
     n: usize,
 ) -> bool {
-    let size = 1usize << n;
-    for m in 0..size {
-        let mut cell_m = 0usize;
-        for (p, &local) in assignment.iter().enumerate() {
-            cell_m |= ((m >> local) & 1) << p;
-        }
-        if (cell_truth >> cell_m) & 1 != (cluster_truth >> m) & 1 {
-            return false;
-        }
-    }
-    true
+    let mask = truth::full_mask(n);
+    truth::apply_perm6(cell_truth & mask, assignment, n) == cluster_truth & mask
 }
 
 fn verify_permutation(
@@ -1065,6 +1089,19 @@ fn verify_permutation(
     assignment: &[Option<usize>],
     n: usize,
 ) -> bool {
+    if (7..=8).contains(&n) {
+        // Wide-cluster fast path: both tables are ≤ 4 words; permute the
+        // cell table with the 4-lane delta-swap network and compare
+        // whole words.
+        let mut perm = [0usize; 8];
+        for (p, local) in assignment.iter().enumerate() {
+            perm[p] = local.expect("complete assignment");
+        }
+        let mut cw = [0u64; 4];
+        cw[..cell_truth.words().len()].copy_from_slice(cell_truth.words());
+        let permuted = truth::apply_perm_wide(cw, &perm, n);
+        return permuted[..cluster_truth.words().len()] == *cluster_truth.words();
+    }
     let size = 1usize << n;
     for m in 0..size {
         // Build the cell-input index corresponding to cluster minterm m:

@@ -98,6 +98,35 @@ impl PhaseTimes {
     }
 }
 
+/// Allocation accounting of the cut enumerator's reusable scratch (see
+/// `cluster::EnumScratch`): how many cones were enumerated, how many of
+/// them ran entirely out of pre-sized buffers, and how many buffer-growth
+/// (heap allocation) events occurred in total. In steady state
+/// `warm_cones` tracks `cones` and `alloc_events` stays flat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumAllocStats {
+    /// Cones enumerated.
+    pub cones: u64,
+    /// Cones whose enumeration grew no scratch buffer (zero allocations
+    /// beyond the returned cut lists).
+    pub warm_cones: u64,
+    /// Scratch-buffer capacity-growth events (each at least one heap
+    /// allocation).
+    pub alloc_events: u64,
+}
+
+impl EnumAllocStats {
+    /// Component-wise difference `self - earlier` (saturating), for
+    /// per-run accounting.
+    pub fn delta(&self, earlier: &EnumAllocStats) -> EnumAllocStats {
+        EnumAllocStats {
+            cones: self.cones.saturating_sub(earlier.cones),
+            warm_cones: self.warm_cones.saturating_sub(earlier.warm_cones),
+            alloc_events: self.alloc_events.saturating_sub(earlier.alloc_events),
+        }
+    }
+}
+
 impl fmt::Display for PhaseTimes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, (name, secs, count)) in self.entries().enumerate() {
@@ -169,6 +198,27 @@ mod imp {
         }
         out
     }
+
+    static ENUM_CONES: AtomicU64 = AtomicU64::new(0);
+    static ENUM_WARM: AtomicU64 = AtomicU64::new(0);
+    static ENUM_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub fn record_enum_cone(alloc_events: u64) {
+        ENUM_CONES.fetch_add(1, Ordering::Relaxed);
+        if alloc_events == 0 {
+            ENUM_WARM.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ENUM_ALLOCS.fetch_add(alloc_events, Ordering::Relaxed);
+        }
+    }
+
+    pub fn enum_alloc_snapshot() -> super::EnumAllocStats {
+        super::EnumAllocStats {
+            cones: ENUM_CONES.load(Ordering::Relaxed),
+            warm_cones: ENUM_WARM.load(Ordering::Relaxed),
+            alloc_events: ENUM_ALLOCS.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(not(feature = "profile"))]
@@ -193,6 +243,12 @@ mod imp {
     pub fn snapshot() -> PhaseTimes {
         PhaseTimes::default()
     }
+
+    pub fn record_enum_cone(_alloc_events: u64) {}
+
+    pub fn enum_alloc_snapshot() -> super::EnumAllocStats {
+        super::EnumAllocStats::default()
+    }
 }
 
 pub use imp::PhaseTimer;
@@ -207,6 +263,18 @@ pub fn timer(phase: MapPhase) -> PhaseTimer {
 /// Current global per-phase totals (all runs since process start).
 pub fn snapshot() -> PhaseTimes {
     imp::snapshot()
+}
+
+/// Records one enumerated cone and the number of scratch-buffer growth
+/// events it incurred. No-op with the `profile` feature disabled.
+pub fn record_enum_cone(alloc_events: u64) {
+    imp::record_enum_cone(alloc_events)
+}
+
+/// Current global enumeration-allocation totals (all runs since process
+/// start); difference two snapshots for per-run numbers.
+pub fn enum_alloc_snapshot() -> EnumAllocStats {
+    imp::enum_alloc_snapshot()
 }
 
 /// `true` when the `ASYNCMAP_PROFILE` environment switch asks for
@@ -230,8 +298,15 @@ pub fn maybe_dump(times: &PhaseTimes) {
 
 /// Dumps the run's enumeration/matching counters to stderr when
 /// `ASYNCMAP_PROFILE=1` is set: cut-list truncation events (silent pruning
-/// that can cost cover quality) and the NPN match-memo hit/miss split.
-pub fn maybe_dump_counters(cut_truncations: usize, npn_hits: usize, npn_misses: usize) {
+/// that can cost cover quality), the NPN match-memo hit/miss split, and
+/// the enumeration-scratch allocation accounting (warm cones allocate
+/// nothing beyond their output).
+pub fn maybe_dump_counters(
+    cut_truncations: usize,
+    npn_hits: usize,
+    npn_misses: usize,
+    alloc: &EnumAllocStats,
+) {
     if !dump_enabled() {
         return;
     }
@@ -244,6 +319,15 @@ pub fn maybe_dump_counters(cut_truncations: usize, npn_hits: usize, npn_misses: 
     }
     if cut_truncations > 0 {
         eprintln!("asyncmap cut enumeration: {cut_truncations} gates hit max_cuts_per_gate");
+    }
+    if alloc.cones > 0 {
+        eprintln!(
+            "asyncmap enum scratch: {}/{} warm cones ({:.1}%), {} alloc events",
+            alloc.warm_cones,
+            alloc.cones,
+            alloc.warm_cones as f64 / alloc.cones as f64 * 100.0,
+            alloc.alloc_events
+        );
     }
 }
 

@@ -306,6 +306,7 @@ fn run_with_cache(
     let matcher_before = matcher.counters();
     let hits_before = cache.hits();
     let misses_before = cache.misses();
+    let alloc_before = profile::enum_alloc_snapshot();
     let threads = effective_threads(options.threads, cones.len());
     let cover_one = |cone| {
         if greedy {
@@ -327,7 +328,13 @@ fn run_with_cache(
     profile::maybe_dump(&phases);
     let cut_truncations = covers.iter().map(|c| c.cut_truncations).sum();
     let counters = matcher.counters().delta(&matcher_before);
-    profile::maybe_dump_counters(cut_truncations, counters.npn_hits, counters.npn_misses);
+    let alloc = profile::enum_alloc_snapshot().delta(&alloc_before);
+    profile::maybe_dump_counters(
+        cut_truncations,
+        counters.npn_hits,
+        counters.npn_misses,
+        &alloc,
+    );
     let stats = MapStats {
         hazard_checks: counters.hazard_checks,
         hazard_rejects: counters.hazard_rejects,
@@ -336,6 +343,8 @@ fn run_with_cache(
         npn_hits: counters.npn_hits,
         npn_misses: counters.npn_misses,
         cut_truncations,
+        enum_warm_cones: alloc.warm_cones as usize,
+        enum_alloc_events: alloc.alloc_events as usize,
         phases,
         ..MapStats::default()
     };

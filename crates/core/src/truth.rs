@@ -13,6 +13,8 @@
 
 use asyncmap_bff::Expr;
 use asyncmap_cube::Bits;
+#[cfg(not(feature = "scalar-kernels"))]
+use asyncmap_cube::U64x4;
 
 /// `MASKS[v]` packs the value of variable `v` across the 64 assignments of
 /// a block: bit `m` is set iff bit `v` of `m` is set.
@@ -118,7 +120,50 @@ pub fn input_signature6(truth: u64, n: usize, v: usize) -> u32 {
 /// Reindexes a packed table under an input permutation: variable `i` of
 /// the input function becomes variable `perm[i]` of the result, i.e.
 /// `result(x_{perm(0)}, …, x_{perm(n-1)}) = truth(x_0, …, x_{n-1})`.
+///
+/// The permutation is decomposed into at most `n-1` variable
+/// transpositions, each applied to the whole table at once as a
+/// delta swap (§4.1.1's word-parallel trick applied to table
+/// reindexing) — O(n) word ops instead of a bit-gather per set minterm.
+/// Building with the `scalar-kernels` feature selects the minterm-loop
+/// reference [`apply_perm6_generic`] instead; both are bit-identical.
 pub fn apply_perm6(truth: u64, perm: &[usize], n: usize) -> u64 {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        apply_perm6_generic(truth, perm, n)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        debug_assert!(n <= 6 && perm.len() >= n);
+        let mut t = truth & full_mask(n);
+        let mut occupant = [0usize, 1, 2, 3, 4, 5]; // position -> variable
+        let mut pos_of = [0usize, 1, 2, 3, 4, 5]; // variable -> position
+        for v in 0..n {
+            let target = perm[v];
+            let cur = pos_of[v];
+            if cur == target {
+                continue;
+            }
+            let other = occupant[target];
+            let (a, b) = if cur < target {
+                (cur, target)
+            } else {
+                (target, cur)
+            };
+            t = swap_vars6(t, a, b);
+            occupant[cur] = other;
+            pos_of[other] = cur;
+            occupant[target] = v;
+            pos_of[v] = target;
+        }
+        t
+    }
+}
+
+/// Minterm-loop reference for [`apply_perm6`]: a bit gather per set
+/// minterm. Kept as the scalar fallback and the equivalence-test oracle.
+#[doc(hidden)]
+pub fn apply_perm6_generic(truth: u64, perm: &[usize], n: usize) -> u64 {
     debug_assert!(n <= 6 && perm.len() >= n);
     let mut out = 0u64;
     let mut rest = truth & full_mask(n);
@@ -132,6 +177,120 @@ pub fn apply_perm6(truth: u64, perm: &[usize], n: usize) -> u64 {
         out |= 1u64 << m2;
     }
     out
+}
+
+/// Exchanges the roles of variables `a < b < 6` across a packed table:
+/// entries at minterms with `x_a = 1, x_b = 0` swap with their partners
+/// at `x_a = 0, x_b = 1`, all 64 at once via a delta swap.
+#[cfg(not(feature = "scalar-kernels"))]
+#[inline]
+fn swap_vars6(t: u64, a: usize, b: usize) -> u64 {
+    debug_assert!(a < b && b < 6);
+    let shift = (1u32 << b) - (1u32 << a);
+    let mask = MASKS[a] & !MASKS[b];
+    let x = ((t >> shift) ^ t) & mask;
+    t ^ x ^ (x << shift)
+}
+
+/// [`apply_perm6`] for wide (7–8 variable) tables stored as the cut
+/// enumerator's 4-word blocks: low-variable transpositions run as 4-lane
+/// [`U64x4`] delta swaps in lockstep over all blocks, a low↔high
+/// transposition is a masked cross-word exchange, and a high↔high
+/// transposition swaps whole blocks. Only the first `2^(n-6)` words are
+/// meaningful; the rest must be zero and stay zero.
+///
+/// Under `scalar-kernels` this is the minterm-loop reference
+/// [`apply_perm_wide_generic`].
+pub fn apply_perm_wide(words: [u64; 4], perm: &[usize], n: usize) -> [u64; 4] {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        apply_perm_wide_generic(words, perm, n)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        debug_assert!((7..=8).contains(&n) && perm.len() >= n);
+        let mut t = words;
+        let mut occupant = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        let mut pos_of = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        for v in 0..n {
+            let target = perm[v];
+            let cur = pos_of[v];
+            if cur == target {
+                continue;
+            }
+            let other = occupant[target];
+            let (a, b) = if cur < target {
+                (cur, target)
+            } else {
+                (target, cur)
+            };
+            t = swap_vars_wide(t, a, b, n);
+            occupant[cur] = other;
+            pos_of[other] = cur;
+            occupant[target] = v;
+            pos_of[v] = target;
+        }
+        t
+    }
+}
+
+/// Minterm-loop reference for [`apply_perm_wide`].
+#[doc(hidden)]
+pub fn apply_perm_wide_generic(words: [u64; 4], perm: &[usize], n: usize) -> [u64; 4] {
+    debug_assert!((7..=8).contains(&n) && perm.len() >= n);
+    let mut out = [0u64; 4];
+    for m in 0..(1usize << n) {
+        if (words[m >> 6] >> (m & 63)) & 1 == 0 {
+            continue;
+        }
+        let mut m2 = 0usize;
+        for (i, &p) in perm[..n].iter().enumerate() {
+            m2 |= ((m >> i) & 1) << p;
+        }
+        out[m2 >> 6] |= 1u64 << (m2 & 63);
+    }
+    out
+}
+
+/// Variable transposition `a < b` on a wide 4-word table.
+#[cfg(not(feature = "scalar-kernels"))]
+#[inline]
+fn swap_vars_wide(t: [u64; 4], a: usize, b: usize, n: usize) -> [u64; 4] {
+    debug_assert!(a < b && b < n && (7..=8).contains(&n));
+    if b < 6 {
+        // Both variables live inside every 64-minterm block: one 4-lane
+        // delta swap handles all blocks in lockstep (unused blocks are
+        // zero and map to zero).
+        let shift = (1u32 << b) - (1u32 << a);
+        let mask = U64x4::splat(MASKS[a] & !MASKS[b]);
+        let v = U64x4(t);
+        let x = ((v >> shift) ^ v) & mask;
+        (v ^ x ^ (x << shift)).to_array()
+    } else if a < 6 {
+        // Low/high exchange: within each block pair differing at block
+        // bit b-6, entries with x_a = 1 of the low block swap with
+        // entries with x_a = 0 of the high block.
+        let j = b - 6;
+        let shift = 1u32 << a;
+        let mask = MASKS[a];
+        let mut out = t;
+        let blocks = 1usize << (n - 6);
+        let mut lo_block = 0usize;
+        while lo_block < blocks {
+            if (lo_block >> j) & 1 == 0 {
+                let hi_block = lo_block | (1 << j);
+                let (lo, hi) = (t[lo_block], t[hi_block]);
+                out[lo_block] = (lo & !mask) | ((hi << shift) & mask);
+                out[hi_block] = (hi & mask) | ((lo >> shift) & !mask);
+            }
+            lo_block += 1;
+        }
+        out
+    } else {
+        // Both high (only possible at n = 8): swapping block bits 0 and 1
+        // exchanges blocks 01 and 10.
+        [t[0], t[2], t[1], t[3]]
+    }
 }
 
 /// The canonical representative of a packed table's P-class (input
@@ -279,6 +438,52 @@ mod tests {
         assert_eq!(swapped, MASKS[2] & !MASKS[1] & full_mask(3));
         // Identity permutation is a no-op.
         assert_eq!(apply_perm6(t, &[0, 1, 2], 3), t);
+    }
+
+    #[test]
+    fn delta_swap_perm_matches_generic() {
+        // SplitMix64 tables × all 2-cycles and a few full permutations,
+        // at every width.
+        let mut s = 0x5EED_u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for n in 1..=6usize {
+            for _ in 0..50 {
+                let t = next() & full_mask(n);
+                let mut perm: Vec<usize> = (0..n).collect();
+                // Fisher-Yates driven by the same stream.
+                for i in (1..n).rev() {
+                    perm.swap(i, (next() % (i as u64 + 1)) as usize);
+                }
+                assert_eq!(
+                    apply_perm6(t, &perm, n),
+                    apply_perm6_generic(t, &perm, n),
+                    "n={n} perm={perm:?} t={t:#x}"
+                );
+            }
+        }
+        for n in 7..=8usize {
+            for _ in 0..50 {
+                let mut words = [0u64; 4];
+                for w in words.iter_mut().take(1 << (n - 6)) {
+                    *w = next();
+                }
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    perm.swap(i, (next() % (i as u64 + 1)) as usize);
+                }
+                assert_eq!(
+                    apply_perm_wide(words, &perm, n),
+                    apply_perm_wide_generic(words, &perm, n),
+                    "n={n} perm={perm:?}"
+                );
+            }
+        }
     }
 
     #[test]

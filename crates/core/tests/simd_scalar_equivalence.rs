@@ -1,0 +1,85 @@
+//! SIMD-vs-scalar equivalence for the core-side lane-widened kernels: the
+//! delta-swap truth-table permuters against their minterm-loop references,
+//! and the word-parallel bloom popcount screen the cut enumerator uses
+//! against the one-candidate-at-a-time scalar filter.
+
+use asyncmap_core::truth;
+use asyncmap_cube::simd::{U64x4, LANES};
+use proptest::prelude::*;
+
+/// Permutation of `0..n` driven by a proptest byte stream (Fisher–Yates).
+fn perm_from_stream(n: usize, stream: &[u8]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = stream[i % stream.len().max(1)] as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #[test]
+    fn apply_perm6_matches_generic(
+        t in any::<u64>(),
+        n in 0usize..7,
+        stream in prop::collection::vec(any::<u8>(), 8..9),
+    ) {
+        let t = t & truth::full_mask(n);
+        let perm = perm_from_stream(n, &stream);
+        prop_assert_eq!(
+            truth::apply_perm6(t, &perm, n),
+            truth::apply_perm6_generic(t, &perm, n)
+        );
+    }
+
+    #[test]
+    fn apply_perm_wide_matches_generic(
+        words4 in prop::collection::vec(any::<u64>(), 4..5),
+        n in 7usize..9,
+        stream in prop::collection::vec(any::<u8>(), 8..9),
+    ) {
+        // Mask to the live minterms: a 7-variable table only uses the
+        // lower two words.
+        let live = 1usize << n;
+        let mut t = [0u64; 4];
+        for (w, out) in words4.iter().zip(&mut t) {
+            *out = *w;
+        }
+        for w in t.iter_mut().skip(live / 64) {
+            *w = 0;
+        }
+        let perm = perm_from_stream(n, &stream);
+        prop_assert_eq!(
+            truth::apply_perm_wide(t, &perm, n),
+            truth::apply_perm_wide_generic(t, &perm, n)
+        );
+    }
+
+    #[test]
+    fn bloom_screen_matches_scalar(
+        sa in any::<u64>(),
+        cands in prop::collection::vec(any::<u64>(), 0..11),
+        max_leaves in 1usize..9,
+    ) {
+        // Mirror of the enumerator's cross-product screen: candidate
+        // bloom words are unioned with the accumulated set's word four
+        // lanes at a time, padding lanes filled with all ones so they
+        // can never pass the popcount bound.
+        let mut simd_keep = Vec::new();
+        let sa4 = U64x4::splat(sa);
+        for chunk in cands.chunks(LANES) {
+            let sg = U64x4(std::array::from_fn(|i| {
+                chunk.get(i).copied().unwrap_or(!0u64)
+            }));
+            let counts = (sa4 | sg).count_ones_per_lane();
+            for (&count, _) in counts.iter().zip(chunk) {
+                simd_keep.push(count as usize <= max_leaves);
+            }
+        }
+        let scalar_keep: Vec<bool> = cands
+            .iter()
+            .map(|&c| ((sa | c).count_ones() as usize) <= max_leaves)
+            .collect();
+        prop_assert_eq!(simd_keep, scalar_keep);
+    }
+}

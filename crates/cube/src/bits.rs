@@ -244,20 +244,14 @@ impl Bits {
     #[inline]
     pub fn is_subset(&self, other: &Bits) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .all(|(a, b)| a & !b == 0)
+        crate::simd::subset_words(self.words(), other.words())
     }
 
     /// `true` if `self` and `other` share no set bit.
     #[inline]
     pub fn is_disjoint(&self, other: &Bits) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .all(|(a, b)| a & b == 0)
+        crate::simd::disjoint_words(self.words(), other.words())
     }
 
     #[inline]

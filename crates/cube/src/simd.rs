@@ -1,0 +1,464 @@
+//! Portable 4-lane word-parallel SIMD layer.
+//!
+//! [`U64x4`] is a `u64x4`-style vector of four 64-bit words. The stable
+//! toolchain has no `std::simd`, so the type is a plain aligned array
+//! whose lockstep operations are written in the shape LLVM's
+//! auto-vectorizer reliably turns into 256-bit (or 2×128-bit) vector
+//! instructions; on targets without vector units it degrades to four
+//! scalar ops with no abstraction penalty.
+//!
+//! On top of the wrapper sit the *fused cube kernels*: the word walks
+//! behind [`crate::Cube::contains`], [`crate::Cube::distance`],
+//! [`crate::Cube::conflicts_with`], [`crate::Cube::eval`],
+//! [`crate::Bits::is_subset`] and [`crate::Bits::is_disjoint`], each
+//! processing four words per step with a scalar tail. Every kernel has a
+//! plain one-word-at-a-time reference (`*_scalar`), and building with the
+//! `scalar-kernels` cargo feature selects those references as the only
+//! implementation — the build-time fallback for targets where the wide
+//! path does not pay. Both paths are bit-identical by construction and
+//! the equivalence is locked by proptests and the kernels microbench
+//! divergence gate.
+
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// Number of word lanes processed per SIMD step.
+pub const LANES: usize = 4;
+
+/// A 4-lane vector of `u64` words, 32-byte aligned so loads straddle no
+/// cache line when the backing slice is itself aligned.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+#[repr(align(32))]
+pub struct U64x4(pub [u64; LANES]);
+
+impl U64x4 {
+    /// All-zero vector.
+    pub const ZERO: U64x4 = U64x4([0; LANES]);
+
+    /// All-ones vector.
+    pub const ONES: U64x4 = U64x4([!0; LANES]);
+
+    /// Broadcasts `w` into every lane.
+    #[inline(always)]
+    pub fn splat(w: u64) -> U64x4 {
+        U64x4([w; LANES])
+    }
+
+    /// Loads the first four words of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` holds fewer than four words.
+    #[inline(always)]
+    pub fn load(s: &[u64]) -> U64x4 {
+        U64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Loads up to four words of `s`, zero-filling missing lanes.
+    #[inline(always)]
+    pub fn load_or_zero(s: &[u64]) -> U64x4 {
+        let mut w = [0u64; LANES];
+        for (lane, &word) in w.iter_mut().zip(s) {
+            *lane = word;
+        }
+        U64x4(w)
+    }
+
+    /// The lane words.
+    #[inline(always)]
+    pub fn to_array(self) -> [u64; LANES] {
+        self.0
+    }
+
+    /// `true` iff every lane is zero.
+    #[inline(always)]
+    pub fn is_zero(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) == 0
+    }
+
+    /// OR of all lanes.
+    #[inline(always)]
+    pub fn reduce_or(self) -> u64 {
+        (self.0[0] | self.0[1]) | (self.0[2] | self.0[3])
+    }
+
+    /// AND of all lanes.
+    #[inline(always)]
+    pub fn reduce_and(self) -> u64 {
+        (self.0[0] & self.0[1]) & (self.0[2] & self.0[3])
+    }
+
+    /// Total population count over all lanes.
+    #[inline(always)]
+    pub fn count_ones(self) -> u32 {
+        self.0[0].count_ones()
+            + self.0[1].count_ones()
+            + self.0[2].count_ones()
+            + self.0[3].count_ones()
+    }
+
+    /// Per-lane population count.
+    #[inline(always)]
+    pub fn count_ones_per_lane(self) -> [u32; LANES] {
+        [
+            self.0[0].count_ones(),
+            self.0[1].count_ones(),
+            self.0[2].count_ones(),
+            self.0[3].count_ones(),
+        ]
+    }
+
+    /// `self & !other`, the one fused op the `std::ops` traits miss
+    /// (maps to a single `vandnps`-class instruction).
+    #[inline(always)]
+    pub fn and_not(self, other: U64x4) -> U64x4 {
+        U64x4([
+            self.0[0] & !other.0[0],
+            self.0[1] & !other.0[1],
+            self.0[2] & !other.0[2],
+            self.0[3] & !other.0[3],
+        ])
+    }
+}
+
+/// Shifts every lane left by `k` bits.
+impl std::ops::Shl<u32> for U64x4 {
+    type Output = U64x4;
+
+    #[inline(always)]
+    fn shl(self, k: u32) -> U64x4 {
+        U64x4([
+            self.0[0] << k,
+            self.0[1] << k,
+            self.0[2] << k,
+            self.0[3] << k,
+        ])
+    }
+}
+
+/// Shifts every lane right by `k` bits.
+impl std::ops::Shr<u32> for U64x4 {
+    type Output = U64x4;
+
+    #[inline(always)]
+    fn shr(self, k: u32) -> U64x4 {
+        U64x4([
+            self.0[0] >> k,
+            self.0[1] >> k,
+            self.0[2] >> k,
+            self.0[3] >> k,
+        ])
+    }
+}
+
+macro_rules! lanewise {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for U64x4 {
+            type Output = U64x4;
+            #[inline(always)]
+            fn $method(self, rhs: U64x4) -> U64x4 {
+                U64x4([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+        impl $assign_trait for U64x4 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: U64x4) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+lanewise!(BitAnd, bitand, BitAndAssign, bitand_assign, &);
+lanewise!(BitOr, bitor, BitOrAssign, bitor_assign, |);
+lanewise!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^);
+
+impl Not for U64x4 {
+    type Output = U64x4;
+    #[inline(always)]
+    fn not(self) -> U64x4 {
+        U64x4([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused cube kernels over raw word slices.
+//
+// Each kernel exists twice: the lane-widened walk (default) and the scalar
+// reference. `scalar-kernels` flips which one backs the public name; the
+// scalar body is additionally always exported as `*_scalar` so tests can
+// compare the two regardless of the active build.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`contains_words`].
+#[inline]
+pub fn contains_words_scalar(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> bool {
+    (0..u1.len()).all(|i| u1[i] & !u2[i] == 0 && (p1[i] ^ p2[i]) & u1[i] == 0)
+}
+
+/// Fused containment walk: `USED₁ ⊆ USED₂` and phases agree wherever
+/// `USED₁`, four words per step.
+#[inline]
+pub fn contains_words(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> bool {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        contains_words_scalar(u1, p1, u2, p2)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = u1.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let (a, x) = (U64x4::load(&u1[i..]), U64x4::load(&p1[i..]));
+            let (b, y) = (U64x4::load(&u2[i..]), U64x4::load(&p2[i..]));
+            if !(a.and_not(b) | ((x ^ y) & a)).is_zero() {
+                return false;
+            }
+            i += LANES;
+        }
+        contains_words_scalar(&u1[i..], &p1[i..], &u2[i..], &p2[i..])
+    }
+}
+
+/// Scalar reference for [`distance_words`].
+#[inline]
+pub fn distance_words_scalar(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> u32 {
+    (0..u1.len())
+        .map(|i| ((u1[i] & u2[i]) & (p1[i] ^ p2[i])).count_ones())
+        .sum()
+}
+
+/// Fused conflict count: `popcount((USED₁ & USED₂) & (PHASE₁ ⊕ PHASE₂))`,
+/// four words per step.
+#[inline]
+pub fn distance_words(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> u32 {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        distance_words_scalar(u1, p1, u2, p2)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = u1.len();
+        let mut i = 0;
+        let mut total = 0u32;
+        while i + LANES <= n {
+            let (a, x) = (U64x4::load(&u1[i..]), U64x4::load(&p1[i..]));
+            let (b, y) = (U64x4::load(&u2[i..]), U64x4::load(&p2[i..]));
+            total += ((a & b) & (x ^ y)).count_ones();
+            i += LANES;
+        }
+        total + distance_words_scalar(&u1[i..], &p1[i..], &u2[i..], &p2[i..])
+    }
+}
+
+/// Scalar reference for [`conflicts_any_words`].
+#[inline]
+pub fn conflicts_any_words_scalar(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> bool {
+    (0..u1.len()).any(|i| (u1[i] & u2[i]) & (p1[i] ^ p2[i]) != 0)
+}
+
+/// Fused conflict test (distance > 0 without the count), four words per
+/// step.
+#[inline]
+pub fn conflicts_any_words(u1: &[u64], p1: &[u64], u2: &[u64], p2: &[u64]) -> bool {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        conflicts_any_words_scalar(u1, p1, u2, p2)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = u1.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let (a, x) = (U64x4::load(&u1[i..]), U64x4::load(&p1[i..]));
+            let (b, y) = (U64x4::load(&u2[i..]), U64x4::load(&p2[i..]));
+            if !((a & b) & (x ^ y)).is_zero() {
+                return true;
+            }
+            i += LANES;
+        }
+        conflicts_any_words_scalar(&u1[i..], &p1[i..], &u2[i..], &p2[i..])
+    }
+}
+
+/// Scalar reference for [`eval_words`].
+#[inline]
+pub fn eval_words_scalar(u: &[u64], p: &[u64], a: &[u64]) -> bool {
+    (0..u.len()).all(|i| (p[i] ^ a[i]) & u[i] == 0)
+}
+
+/// Fused cube evaluation: the assignment agrees with every literal's
+/// phase, four words per step.
+#[inline]
+pub fn eval_words(u: &[u64], p: &[u64], a: &[u64]) -> bool {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        eval_words_scalar(u, p, a)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = u.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let (uu, pp) = (U64x4::load(&u[i..]), U64x4::load(&p[i..]));
+            let aa = U64x4::load(&a[i..]);
+            if !((pp ^ aa) & uu).is_zero() {
+                return false;
+            }
+            i += LANES;
+        }
+        eval_words_scalar(&u[i..], &p[i..], &a[i..])
+    }
+}
+
+/// Scalar reference for [`subset_words`].
+#[inline]
+pub fn subset_words_scalar(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+/// Word-set inclusion `a ⊆ b`, four words per step.
+#[inline]
+pub fn subset_words(a: &[u64], b: &[u64]) -> bool {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        subset_words_scalar(a, b)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = a.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            if !U64x4::load(&a[i..]).and_not(U64x4::load(&b[i..])).is_zero() {
+                return false;
+            }
+            i += LANES;
+        }
+        subset_words_scalar(&a[i..], &b[i..])
+    }
+}
+
+/// Scalar reference for [`disjoint_words`].
+#[inline]
+pub fn disjoint_words_scalar(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// Word-set disjointness, four words per step.
+#[inline]
+pub fn disjoint_words(a: &[u64], b: &[u64]) -> bool {
+    #[cfg(feature = "scalar-kernels")]
+    {
+        disjoint_words_scalar(a, b)
+    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let n = a.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            if !(U64x4::load(&a[i..]) & U64x4::load(&b[i..])).is_zero() {
+                return false;
+            }
+            i += LANES;
+        }
+        disjoint_words_scalar(&a[i..], &b[i..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        // SplitMix64 so the test needs no RNG dependency.
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar() {
+        let a = U64x4::load(&words(1, 4));
+        let b = U64x4::load(&words(2, 4));
+        for i in 0..LANES {
+            assert_eq!((a & b).0[i], a.0[i] & b.0[i]);
+            assert_eq!((a | b).0[i], a.0[i] | b.0[i]);
+            assert_eq!((a ^ b).0[i], a.0[i] ^ b.0[i]);
+            assert_eq!((!a).0[i], !a.0[i]);
+            assert_eq!(a.and_not(b).0[i], a.0[i] & !b.0[i]);
+            assert_eq!((a << 7).0[i], a.0[i] << 7);
+            assert_eq!((a >> 9).0[i], a.0[i] >> 9);
+        }
+        assert_eq!(a.count_ones(), a.0.iter().map(|w| w.count_ones()).sum());
+        assert_eq!(a.reduce_or(), a.0.iter().fold(0, |x, w| x | w));
+        assert_eq!(a.reduce_and(), a.0.iter().fold(!0, |x, w| x & w));
+        assert!(U64x4::ZERO.is_zero() && !U64x4::ONES.is_zero());
+    }
+
+    #[test]
+    fn load_or_zero_pads() {
+        let w = words(3, 2);
+        let v = U64x4::load_or_zero(&w);
+        assert_eq!(v.0, [w[0], w[1], 0, 0]);
+    }
+
+    #[test]
+    fn fused_kernels_match_scalar_references() {
+        // Straddle the 4-word chunk boundary: lengths 0..=9 cover pure
+        // tail, exactly one chunk, and chunk+tail shapes.
+        for n in 0..10usize {
+            let u1 = words(11, n);
+            let p1: Vec<u64> = words(12, n).iter().zip(&u1).map(|(w, u)| w & u).collect();
+            let mut u2 = words(13, n);
+            // Make some instances genuine subsets so both outcomes occur.
+            if n % 2 == 0 {
+                for (x, y) in u2.iter_mut().zip(&u1) {
+                    *x |= y;
+                }
+            }
+            let p2: Vec<u64> = words(14, n).iter().zip(&u2).map(|(w, u)| w & u).collect();
+            let a = words(15, n);
+            assert_eq!(
+                contains_words(&u1, &p1, &u2, &p2),
+                contains_words_scalar(&u1, &p1, &u2, &p2),
+                "contains n={n}"
+            );
+            assert_eq!(
+                distance_words(&u1, &p1, &u2, &p2),
+                distance_words_scalar(&u1, &p1, &u2, &p2),
+                "distance n={n}"
+            );
+            assert_eq!(
+                conflicts_any_words(&u1, &p1, &u2, &p2),
+                conflicts_any_words_scalar(&u1, &p1, &u2, &p2),
+                "conflicts n={n}"
+            );
+            assert_eq!(
+                eval_words(&u1, &p1, &a),
+                eval_words_scalar(&u1, &p1, &a),
+                "eval n={n}"
+            );
+            assert_eq!(
+                subset_words(&u1, &u2),
+                subset_words_scalar(&u1, &u2),
+                "subset n={n}"
+            );
+            assert_eq!(
+                disjoint_words(&u1, &u2),
+                disjoint_words_scalar(&u1, &u2),
+                "disjoint n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! SIMD-vs-scalar equivalence properties for every lane-widened kernel.
+//!
+//! The `*_words` entry points dispatch to the 4-lane [`U64x4`] bodies on
+//! the default build and to the `*_words_scalar` twins under
+//! `--features scalar-kernels`; either way the scalar twin is the
+//! specification. These properties pin the two implementations together
+//! over arbitrary word blocks — including lengths that are not lane
+//! multiples, where the tail handling lives.
+
+use asyncmap_cube::simd::{self, U64x4};
+use proptest::prelude::*;
+
+/// Word blocks up to 3× the lane width so every tail length (0..LANES)
+/// and at least one full chunk boundary get exercised.
+fn words() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..13)
+}
+
+/// A cube-like (used, phase) word pair: `phase ⊆ used` as the cube
+/// representation guarantees.
+fn cube_words() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..13).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(u, p)| (u, p & u))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .unzip()
+    })
+}
+
+proptest! {
+    #[test]
+    fn contains_words_matches_scalar((mut u1, mut p1) in cube_words(), (mut u2, mut p2) in cube_words()) {
+        let n = u1.len().min(u2.len());
+        for v in [&mut u1, &mut p1, &mut u2, &mut p2] {
+            v.truncate(n);
+        }
+        prop_assert_eq!(
+            simd::contains_words(&u1, &p1, &u2, &p2),
+            simd::contains_words_scalar(&u1, &p1, &u2, &p2)
+        );
+    }
+
+    #[test]
+    fn contains_words_matches_scalar_same_block((u, p) in cube_words()) {
+        // A cube always contains itself; both paths must agree on the
+        // degenerate exact-equality case too.
+        prop_assert_eq!(
+            simd::contains_words(&u, &p, &u, &p),
+            simd::contains_words_scalar(&u, &p, &u, &p)
+        );
+    }
+
+    #[test]
+    fn distance_words_matches_scalar((mut u1, mut p1) in cube_words(), (mut u2, mut p2) in cube_words()) {
+        let n = u1.len().min(u2.len());
+        for v in [&mut u1, &mut p1, &mut u2, &mut p2] {
+            v.truncate(n);
+        }
+        prop_assert_eq!(
+            simd::distance_words(&u1, &p1, &u2, &p2),
+            simd::distance_words_scalar(&u1, &p1, &u2, &p2)
+        );
+    }
+
+    #[test]
+    fn conflicts_any_words_matches_scalar((mut u1, mut p1) in cube_words(), (mut u2, mut p2) in cube_words()) {
+        let n = u1.len().min(u2.len());
+        for v in [&mut u1, &mut p1, &mut u2, &mut p2] {
+            v.truncate(n);
+        }
+        prop_assert_eq!(
+            simd::conflicts_any_words(&u1, &p1, &u2, &p2),
+            simd::conflicts_any_words_scalar(&u1, &p1, &u2, &p2)
+        );
+    }
+
+    #[test]
+    fn eval_words_matches_scalar((mut u, mut p) in cube_words(), mut a in words()) {
+        let n = u.len().min(a.len());
+        for v in [&mut u, &mut p, &mut a] {
+            v.truncate(n);
+        }
+        prop_assert_eq!(
+            simd::eval_words(&u, &p, &a),
+            simd::eval_words_scalar(&u, &p, &a)
+        );
+    }
+
+    #[test]
+    fn subset_words_matches_scalar(mut a in words(), mut b in words()) {
+        let n = a.len().min(b.len());
+        a.truncate(n);
+        b.truncate(n);
+        prop_assert_eq!(
+            simd::subset_words(&a, &b),
+            simd::subset_words_scalar(&a, &b)
+        );
+    }
+
+    #[test]
+    fn subset_words_accepts_actual_subsets(a in words(), mut b in words()) {
+        b.truncate(a.len());
+        b.resize(a.len(), 0);
+        let masked: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+        prop_assert!(simd::subset_words(&masked, &b));
+        prop_assert!(simd::subset_words_scalar(&masked, &b));
+    }
+
+    #[test]
+    fn disjoint_words_matches_scalar(mut a in words(), mut b in words()) {
+        let n = a.len().min(b.len());
+        a.truncate(n);
+        b.truncate(n);
+        prop_assert_eq!(
+            simd::disjoint_words(&a, &b),
+            simd::disjoint_words_scalar(&a, &b)
+        );
+    }
+
+    #[test]
+    fn count_ones_per_lane_matches_scalar(av in prop::collection::vec(any::<u64>(), 4..5)) {
+        let a: [u64; 4] = av.try_into().unwrap();
+        let v = U64x4(a);
+        let lanes = v.count_ones_per_lane();
+        for i in 0..4 {
+            prop_assert_eq!(lanes[i], a[i].count_ones());
+        }
+        prop_assert_eq!(v.count_ones(), a.iter().map(|w| w.count_ones()).sum::<u32>());
+    }
+
+    #[test]
+    fn lane_ops_match_scalar(av in prop::collection::vec(any::<u64>(), 4..5), bv in prop::collection::vec(any::<u64>(), 4..5)) {
+        let a: [u64; 4] = av.try_into().unwrap();
+        let b: [u64; 4] = bv.try_into().unwrap();
+        let (va, vb) = (U64x4(a), U64x4(b));
+        prop_assert_eq!((va & vb).to_array(), std::array::from_fn::<u64, 4, _>(|i| a[i] & b[i]));
+        prop_assert_eq!((va | vb).to_array(), std::array::from_fn::<u64, 4, _>(|i| a[i] | b[i]));
+        prop_assert_eq!((va ^ vb).to_array(), std::array::from_fn::<u64, 4, _>(|i| a[i] ^ b[i]));
+        prop_assert_eq!((!va).to_array(), a.map(|w| !w));
+        prop_assert_eq!(va.and_not(vb).to_array(), std::array::from_fn::<u64, 4, _>(|i| a[i] & !b[i]));
+        prop_assert_eq!(va.reduce_or(), a.iter().fold(0, |x, &w| x | w));
+        prop_assert_eq!(va.reduce_and(), a.iter().fold(!0, |x, &w| x & w));
+        prop_assert_eq!(va.is_zero(), a.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn lane_shifts_match_scalar(av in prop::collection::vec(any::<u64>(), 4..5), k in 0u32..64) {
+        let a: [u64; 4] = av.try_into().unwrap();
+        let v = U64x4(a);
+        prop_assert_eq!((v << k).to_array(), a.map(|w| w << k));
+        prop_assert_eq!((v >> k).to_array(), a.map(|w| w >> k));
+    }
+}

@@ -130,7 +130,7 @@ fn decompose(eqs: &EquationSet, simplify: bool, mut trace: Option<&mut DecompTra
                     Phase::Neg => match inverters.get(&sig) {
                         Some(&inv) => inv,
                         None => {
-                            let inv = net.add_gate(GateOp::Inv, vec![sig]);
+                            let inv = net.add_gate(GateOp::Inv, [sig]);
                             inverters.insert(sig, inv);
                             if let Some(t) = trace.as_deref_mut() {
                                 let lit = Expr::literal(v, Phase::Neg);
@@ -210,7 +210,7 @@ fn emit_expr(net: &mut Network, inputs: &[SignalId], expr: &Expr) -> SignalId {
         Expr::Var(v) => inputs[v.index()],
         Expr::Not(e) => {
             let inner = emit_expr(net, inputs, e);
-            net.add_gate(GateOp::Inv, vec![inner])
+            net.add_gate(GateOp::Inv, [inner])
         }
         Expr::And(es) => {
             let signals: Vec<SignalId> = es.iter().map(|e| emit_expr(net, inputs, e)).collect();
@@ -292,7 +292,7 @@ fn emit_demorgan(
             let inv = match inverters.get(&sig) {
                 Some(&g) => g,
                 None => {
-                    let g = net.add_gate(GateOp::Inv, vec![sig]);
+                    let g = net.add_gate(GateOp::Inv, [sig]);
                     inverters.insert(sig, g);
                     trace.steps.push(RewriteStep {
                         rule: RewriteRule::InputInverter,
@@ -387,7 +387,7 @@ fn balanced_tree(net: &mut Network, op: GateOp, mut signals: Vec<SignalId>) -> S
         let mut iter = signals.chunks(2);
         for pair in &mut iter {
             match pair {
-                [a, b] => next.push(net.add_gate(op, vec![*a, *b])),
+                [a, b] => next.push(net.add_gate(op, [*a, *b])),
                 [a] => next.push(*a),
                 _ => unreachable!(),
             }

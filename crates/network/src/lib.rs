@@ -45,5 +45,5 @@ pub use decomp::{
     async_tech_decomp, async_tech_decomp_traced, decompose_expr, decompose_expr_demorgan,
     sync_tech_decomp, EquationSet,
 };
-pub use network::{GateOp, Network, NodeKind, SignalId};
+pub use network::{Fanin, GateOp, Network, NodeKind, SignalId};
 pub use partition::{is_partition_boundary, partition, partition_roots, partition_traced, Cone};

@@ -46,6 +46,79 @@ impl GateOp {
     }
 }
 
+/// Inline fanin storage of a gate node.
+///
+/// Every primitive operator has arity ≤ 2, so the fanin list lives inline
+/// in the node instead of behind a heap `Vec` — one allocation per gate
+/// saved, and node storage becomes a single flat arena (`Vec<NodeKind>`)
+/// with no pointer chasing during traversal. Dereferences to `[SignalId]`,
+/// so existing `fanin.iter()` / `fanin[k]` / `fanin.len()` call sites work
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fanin {
+    len: u8,
+    sigs: [SignalId; 2],
+}
+
+impl Fanin {
+    /// Builds a fanin list from a slice of at most two signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or longer than two signals.
+    pub fn from_slice(sigs: &[SignalId]) -> Self {
+        assert!(
+            (1..=2).contains(&sigs.len()),
+            "fanin arity {} out of range",
+            sigs.len()
+        );
+        let mut inline = [SignalId(0); 2];
+        inline[..sigs.len()].copy_from_slice(sigs);
+        Fanin {
+            len: sigs.len() as u8,
+            sigs: inline,
+        }
+    }
+
+    /// The fanin signals as a slice.
+    pub fn as_slice(&self) -> &[SignalId] {
+        &self.sigs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Fanin {
+    type Target = [SignalId];
+    fn deref(&self) -> &[SignalId] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<SignalId>> for Fanin {
+    fn from(v: Vec<SignalId>) -> Self {
+        Fanin::from_slice(&v)
+    }
+}
+
+impl From<[SignalId; 1]> for Fanin {
+    fn from(v: [SignalId; 1]) -> Self {
+        Fanin::from_slice(&v)
+    }
+}
+
+impl From<[SignalId; 2]> for Fanin {
+    fn from(v: [SignalId; 2]) -> Self {
+        Fanin::from_slice(&v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Fanin {
+    type Item = &'a SignalId;
+    type IntoIter = std::slice::Iter<'a, SignalId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A node of the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
@@ -55,8 +128,8 @@ pub enum NodeKind {
     Gate {
         /// The operator.
         op: GateOp,
-        /// Input signals (length = `op.arity()`).
-        fanin: Vec<SignalId>,
+        /// Input signals (length = `op.arity()`), stored inline.
+        fanin: Fanin,
     },
 }
 
@@ -83,6 +156,9 @@ pub struct Network {
     nodes: Vec<NodeKind>,
     inputs: Vec<SignalId>,
     outputs: Vec<(String, SignalId)>,
+    /// Scratch for generated gate names; reused so `add_gate` does not
+    /// allocate a fresh `String` per gate.
+    name_buf: String,
 }
 
 impl Network {
@@ -115,13 +191,17 @@ impl Network {
     ///
     /// Panics if the fanin arity does not match the operator or references
     /// an undefined signal.
-    pub fn add_gate(&mut self, op: GateOp, fanin: Vec<SignalId>) -> SignalId {
+    pub fn add_gate(&mut self, op: GateOp, fanin: impl Into<Fanin>) -> SignalId {
+        let fanin = fanin.into();
         assert_eq!(fanin.len(), op.arity(), "wrong fanin count for {op:?}");
         for f in &fanin {
             assert!(f.0 < self.nodes.len(), "undefined fanin signal {f}");
         }
         let id = SignalId(self.nodes.len());
-        let interned = self.names.intern(&format!("_g{}", id.0));
+        use std::fmt::Write;
+        self.name_buf.clear();
+        write!(self.name_buf, "_g{}", id.0).expect("write to String");
+        let interned = self.names.intern(&self.name_buf);
         debug_assert_eq!(interned.index(), id.0);
         self.nodes.push(NodeKind::Gate { op, fanin });
         id

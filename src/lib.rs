@@ -43,6 +43,7 @@
 
 pub use asyncmap_audit as audit;
 pub use asyncmap_bdd as bdd;
+pub use asyncmap_bench as bench;
 pub use asyncmap_bff as bff;
 pub use asyncmap_burst as burst;
 pub use asyncmap_core as mapper;

@@ -8,6 +8,8 @@
 //! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
 //!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
 //! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
+//! asyncmap gen   <gates>                         seeded large-design generator
+//!                [--seed N] [--inputs N] [--lib NAME] [--map] [--lint] [--audit]
 //! ```
 //!
 //! `lint` and the two-argument `audit` also accept a builtin Table 5
@@ -32,8 +34,9 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
         _ => {
-            eprintln!("usage: asyncmap <audit|synth|map|lint> ... (see crate docs)");
+            eprintln!("usage: asyncmap <audit|synth|map|lint|gen> ... (see crate docs)");
             return ExitCode::from(2);
         }
     };
@@ -249,6 +252,102 @@ fn load_library_or_builtin(arg: &str) -> Result<Library, String> {
         .into_iter()
         .find(|l| l.name().eq_ignore_ascii_case(arg))
         .ok_or_else(|| format!("lint: {arg} is neither a library file nor a builtin library"))
+}
+
+/// The seeded large-design generator: builds a deterministic multi-cone
+/// equation set (`asyncmap::bench::generate`), reports its decomposed
+/// size, and optionally maps / lints / audits it. A single `gen --map
+/// --lint --audit` run is the CI large-design smoke test: it exits
+/// nonzero on any mapping error, lint finding, or audit finding.
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let gates: usize = args
+        .first()
+        .ok_or("gen: missing target gate count")?
+        .parse()
+        .map_err(|e| format!("gen: bad gate count: {e}"))?;
+    let mut spec = asyncmap::bench::GenSpec::new(gates);
+    let mut lib_arg = "lsi9k".to_owned();
+    let (mut do_map, mut do_lint, mut do_audit) = (false, false, false);
+    let mut emit_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                spec.seed = args
+                    .get(i)
+                    .ok_or("gen: --seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("gen: bad --seed: {e}"))?;
+            }
+            "--inputs" => {
+                i += 1;
+                spec.inputs = args
+                    .get(i)
+                    .ok_or("gen: --inputs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("gen: bad --inputs: {e}"))?;
+            }
+            "--lib" => {
+                i += 1;
+                lib_arg = args.get(i).ok_or("gen: --lib needs a value")?.clone();
+            }
+            "--emit" => {
+                i += 1;
+                emit_path = Some(args.get(i).ok_or("gen: --emit needs a path")?.clone());
+            }
+            "--map" => do_map = true,
+            "--lint" => do_lint = true,
+            "--audit" => do_audit = true,
+            other => return Err(format!("gen: unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let eqs = asyncmap::bench::generate(&spec);
+    if let Some(path) = &emit_path {
+        std::fs::write(path, asyncmap::bench::emit_design(&eqs))
+            .map_err(|e| format!("gen: writing {path}: {e}"))?;
+        println!("wrote {} equations to {path}", eqs.equations.len());
+    }
+    let net = asyncmap::network::async_tech_decomp(&eqs);
+    println!(
+        "{}: {} equations, {} cubes, {} literals over {} inputs -> {} base gates",
+        spec.name(),
+        eqs.equations.len(),
+        eqs.num_cubes(),
+        eqs.num_literals(),
+        spec.inputs,
+        net.num_gates()
+    );
+    if do_audit {
+        let report = asyncmap::audit::audit_equations(&eqs);
+        print!("{}", report.render());
+        if !report.is_clean() {
+            return Err("gen: audit findings on generated equations".into());
+        }
+    }
+    if !(do_map || do_lint) {
+        return Ok(());
+    }
+    let mut lib = load_library_or_builtin(&lib_arg)?;
+    lib.annotate_hazards();
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
+    println!(
+        "mapped to {}: {} instances, area {:.1}, delay {:.1}, {} cones",
+        lib.name(),
+        design.num_instances(),
+        design.area,
+        design.delay,
+        design.stats.cones
+    );
+    if do_lint {
+        let report = lint_mapped_design(&design, &lib);
+        print!("{}", report.render());
+        if !report.is_clean() {
+            return Err("gen: lint findings on mapped generated design".into());
+        }
+    }
+    Ok(())
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
