@@ -29,6 +29,7 @@ use asyncmap_network::{
 use crate::equiv::{prove_equal, EquivProof};
 use crate::monotone::recheck_monotone;
 use crate::report::{AuditReport, Severity};
+use crate::AuditCache;
 
 /// Re-derives the expression the gate tree rooted at `signal` realizes:
 /// inputs become variables (by input position), inverters become `Not`,
@@ -156,6 +157,28 @@ fn check_monotone(
 /// Does not consult the source equations — see [`check_decomp`] for the
 /// variant that additionally checks source fidelity.
 pub fn check_decomp_trace(net: &Network, trace: &DecompTrace) -> AuditReport {
+    check_decomp_trace_inner(net, trace, None)
+}
+
+/// [`check_decomp_trace`] with reuse: the per-step and per-equation
+/// equivalence and hazard-monotonicity obligations — pure functions of
+/// the certified expressions alone — are skipped when an identical
+/// obligation already replayed clean under `cache`. Everything tied to
+/// *this* network (rule applicability, node realization walks, the
+/// no-uncertified-logic sweep, output-root checks) always runs in full.
+pub fn check_decomp_trace_cached(
+    net: &Network,
+    trace: &DecompTrace,
+    cache: &mut AuditCache,
+) -> AuditReport {
+    check_decomp_trace_inner(net, trace, Some(cache))
+}
+
+fn check_decomp_trace_inner(
+    net: &Network,
+    trace: &DecompTrace,
+    mut cache: Option<&mut AuditCache>,
+) -> AuditReport {
     let mut report = AuditReport::default();
     report.counters.rewrite_steps = trace.steps.len();
     report.counters.equations = trace.equations.len();
@@ -211,24 +234,51 @@ pub fn check_decomp_trace(net: &Network, trace: &DecompTrace) -> AuditReport {
                 continue;
             }
             RewriteRule::AssocRegroup | RewriteRule::DeMorganPush => {
-                let (eq, proof) = prove_equal(&step.before, &step.after, trace.nvars);
-                count_proof(&mut report, proof);
-                if !eq {
-                    report.push(
-                        Severity::Error,
-                        "decomp.not-equivalent",
-                        path.clone(),
-                        "before and after compute different functions".to_owned(),
+                // The equivalence and monotonicity obligations depend only
+                // on (nvars, rule, before, after) — never on the network —
+                // so an identical obligation that already replayed clean
+                // discharges this one.
+                let key = cache.as_ref().map(|_| {
+                    format!(
+                        "{}|{}|{:?}|{:?}",
+                        trace.nvars,
+                        step.rule.name(),
+                        step.before,
+                        step.after
+                    )
+                });
+                let reused =
+                    matches!((&cache, &key), (Some(c), Some(k)) if c.clean_steps.contains(k));
+                if reused {
+                    report.counters.reused_steps += 1;
+                } else {
+                    let (f0, n0) = (report.findings.len(), report.notes.len());
+                    let (eq, proof) = prove_equal(&step.before, &step.after, trace.nvars);
+                    count_proof(&mut report, proof);
+                    if !eq {
+                        report.push(
+                            Severity::Error,
+                            "decomp.not-equivalent",
+                            path.clone(),
+                            "before and after compute different functions".to_owned(),
+                        );
+                        continue;
+                    }
+                    check_monotone(
+                        &mut report,
+                        &step.after,
+                        &step.before,
+                        "decomp.hazard-containment",
+                        &path,
                     );
-                    continue;
+                    // Only perfectly quiet replays are reusable: a partial
+                    // hazard re-check note must re-appear on every audit.
+                    if report.findings.len() == f0 && report.notes.len() == n0 {
+                        if let (Some(c), Some(k)) = (cache.as_deref_mut(), key) {
+                            c.clean_steps.insert(k);
+                        }
+                    }
                 }
-                check_monotone(
-                    &mut report,
-                    &step.after,
-                    &step.before,
-                    "decomp.hazard-containment",
-                    &path,
-                );
                 // Only assoc steps certify the final shape of their node's
                 // gate tree (a DeMorgan push is an intermediate rewrite;
                 // its node realizes the *fully pushed* form, covered by
@@ -273,24 +323,41 @@ pub fn check_decomp_trace(net: &Network, trace: &DecompTrace) -> AuditReport {
                 continue;
             }
         }
-        let (eq, proof) = prove_equal(&cert.source, &cert.result, trace.nvars);
-        count_proof(&mut report, proof);
-        if !eq {
-            report.push(
-                Severity::Error,
-                "decomp.not-equivalent",
-                path.clone(),
-                "decomposed result computes a different function than the source".to_owned(),
+        let key = cache.as_ref().map(|_| {
+            format!(
+                "{}|equation|{:?}|{:?}",
+                trace.nvars, cert.source, cert.result
+            )
+        });
+        let reused = matches!((&cache, &key), (Some(c), Some(k)) if c.clean_equations.contains(k));
+        if reused {
+            report.counters.reused_equations += 1;
+        } else {
+            let (f0, n0) = (report.findings.len(), report.notes.len());
+            let (eq, proof) = prove_equal(&cert.source, &cert.result, trace.nvars);
+            count_proof(&mut report, proof);
+            if !eq {
+                report.push(
+                    Severity::Error,
+                    "decomp.not-equivalent",
+                    path.clone(),
+                    "decomposed result computes a different function than the source".to_owned(),
+                );
+                continue;
+            }
+            check_monotone(
+                &mut report,
+                &cert.result,
+                &cert.source,
+                "decomp.hazard-containment",
+                &path,
             );
-            continue;
+            if report.findings.len() == f0 && report.notes.len() == n0 {
+                if let (Some(c), Some(k)) = (cache.as_deref_mut(), key) {
+                    c.clean_equations.insert(k);
+                }
+            }
         }
-        check_monotone(
-            &mut report,
-            &cert.result,
-            &cert.source,
-            "decomp.hazard-containment",
-            &path,
-        );
         let walked = realized_expr(net, cert.root, &positions, &mut visited);
         if walked != cert.result {
             report.push(
@@ -324,7 +391,27 @@ pub fn check_decomp_trace(net: &Network, trace: &DecompTrace) -> AuditReport {
 /// two-level form of its cover (no simplification slipped in before the
 /// certified rewrites started).
 pub fn check_decomp(eqs: &EquationSet, net: &Network, trace: &DecompTrace) -> AuditReport {
-    let mut report = check_decomp_trace(net, trace);
+    check_decomp_inner(eqs, net, trace, None)
+}
+
+/// [`check_decomp`] over [`check_decomp_trace_cached`]: same reuse rules,
+/// and source fidelity is always checked in full.
+pub fn check_decomp_cached(
+    eqs: &EquationSet,
+    net: &Network,
+    trace: &DecompTrace,
+    cache: &mut AuditCache,
+) -> AuditReport {
+    check_decomp_inner(eqs, net, trace, Some(cache))
+}
+
+fn check_decomp_inner(
+    eqs: &EquationSet,
+    net: &Network,
+    trace: &DecompTrace,
+    cache: Option<&mut AuditCache>,
+) -> AuditReport {
+    let mut report = check_decomp_trace_inner(net, trace, cache);
     if trace.nvars != eqs.inputs.len() {
         report.push(
             Severity::Error,

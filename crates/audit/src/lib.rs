@@ -43,7 +43,9 @@ pub mod partition_check;
 pub mod report;
 pub mod spec_check;
 
-pub use decomp_check::{check_decomp, check_decomp_trace};
+pub use decomp_check::{
+    check_decomp, check_decomp_cached, check_decomp_trace, check_decomp_trace_cached,
+};
 pub use equiv::{prove_equal, EquivProof, TRUTH_VAR_LIMIT};
 pub use flatten_check::check_flatten;
 pub use monotone::{product_estimate, recheck_monotone, MonotoneOutcome, FLATTEN_REPLAY_CAP};
@@ -56,16 +58,79 @@ use asyncmap_network::{
     async_tech_decomp_traced, partition_traced, Cone, DecompTrace, EquationSet, Network,
     PartitionTrace,
 };
+use std::collections::HashSet;
+
+/// Reuse cache for the `_cached` audit entry points.
+///
+/// The expensive audit obligations — equivalence proofs, hazard-
+/// monotonicity ladders, flatten replays — are pure functions of the
+/// certified *expressions*, never of the network or design they came
+/// from. The cache remembers the exact obligations (rendered to canonical
+/// strings of their full inputs) that already replayed with **zero
+/// findings and zero notes**; an identical obligation in a later audit is
+/// discharged by reference and counted in the `reused_*` counters of
+/// [`AuditCounters`].
+///
+/// Everything that binds certificates to a *particular* network — rule
+/// applicability, gate-tree realization walks, the no-uncertified-logic
+/// sweep, output roots, source fidelity, the whole partition check —
+/// always runs in full, so a warm cache adds no trust assumption beyond
+/// "this exact obligation was discharged before". Obligations that
+/// produced any diagnostic (even an info note) are never cached.
+#[derive(Debug, Default)]
+pub struct AuditCache {
+    pub(crate) clean_steps: HashSet<String>,
+    pub(crate) clean_equations: HashSet<String>,
+    pub(crate) clean_flattens: HashSet<String>,
+}
+
+impl AuditCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total clean obligations remembered (steps + equations + flattens).
+    pub fn entries(&self) -> usize {
+        self.clean_steps.len() + self.clean_equations.len() + self.clean_flattens.len()
+    }
+}
 
 /// Audits the flatten collapse of every cone: replays
 /// [`multilevel_flatten_traced`] per cone and checks the resulting
 /// certificate, skipping (with an info note) cones whose independent
 /// product estimate exceeds [`FLATTEN_REPLAY_CAP`].
 pub fn audit_cone_flattens(net: &Network, cones: &[Cone]) -> AuditReport {
+    audit_cone_flattens_inner(net, cones, None)
+}
+
+/// [`audit_cone_flattens`] with reuse: a cone whose expression (over the
+/// same leaf count) already replayed clean under `cache` is discharged by
+/// reference — the flatten is deterministic in the expression, so the
+/// replay would reproduce the prior result verbatim.
+pub fn audit_cone_flattens_cached(
+    net: &Network,
+    cones: &[Cone],
+    cache: &mut AuditCache,
+) -> AuditReport {
+    audit_cone_flattens_inner(net, cones, Some(cache))
+}
+
+fn audit_cone_flattens_inner(
+    net: &Network,
+    cones: &[Cone],
+    mut cache: Option<&mut AuditCache>,
+) -> AuditReport {
     let mut report = AuditReport::default();
     for cone in cones {
         let (expr, vars) = cone.to_expr(net);
         let path = format!("cone:{}", net.name(cone.root));
+        let key = cache.as_ref().map(|_| format!("{}|{:?}", vars.len(), expr));
+        if matches!((&cache, &key), (Some(c), Some(k)) if c.clean_flattens.contains(k)) {
+            report.counters.flatten_traces += 1;
+            report.counters.reused_flattens += 1;
+            continue;
+        }
         if product_estimate(&expr) > FLATTEN_REPLAY_CAP {
             report.counters.flatten_skipped += 1;
             report.push(
@@ -86,7 +151,13 @@ pub fn audit_cone_flattens(net: &Network, cones: &[Cone]) -> AuditReport {
             );
             continue;
         }
+        let (f0, n0) = (report.findings.len(), report.notes.len());
         report.merge(check_flatten(&flat, &trace, vars.len()));
+        if report.findings.len() == f0 && report.notes.len() == n0 {
+            if let (Some(c), Some(k)) = (cache.as_deref_mut(), key) {
+                c.clean_flattens.insert(k);
+            }
+        }
     }
     report
 }
@@ -106,6 +177,23 @@ pub fn check_pipeline(
     report
 }
 
+/// [`check_pipeline`] with reuse of expression-pure obligations under
+/// `cache` (see [`AuditCache`]). The partition check and every
+/// network-bound obligation run in full.
+pub fn check_pipeline_cached(
+    eqs: &EquationSet,
+    net: &Network,
+    dtrace: &DecompTrace,
+    cones: &[Cone],
+    ptrace: &PartitionTrace,
+    cache: &mut AuditCache,
+) -> AuditReport {
+    let mut report = check_decomp_cached(eqs, net, dtrace, cache);
+    report.merge(check_partition(net, cones, ptrace));
+    report.merge(audit_cone_flattens_cached(net, cones, cache));
+    report
+}
+
 /// Runs the instrumented front end on `eqs` and audits every certificate
 /// it emits. This is the one place the audit *invokes* transformation
 /// code — to obtain the traces; every check then replays them
@@ -114,6 +202,16 @@ pub fn audit_equations(eqs: &EquationSet) -> AuditReport {
     let (net, dtrace) = async_tech_decomp_traced(eqs);
     let (cones, ptrace) = partition_traced(&net);
     check_pipeline(eqs, &net, &dtrace, &cones, &ptrace)
+}
+
+/// [`audit_equations`] with reuse under `cache`: the entry point for
+/// incremental (ECO) flows, where successive audits share almost every
+/// certificate. On a fresh cache the verdict and diagnostics are
+/// identical to [`audit_equations`]'s; only the work counters differ.
+pub fn audit_equations_cached(eqs: &EquationSet, cache: &mut AuditCache) -> AuditReport {
+    let (net, dtrace) = async_tech_decomp_traced(eqs);
+    let (cones, ptrace) = partition_traced(&net);
+    check_pipeline_cached(eqs, &net, &dtrace, &cones, &ptrace, cache)
 }
 
 #[cfg(test)]
@@ -141,5 +239,73 @@ mod tests {
         let report = audit_equations(&eqs);
         assert!(report.is_clean(), "{}", report.render());
         assert_eq!(report.counters.equations, 2);
+    }
+
+    #[test]
+    fn warm_cache_discharges_every_quiet_obligation() {
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let mut cache = AuditCache::new();
+        let cold = audit_equations_cached(&eqs, &mut cache);
+        assert!(cold.is_clean(), "{}", cold.render());
+        assert!(cache.entries() > 0);
+        let warm = audit_equations_cached(&eqs, &mut cache);
+        assert!(warm.is_clean(), "{}", warm.render());
+        // Identical verdict, identical certificate accounting, identical
+        // diagnostics — only the discharge mechanism differs.
+        assert_eq!(warm.num_certificates(), cold.num_certificates());
+        assert_eq!(warm.findings.len(), cold.findings.len());
+        assert_eq!(warm.notes.len(), cold.notes.len());
+        // With no noisy obligations, every cacheable step (input-inverter
+        // realizations are network-bound and always re-checked), equation
+        // and flatten of the second pass is discharged by reference.
+        if cold.notes.is_empty() {
+            let (_, dtrace) = async_tech_decomp_traced(&eqs);
+            let cacheable = dtrace
+                .steps
+                .iter()
+                .filter(|s| s.rule != asyncmap_network::RewriteRule::InputInverter)
+                .count();
+            assert_eq!(warm.counters.reused_steps, cacheable);
+            assert_eq!(warm.counters.reused_equations, warm.counters.equations);
+            assert_eq!(warm.counters.reused_flattens, warm.counters.flatten_traces);
+            assert_eq!(warm.counters.truth_proofs + warm.counters.bdd_proofs, 0);
+        }
+        // The cached run with a fresh cache agrees with the uncached one.
+        let reference = audit_equations(&eqs);
+        assert_eq!(reference.num_certificates(), cold.num_certificates());
+        assert_eq!(reference.findings.len(), cold.findings.len());
+    }
+
+    #[test]
+    fn warm_cache_does_not_mask_a_tampered_trace() {
+        use asyncmap_network::{async_tech_decomp_traced, partition_traced, RewriteRule};
+        let vars = VarTable::from_names(["a", "b", "c"]);
+        let f = Cover::parse("ab + a'c + bc", &vars).unwrap();
+        let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
+        let mut cache = AuditCache::new();
+        assert!(audit_equations_cached(&eqs, &mut cache).is_clean());
+
+        let (net, mut dtrace) = async_tech_decomp_traced(&eqs);
+        let (cones, ptrace) = partition_traced(&net);
+        // Commute a regroup's operands: the function is unchanged (so the
+        // cached equivalence verdict would wave it through if consulted),
+        // but commutation is not a hazard-preserving law — the always-run
+        // syntactic rule check must reject it under any cache state.
+        let step = dtrace
+            .steps
+            .iter_mut()
+            .find(|s| s.rule == RewriteRule::AssocRegroup)
+            .unwrap();
+        let asyncmap_bff::Expr::And(es) = &mut step.before else {
+            panic!("AND regroup expected")
+        };
+        es.reverse();
+        let report = check_pipeline_cached(&eqs, &net, &dtrace, &cones, &ptrace, &mut cache);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "decomp.rule-mismatch"));
     }
 }

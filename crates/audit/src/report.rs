@@ -83,6 +83,16 @@ pub struct AuditCounters {
     pub spec_states: usize,
     /// Burst-mode spec edges checked.
     pub spec_edges: usize,
+    /// Rewrite steps whose equivalence/monotonicity obligations were
+    /// discharged by an identical prior clean replay (cached audit only;
+    /// counted inside [`AuditCounters::rewrite_steps`]).
+    pub reused_steps: usize,
+    /// Equation certificates likewise discharged by reuse (counted inside
+    /// [`AuditCounters::equations`]).
+    pub reused_equations: usize,
+    /// Flatten collapses likewise discharged by reuse (counted inside
+    /// [`AuditCounters::flatten_traces`]).
+    pub reused_flattens: usize,
 }
 
 /// The result of one audit run.
@@ -158,6 +168,9 @@ impl AuditReport {
         c.bdd_proofs += o.bdd_proofs;
         c.spec_states += o.spec_states;
         c.spec_edges += o.spec_edges;
+        c.reused_steps += o.reused_steps;
+        c.reused_equations += o.reused_equations;
+        c.reused_flattens += o.reused_flattens;
     }
 
     /// Renders the report as human-readable text, findings first.
@@ -184,6 +197,13 @@ impl AuditReport {
             c.truth_proofs,
             c.bdd_proofs,
         ));
+        let reused = c.reused_steps + c.reused_equations + c.reused_flattens;
+        if reused > 0 {
+            out.push_str(&format!(
+                "audit: {} step(s), {} equation(s), {} flatten(s) reused from a prior clean replay\n",
+                c.reused_steps, c.reused_equations, c.reused_flattens,
+            ));
+        }
         out
     }
 }

@@ -25,8 +25,8 @@
 //! allocator arenas never land in a sample.
 
 use asyncmap_bench::{
-    design_fingerprint, header, secs, time_median, time_median_pair, write_json, BenchRecord,
-    GenSpec,
+    design_fingerprint, header, host_cpus, secs, time_median, time_median_pair, write_json,
+    BenchRecord, GenSpec,
 };
 use asyncmap_core::{async_tmap, async_tmap_cached, HazardCache, MapOptions, MappedDesign};
 use asyncmap_library::builtin;
@@ -64,6 +64,14 @@ fn main() {
         }
     }
 
+    let cpus = host_cpus();
+    let oversubscribed = cpus < threads;
+    if oversubscribed {
+        println!(
+            "note: host exposes {cpus} CPU(s) but --threads is {threads}; parallel \
+             configurations are oversubscribed, so speedup_vs_seq is not reported"
+        );
+    }
     let mut records = Vec::new();
 
     header(
@@ -117,6 +125,7 @@ fn main() {
             name: format!("{design}/seq"),
             median: seq_t,
             threads: 1,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&seq_design),
             npn_hit_rate: npn_rate(&seq_design),
             phases: seq_design.stats.phases,
@@ -126,10 +135,11 @@ fn main() {
             name: format!("{design}/par{threads}"),
             median: par_t,
             threads,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&par_design),
             npn_hit_rate: npn_rate(&par_design),
             phases: par_design.stats.phases,
-            speedup_vs_seq: Some(ratio),
+            speedup_vs_seq: (!oversubscribed).then_some(ratio),
         });
     }
 
@@ -184,6 +194,7 @@ fn main() {
             name: format!("{}/seq", spec.name()),
             median: seq_t,
             threads: 1,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&seq_design),
             npn_hit_rate: npn_rate(&seq_design),
             phases: seq_design.stats.phases,
@@ -193,10 +204,11 @@ fn main() {
             name: format!("{}/par{threads}", spec.name()),
             median: par_t,
             threads,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&par_design),
             npn_hit_rate: npn_rate(&par_design),
             phases: par_design.stats.phases,
-            speedup_vs_seq: Some(ratio),
+            speedup_vs_seq: (!oversubscribed).then_some(ratio),
         });
     }
 
@@ -256,6 +268,7 @@ fn main() {
             name: format!("{design}/cold"),
             median: cold_t,
             threads: 1,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&cold_design),
             npn_hit_rate: npn_rate(&cold_design),
             phases: cold_design.stats.phases,
@@ -265,6 +278,7 @@ fn main() {
             name: format!("{design}/warm"),
             median: warm_t,
             threads: 1,
+            host_cpus: cpus,
             cache_hit_rate: hit_rate(&warm_design),
             npn_hit_rate: npn_rate(&warm_design),
             phases: warm_design.stats.phases,

@@ -1,0 +1,212 @@
+//! Seeded deterministic ECO edits over generated designs.
+//!
+//! An *edit* replaces one equation's cover with a minimally mutated
+//! version — flip one literal's phase, add one literal, or drop one
+//! literal from a single cube. After hazard-preserving decomposition each
+//! such edit perturbs one cone (a single-gate-scale change), which is the
+//! workload an incremental remapper is built for.
+//!
+//! Edits are cumulative: `generate_edits` mutates a working copy, so edit
+//! *i+1* applies on top of edit *i* and the same equation may be edited
+//! repeatedly. Like the design generator, the whole sequence is a pure
+//! function of `(base design, count, seed)`.
+//!
+//! The interchange format is one `set <name> = <tokens>` line per edit,
+//! using the same restricted token-SOP syntax as
+//! [`crate::gen::emit_design`]; it round-trips through [`parse_edits`].
+
+use crate::gen::cover_tokens;
+use asyncmap_cube::{Cover, Cube, Phase, VarId, VarTable};
+use asyncmap_network::EquationSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` cumulative single-equation edits of `base`, each a
+/// one-literal mutation of one cube. Mutations that would be no-ops or
+/// produce a tautological cover are re-rolled, so every edit really
+/// changes the design.
+///
+/// # Panics
+///
+/// Panics if `base` has no equations.
+pub fn generate_edits(base: &EquationSet, count: usize, seed: u64) -> Vec<(String, Cover)> {
+    assert!(!base.equations.is_empty(), "cannot edit an empty design");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut working: Vec<Cover> = base.equations.iter().map(|(_, c)| c.clone()).collect();
+    let mut edits = Vec::with_capacity(count);
+    for _ in 0..count {
+        loop {
+            let ei = rng.random_range(0..working.len());
+            let nvars = working[ei].nvars();
+            let mut cubes: Vec<Cube> = working[ei].cubes().to_vec();
+            let ci = rng.random_range(0..cubes.len());
+            let lits: Vec<(VarId, Phase)> = cubes[ci].literals().collect();
+            let mutated: Vec<(VarId, Phase)> = match rng.random_range(0..3usize) {
+                0 => {
+                    // Flip one literal's phase.
+                    let li = rng.random_range(0..lits.len());
+                    lits.iter()
+                        .enumerate()
+                        .map(|(i, &(v, p))| (v, if i == li { p.flipped() } else { p }))
+                        .collect()
+                }
+                1 => {
+                    // Add one literal on a variable the cube doesn't use.
+                    let unused: Vec<usize> = (0..nvars)
+                        .filter(|&v| !lits.iter().any(|(w, _)| w.index() == v))
+                        .collect();
+                    if unused.is_empty() {
+                        continue;
+                    }
+                    let v = unused[rng.random_range(0..unused.len())];
+                    let phase = if rng.random::<bool>() {
+                        Phase::Pos
+                    } else {
+                        Phase::Neg
+                    };
+                    let mut l = lits.clone();
+                    l.push((VarId(v), phase));
+                    l
+                }
+                _ => {
+                    // Drop one literal, keeping the cube non-universal.
+                    if lits.len() <= 1 {
+                        continue;
+                    }
+                    let li = rng.random_range(0..lits.len());
+                    lits.iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != li)
+                        .map(|(_, &l)| l)
+                        .collect()
+                }
+            };
+            cubes[ci] = Cube::from_literals(nvars, mutated);
+            let candidate = Cover::from_cubes(nvars, cubes);
+            if candidate.is_tautology() || candidate.cubes() == working[ei].cubes() {
+                continue;
+            }
+            edits.push((base.equations[ei].0.clone(), candidate.clone()));
+            working[ei] = candidate;
+            break;
+        }
+    }
+    edits
+}
+
+/// Serializes an edit sequence as `set <name> = <tokens>` lines.
+pub fn emit_edits(eqs: &EquationSet, edits: &[(String, Cover)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (name, cover) in edits {
+        let _ = writeln!(out, "set {name} = {}", cover_tokens(cover, &eqs.inputs));
+    }
+    out
+}
+
+/// Parses text produced by [`emit_edits`] against the design's variable
+/// table.
+///
+/// # Panics
+///
+/// Panics on malformed input — like the design dump, this is an internal
+/// interchange format.
+pub fn parse_edits(text: &str, vars: &VarTable) -> Vec<(String, Cover)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let rest = line
+                .strip_prefix("set ")
+                .expect("edit line must start with `set `");
+            let (name, expr) = rest.split_once('=').expect("edit line without `=`");
+            let cover = Cover::parse_tokens(expr.trim(), vars).expect("bad cube tokens");
+            (name.trim().to_string(), cover)
+        })
+        .collect()
+}
+
+/// Applies an edit sequence to `base`, in order (later edits of the same
+/// equation win), returning the edited design.
+///
+/// # Panics
+///
+/// Panics if an edit names an equation `base` does not have.
+pub fn apply_edits(base: &EquationSet, edits: &[(String, Cover)]) -> EquationSet {
+    let mut equations = base.equations.clone();
+    for (name, cover) in edits {
+        let slot = equations
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("edit names unknown equation {name}"));
+        slot.1 = cover.clone();
+    }
+    EquationSet::new(base.inputs.clone(), equations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenSpec};
+
+    fn base() -> EquationSet {
+        generate(&GenSpec {
+            target_gates: 400,
+            inputs: 10,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn edits_are_deterministic() {
+        let eqs = base();
+        let a = generate_edits(&eqs, 8, 42);
+        let b = generate_edits(&eqs, 8, 42);
+        assert_eq!(a.len(), 8);
+        for ((na, ca), (nb, cb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ca.cubes(), cb.cubes());
+        }
+    }
+
+    #[test]
+    fn every_edit_changes_the_design() {
+        let eqs = base();
+        let edits = generate_edits(&eqs, 12, 3);
+        let mut current = eqs;
+        for (i, _) in edits.iter().enumerate() {
+            let next = apply_edits(&current, &edits[i..i + 1]);
+            let same = current
+                .equations
+                .iter()
+                .zip(&next.equations)
+                .all(|((_, ca), (_, cb))| ca.cubes() == cb.cubes());
+            assert!(!same, "edit {i} was a no-op");
+            current = next;
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let eqs = base();
+        let edits = generate_edits(&eqs, 10, 11);
+        let back = parse_edits(&emit_edits(&eqs, &edits), &eqs.inputs);
+        assert_eq!(edits.len(), back.len());
+        for ((na, ca), (nb, cb)) in edits.iter().zip(&back) {
+            assert_eq!(na, nb);
+            assert_eq!(ca.cubes(), cb.cubes());
+        }
+    }
+
+    #[test]
+    fn apply_edits_round_trips_through_design_dump() {
+        let eqs = base();
+        let edits = generate_edits(&eqs, 5, 19);
+        let edited = apply_edits(&eqs, &edits);
+        let back = crate::gen::parse_design(&crate::gen::emit_design(&edited));
+        assert_eq!(edited.equations.len(), back.equations.len());
+        for ((na, ca), (nb, cb)) in edited.equations.iter().zip(&back.equations) {
+            assert_eq!(na, nb);
+            assert_eq!(ca.cubes(), cb.cubes());
+        }
+    }
+}

@@ -133,20 +133,28 @@ pub fn emit_design(eqs: &EquationSet) -> String {
     }
     out.push('\n');
     for (name, cover) in &eqs.equations {
-        write!(out, "{name} =").unwrap();
-        for (ci, cube) in cover.cubes().iter().enumerate() {
-            out.push_str(if ci == 0 { " " } else { " + " });
-            for (li, (v, phase)) in cube.literals().enumerate() {
-                if li > 0 {
-                    out.push('*');
-                }
-                out.push_str(eqs.inputs.name(v));
-                if !phase.is_pos() {
-                    out.push('\'');
-                }
+        let _ = writeln!(out, "{name} = {}", cover_tokens(cover, &eqs.inputs));
+    }
+    out
+}
+
+/// Token-SOP text of one cover (`a*b' + c`), shared by the design dump and
+/// the edit dump in [`crate::edit`].
+pub(crate) fn cover_tokens(cover: &Cover, vars: &VarTable) -> String {
+    let mut out = String::new();
+    for (ci, cube) in cover.cubes().iter().enumerate() {
+        if ci > 0 {
+            out.push_str(" + ");
+        }
+        for (li, (v, phase)) in cube.literals().enumerate() {
+            if li > 0 {
+                out.push('*');
+            }
+            out.push_str(vars.name(v));
+            if !phase.is_pos() {
+                out.push('\'');
             }
         }
-        out.push('\n');
     }
     out
 }

@@ -10,8 +10,10 @@ use asyncmap_core::{MappedDesign, PhaseTimes};
 use asyncmap_library::{builtin, Library};
 use std::time::{Duration, Instant};
 
+pub mod edit;
 pub mod gen;
 
+pub use edit::{apply_edits, emit_edits, generate_edits, parse_edits};
 pub use gen::{emit_design, generate, parse_design, GenSpec};
 
 /// Summary of a mapped design used to assert two mapping configurations
@@ -87,6 +89,13 @@ pub fn time_median_pair<T, U>(
     (sa[runs / 2], sb[runs / 2])
 }
 
+/// Detected host parallelism (`std::thread::available_parallelism`), `1`
+/// when detection fails. Recorded in every [`BenchRecord`] so a report
+/// measured on a small container can't masquerade as a scaling result.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Formats a duration with adaptive units (e.g. `"431.07µs"`, `"1.24s"`).
 pub fn secs(d: Duration) -> String {
     format!("{d:.2?}")
@@ -109,6 +118,11 @@ pub struct BenchRecord {
     pub median: Duration,
     /// Worker threads the configuration mapped with.
     pub threads: usize,
+    /// Host parallelism ([`host_cpus`]) at measurement time. A record with
+    /// `threads > host_cpus` timed an oversubscribed configuration, so its
+    /// numbers say nothing about true parallel scaling — consumers (and
+    /// the `speedup` binary itself) must not read a speedup out of it.
+    pub host_cpus: usize,
     /// Fraction of hazard checks answered by the verdict cache; `None`
     /// (omitted from the JSON) when the run performed no hazard checks —
     /// a rate of a zero-lookup cache is meaningless, not zero.
@@ -168,10 +182,11 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
             rates.push_str(&format!(", \"npn_hit_rate\": {rate:.6}"));
         }
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}{}{}}}{}\n",
+            "  {{\"name\": \"{}\", \"median_seconds\": {:.9}, \"threads\": {}, \"host_cpus\": {}{}{}}}{}\n",
             name,
             r.median.as_secs_f64(),
             r.threads,
+            r.host_cpus,
             rates,
             extra,
             if i + 1 < records.len() { "," } else { "" }
@@ -222,6 +237,7 @@ mod tests {
                 name: "scsi/seq".into(),
                 median: Duration::from_millis(1500),
                 threads: 1,
+                host_cpus: 8,
                 cache_hit_rate: None,
                 npn_hit_rate: Some(0.96),
                 phases: PhaseTimes::default(),
@@ -231,6 +247,7 @@ mod tests {
                 name: "scsi/par\"4\"".into(),
                 median: Duration::from_micros(700),
                 threads: 4,
+                host_cpus: 8,
                 cache_hit_rate: Some(0.25),
                 npn_hit_rate: None,
                 phases: PhaseTimes::default(),
@@ -241,6 +258,7 @@ mod tests {
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"median_seconds\": 1.500000000"));
         assert!(json.contains("\"threads\": 4"));
+        assert_eq!(json.matches("\"host_cpus\": 8").count(), 2);
         assert!(json.contains("\\\"4\\\""));
         assert!(json.contains("\"cache_hit_rate\": 0.250000"));
         assert!(json.contains("\"npn_hit_rate\": 0.960000"));
@@ -268,6 +286,7 @@ mod tests {
             name: "x".into(),
             median: Duration::from_millis(1),
             threads: 1,
+            host_cpus: host_cpus(),
             cache_hit_rate: None,
             npn_hit_rate: None,
             phases,

@@ -5,7 +5,7 @@ use asyncmap_bdd::{Manager, Ref};
 use asyncmap_bff::Expr;
 use asyncmap_cube::VarId;
 use asyncmap_library::Library;
-use asyncmap_network::{Cone, Network, NodeKind, SignalId};
+use asyncmap_network::{Cone, Network, SignalId};
 use std::collections::HashMap;
 
 /// Counters describing one mapping run (the overhead decomposition behind
@@ -50,6 +50,12 @@ pub struct MapStats {
     pub enum_alloc_events: usize,
     /// Cones mapped.
     pub cones: usize,
+    /// Cones whose cover was reused from an [`crate::EcoSession`] store
+    /// instead of being re-covered. Zero outside ECO remaps.
+    pub cones_reused: usize,
+    /// Cones actually re-covered during an ECO remap (every cone, on the
+    /// session's first map). Zero outside ECO remaps.
+    pub cones_remapped: usize,
     /// Base gates in the subject network.
     pub subject_gates: usize,
     /// Fanout buffers added.
@@ -259,25 +265,22 @@ pub fn assemble(
         .filter(|c| c.name().starts_with("BUF"))
         .min_by(|a, b| a.area().total_cmp(&b.area()));
     let fanout = subject.fanout_counts();
-    let mut buffer_delay_by_root: HashMap<SignalId, f64> = HashMap::new();
+    let mut buffer_delay_by_root: Vec<f64> = vec![0.0; subject.len()];
     if add_buffers {
         if let Some(buf) = buffer_cell {
             for cover in &covers {
                 if fanout[cover.root.index()] >= 2 {
                     area += buf.area();
                     stats.buffers += 1;
-                    buffer_delay_by_root.insert(cover.root, buf.delay());
+                    buffer_delay_by_root[cover.root.index()] = buf.delay();
                 }
             }
         }
     }
-    // Arrival-time propagation.
-    let mut arrival: HashMap<SignalId, f64> = HashMap::new();
-    for s in subject.signals() {
-        if matches!(subject.node(s), NodeKind::Input) {
-            arrival.insert(s, 0.0);
-        }
-    }
+    // Arrival-time propagation, signal-indexed (a per-signal HashMap put
+    // assemble on the ECO critical path; a flat Vec is branch-free here).
+    // Signals never written (inputs, uncovered gates) read as arrival 0.
+    let mut arrival: Vec<f64> = vec![0.0; subject.len()];
     let mut order: Vec<usize> = (0..covers.len()).collect();
     order.sort_by_key(|&i| covers[i].root);
     for i in order {
@@ -287,20 +290,16 @@ pub fn assemble(
             let worst = inst
                 .inputs
                 .iter()
-                .map(|s| arrival.get(s).copied().unwrap_or(0.0))
+                .map(|s| arrival[s.index()])
                 .fold(0.0f64, f64::max);
-            arrival.insert(inst.output, worst + cell.delay());
+            arrival[inst.output.index()] = worst + cell.delay();
         }
-        if let Some(extra) = buffer_delay_by_root.get(&cover.root) {
-            if let Some(a) = arrival.get_mut(&cover.root) {
-                *a += extra;
-            }
-        }
+        arrival[cover.root.index()] += buffer_delay_by_root[cover.root.index()];
     }
     let delay = subject
         .outputs()
         .iter()
-        .map(|(_, s)| arrival.get(s).copied().unwrap_or(0.0))
+        .map(|(_, s)| arrival[s.index()])
         .fold(0.0f64, f64::max);
     MappedDesign {
         library_name: library.name().to_owned(),

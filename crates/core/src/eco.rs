@@ -1,0 +1,485 @@
+//! Incremental (ECO) remapping: an [`EcoSession`] retains per-cone-shape
+//! covers, their per-cone hazard-filter counts, and the warm hazard-verdict
+//! cache across successive maps of edited designs, so a remap costs time
+//! proportional to the *edit*, not the design.
+//!
+//! # Why shape-keyed reuse is exact
+//!
+//! The covering DP of a cone consumes nothing but the cone's local gate
+//! tree (leaves opaque), the library, the cluster limits and the
+//! objective. The last three are fixed for the lifetime of a session, so a
+//! cover computed for one cone translates verbatim — positionally, via
+//! [`ConeLocalMap`] — to any cone with an equal [`ConeShapeKey`]. The
+//! translated cover's instances, area (the same float-addition sequence)
+//! and cut-truncation count are bit-identical to what a cold run would
+//! compute for that cone, and since `assemble` re-derives delay and
+//! buffers from the (freshly decomposed) subject network, the whole
+//! remapped design is `design_fingerprint`-identical to a cold map of the
+//! edited equations.
+//!
+//! Hazard-filter counters are part of the fingerprint
+//! (`stats.hazard_rejects`), so the session also stores each shape's
+//! per-cone `(hazard_checks, hazard_rejects)` — these are
+//! shape-deterministic (the match memo stores *pre*-hazard-filter
+//! candidate lists, so every cone performs its own checks in a cold run
+//! regardless of memo or verdict-cache warmth) and the stitched totals are
+//! the per-cone sums, exactly as a cold run accumulates them.
+//!
+//! The session's first [`EcoSession::map`] call is the base map: every
+//! shape misses the store and is covered; duplicate shapes within the run
+//! already reuse the first instance's cover (a cold map computes the same
+//! cover for each of them independently).
+
+use crate::cover::{cover_cone_with, ConeCover, CoverError, Instance};
+use crate::design::{assemble, MapStats, MappedDesign};
+use crate::hcache::HazardCache;
+use crate::matcher::{HazardPolicy, Matcher, MatcherCounters};
+use crate::profile::{self, MapPhase};
+use crate::tmap::MapOptions;
+use asyncmap_library::Library;
+use asyncmap_network::{
+    async_tech_decomp, async_tech_decomp_traced, build_partition_dag, partition, partition_traced,
+    propagate_dirty, Cone, ConeLocalMap, ConeShapeKey, EquationSet, ShapeKeyScratch,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::fxhash::FxBuildHasher;
+
+/// A cover in cone-local coordinates: instance outputs are gate positions,
+/// instance inputs are [`ConeLocalMap`] references. Valid for every cone
+/// sharing the stored shape key.
+#[derive(Debug, Clone)]
+struct LocalInstance {
+    cell_index: usize,
+    /// Position in `Cone::gates` of the signal this instance produces.
+    output: u32,
+    /// Local references (leaf `i << 1`, gate `(j << 1) | 1`) of the pin
+    /// bindings, in pin order.
+    inputs: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct StoredCover {
+    instances: Vec<LocalInstance>,
+    area: f64,
+    cut_truncations: usize,
+    /// Hazard-containment checks a cold covering of this shape performs.
+    hazard_checks: usize,
+    /// Matches the hazard filter rejects on this shape.
+    hazard_rejects: usize,
+}
+
+/// Reuse accounting of one [`EcoSession::map`] call, alongside the
+/// design's ordinary [`MapStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EcoStats {
+    /// Cones in the partition of this map's subject network.
+    pub cones_total: usize,
+    /// Cones whose cover was served from the shape store.
+    pub cones_reused: usize,
+    /// Cones actually re-covered (store misses).
+    pub cones_remapped: usize,
+    /// Cones in the edit's blast radius: store misses plus everything
+    /// downstream of them in the partition DAG. Shape-keyed reuse makes
+    /// remapping the downstream part unnecessary; this is the honest
+    /// measure of how much of the design the edit could have disturbed.
+    pub cones_downstream_dirty: usize,
+    /// Distinct cone shapes in the session store after this map.
+    pub store_entries: usize,
+}
+
+/// The result of one incremental remap.
+#[derive(Debug)]
+pub struct EcoOutcome {
+    /// The remapped design — `design_fingerprint`-identical to a cold
+    /// `async_tmap` of the same equations.
+    pub design: MappedDesign,
+    /// Reuse accounting for this map call.
+    pub eco: EcoStats,
+}
+
+/// An incremental remapping session over one library and one set of
+/// mapping options.
+///
+/// Successive [`EcoSession::map`] calls share the hazard-verdict cache and
+/// a store of covers keyed by [`ConeShapeKey`]; only cones whose shape is
+/// new since the previous maps are re-covered. Covering runs sequentially
+/// (per-cone counter attribution requires it), so `MapOptions::threads` is
+/// ignored here — the incremental path's cost is proportional to the edit,
+/// where thread-level parallelism has nothing to win.
+///
+/// Cloning a session deep-copies the cover store but *shares* the
+/// hazard-verdict cache (it is behaviorally transparent: warmth changes
+/// timing, never results).
+#[derive(Debug, Clone)]
+pub struct EcoSession<'lib> {
+    library: &'lib Library,
+    options: MapOptions,
+    cache: Arc<HazardCache>,
+    // Fx-hashed: shape keys are process-built words, never untrusted
+    // input, and every map() probes the store once or twice per cone.
+    store: HashMap<ConeShapeKey, StoredCover, FxBuildHasher>,
+}
+
+impl<'lib> EcoSession<'lib> {
+    /// Creates a session mapping against `library` with `options`.
+    pub fn new(library: &'lib Library, options: MapOptions) -> Self {
+        EcoSession {
+            library,
+            options,
+            cache: Arc::new(HazardCache::new()),
+            store: HashMap::default(),
+        }
+    }
+
+    /// Number of distinct cone shapes currently stored.
+    pub fn store_entries(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Maps `eqs`, reusing stored covers for every cone whose shape the
+    /// session has seen before. The first call is the base map (every
+    /// shape is new). The result is bit-identical to a cold
+    /// [`crate::async_tmap`] of the same equations under the session's
+    /// options.
+    ///
+    /// Honors the same `ASYNCMAP_LINT` / `ASYNCMAP_AUDIT` hook switches as
+    /// [`crate::async_tmap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError`] if some gate admits no match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's library has not been hazard-annotated, or
+    /// if an enabled lint/audit hook reports findings.
+    pub fn map(&mut self, eqs: &EquationSet) -> Result<EcoOutcome, CoverError> {
+        let phases_before = profile::snapshot();
+        let audit = crate::tmap::audit_hook();
+        let (subject, dtrace) = {
+            let _t = profile::timer(MapPhase::Decompose);
+            if audit.is_some() {
+                let (net, trace) = async_tech_decomp_traced(eqs);
+                (net, Some(trace))
+            } else {
+                (async_tech_decomp(eqs), None)
+            }
+        };
+        let cones = {
+            let _t = profile::timer(MapPhase::Partition);
+            partition(&subject)
+        };
+
+        // Dirty marking: shape-key every cone into a shared word arena
+        // (no per-cone allocation), classify against the store by slice
+        // probe, and measure the blast radius over the partition DAG.
+        let mut arena: Vec<u32> = Vec::with_capacity(cones.len() * 12);
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(cones.len());
+        let downstream_dirty = {
+            let _t = profile::timer(MapPhase::DirtyMark);
+            let mut scratch = ShapeKeyScratch::new();
+            let mut blast: Vec<bool> = Vec::with_capacity(cones.len());
+            for cone in &cones {
+                let range = scratch.append_key(&subject, cone, &mut arena);
+                blast.push(!self.store.contains_key(&arena[range.clone()]));
+                ranges.push(range);
+            }
+            let dag = build_partition_dag(&cones);
+            propagate_dirty(&dag, &mut blast);
+            blast.iter().filter(|&&d| d).count()
+        };
+
+        // Re-cover store misses, sequentially, attributing the matcher's
+        // hazard counters to each cone by snapshot/delta. A miss stores its
+        // cover immediately, so later cones of the same (new) shape reuse
+        // it within this very run.
+        let matcher = Matcher::with_cache(
+            self.library,
+            HazardPolicy::SubsetCheck,
+            Arc::clone(&self.cache),
+        );
+        let matcher_before = matcher.counters();
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let alloc_before = profile::enum_alloc_snapshot();
+        let mut remapped = 0usize;
+        for (cone, range) in cones.iter().zip(&ranges) {
+            let words = &arena[range.clone()];
+            if self.store.contains_key(words) {
+                continue;
+            }
+            let before = matcher.counters();
+            let cover = cover_cone_with(
+                &subject,
+                cone,
+                &matcher,
+                &self.options.limits,
+                self.options.objective,
+            )?;
+            let delta = matcher.counters().delta(&before);
+            self.store.insert(
+                ConeShapeKey::from_words(words.to_vec()),
+                localize(cone, &cover, &delta),
+            );
+            remapped += 1;
+        }
+
+        // One final probe per cone; `stored[i]` serves the stitch pass and
+        // the per-cone hazard totals below.
+        let stored: Vec<&StoredCover> = ranges
+            .iter()
+            .map(|range| {
+                self.store
+                    .get(&arena[range.clone()])
+                    .expect("every cone covered or reused")
+            })
+            .collect();
+
+        // Stitch: translate every cone's stored cover onto this subject
+        // network's signals.
+        let covers: Vec<ConeCover> = {
+            let _t = profile::timer(MapPhase::ReuseStitch);
+            cones
+                .iter()
+                .zip(&stored)
+                .map(|(cone, s)| delocalize(cone, s))
+                .collect()
+        };
+
+        let phases = profile::snapshot().delta(&phases_before);
+        profile::maybe_dump(&phases);
+        let cut_truncations = covers.iter().map(|c| c.cut_truncations).sum();
+        let counters = matcher.counters().delta(&matcher_before);
+        let alloc = profile::enum_alloc_snapshot().delta(&alloc_before);
+        profile::maybe_dump_counters(
+            cut_truncations,
+            counters.npn_hits,
+            counters.npn_misses,
+            &alloc,
+        );
+        // Hazard totals are the per-cone sums over *all* cones (stored
+        // per-shape counts), exactly what a cold sequential run
+        // accumulates; cache/memo/alloc counters describe this run's real
+        // work and are deltas like everywhere else.
+        let stats = MapStats {
+            hazard_checks: stored.iter().map(|s| s.hazard_checks).sum(),
+            hazard_rejects: stored.iter().map(|s| s.hazard_rejects).sum(),
+            cache_hits: self.cache.hits() - hits_before,
+            cache_misses: self.cache.misses() - misses_before,
+            npn_hits: counters.npn_hits,
+            npn_misses: counters.npn_misses,
+            cut_truncations,
+            enum_warm_cones: alloc.warm_cones as usize,
+            enum_alloc_events: alloc.alloc_events as usize,
+            cones_reused: cones.len() - remapped,
+            cones_remapped: remapped,
+            phases,
+            ..MapStats::default()
+        };
+        let eco = EcoStats {
+            cones_total: cones.len(),
+            cones_reused: cones.len() - remapped,
+            cones_remapped: remapped,
+            cones_downstream_dirty: downstream_dirty,
+            store_entries: self.store.len(),
+        };
+        let mut design = assemble(
+            self.library,
+            subject,
+            cones,
+            covers,
+            stats,
+            self.options.add_buffers,
+        );
+        crate::tmap::post_map_check(&design, self.library);
+        if let (Some(hook), Some(dtrace)) = (audit, dtrace) {
+            let (cones, ptrace) = partition_traced(&design.subject);
+            match hook(eqs, &design.subject, &dtrace, &cones, &ptrace) {
+                Ok(certificates) => design.stats.audit_certificates = certificates,
+                Err(report) => panic!("ASYNCMAP_AUDIT=1: transformation audit failed\n{report}"),
+            }
+        }
+        Ok(EcoOutcome { design, eco })
+    }
+}
+
+fn localize(cone: &Cone, cover: &ConeCover, counters: &MatcherCounters) -> StoredCover {
+    let map = ConeLocalMap::new(cone);
+    let instances = cover
+        .instances
+        .iter()
+        .map(|inst| LocalInstance {
+            cell_index: inst.cell_index,
+            output: map
+                .gate_pos(inst.output)
+                .unwrap_or_else(|| panic!("instance output {} not a cone gate", inst.output)),
+            inputs: inst
+                .inputs
+                .iter()
+                .map(|&s| {
+                    map.local_ref(s)
+                        .unwrap_or_else(|| panic!("pin binding {s} escapes the cone"))
+                })
+                .collect(),
+        })
+        .collect();
+    StoredCover {
+        instances,
+        area: cover.area,
+        cut_truncations: cover.cut_truncations,
+        hazard_checks: counters.hazard_checks,
+        hazard_rejects: counters.hazard_rejects,
+    }
+}
+
+fn delocalize(cone: &Cone, stored: &StoredCover) -> ConeCover {
+    ConeCover {
+        root: cone.root,
+        instances: stored
+            .instances
+            .iter()
+            .map(|li| Instance {
+                cell_index: li.cell_index,
+                output: cone.gates[li.output as usize],
+                inputs: li
+                    .inputs
+                    .iter()
+                    .map(|&r| ConeLocalMap::resolve(cone, r))
+                    .collect(),
+            })
+            .collect(),
+        area: stored.area,
+        cut_truncations: stored.cut_truncations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::async_tmap;
+    use asyncmap_cube::{Cover, VarTable};
+    use asyncmap_library::builtin;
+
+    fn fingerprint(d: &MappedDesign) -> (u64, u64, usize, usize) {
+        (
+            d.area.to_bits(),
+            d.delay.to_bits(),
+            d.covers.iter().map(|c| c.instances.len()).sum(),
+            d.stats.hazard_rejects,
+        )
+    }
+
+    fn eqs_of(pairs: &[(&str, &str)], names: &[&str]) -> EquationSet {
+        let vars = VarTable::from_names(names.iter().copied());
+        let equations = pairs
+            .iter()
+            .map(|(n, t)| ((*n).to_owned(), Cover::parse(t, &vars).unwrap()))
+            .collect();
+        EquationSet::new(vars, equations)
+    }
+
+    fn seq_options() -> MapOptions {
+        MapOptions {
+            threads: 1,
+            ..MapOptions::default()
+        }
+    }
+
+    #[test]
+    fn base_map_matches_cold_map() {
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let eqs = eqs_of(
+            &[("f", "ab + a'c + bc"), ("g", "a'd + bc'd")],
+            &["a", "b", "c", "d"],
+        );
+        let cold = async_tmap(&eqs, &lib, &seq_options()).unwrap();
+        let mut session = EcoSession::new(&lib, seq_options());
+        let out = session.map(&eqs).unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&out.design));
+        assert_eq!(cold.stats.hazard_checks, out.design.stats.hazard_checks);
+        assert_eq!(out.eco.cones_total, cold.stats.cones);
+        assert_eq!(
+            out.eco.cones_reused + out.eco.cones_remapped,
+            out.eco.cones_total
+        );
+        assert!(out.design.verify_function(&lib));
+        assert!(out.design.verify_hazards(&lib));
+    }
+
+    #[test]
+    fn edited_remap_matches_cold_map_of_edit() {
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let base = eqs_of(
+            &[
+                ("f", "ab + a'c + bc"),
+                ("g", "a'd + bc'd"),
+                ("h", "cd + ab'"),
+            ],
+            &["a", "b", "c", "d"],
+        );
+        let edited = eqs_of(
+            &[
+                ("f", "ab + a'c + bc"),
+                ("g", "a'd + bcd"),
+                ("h", "cd + ab'"),
+            ],
+            &["a", "b", "c", "d"],
+        );
+        let mut session = EcoSession::new(&lib, seq_options());
+        let base_out = session.map(&base).unwrap();
+        let eco_out = session.map(&edited).unwrap();
+        let cold = async_tmap(&edited, &lib, &seq_options()).unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&eco_out.design));
+        assert_eq!(cold.stats.hazard_checks, eco_out.design.stats.hazard_checks);
+        assert_eq!(cold.stats.buffers, eco_out.design.stats.buffers);
+        // Only the edited cone's (new) shape was re-covered.
+        assert!(eco_out.eco.cones_reused > 0, "{:?}", eco_out.eco);
+        assert!(eco_out.eco.cones_remapped < base_out.eco.cones_total);
+        assert!(eco_out.design.verify_function(&lib));
+        assert!(eco_out.design.verify_hazards(&lib));
+    }
+
+    #[test]
+    fn unchanged_remap_reuses_everything() {
+        let mut lib = builtin::cmos3();
+        lib.annotate_hazards();
+        let eqs = eqs_of(&[("f", "ab + a'c + bc")], &["a", "b", "c"]);
+        let mut session = EcoSession::new(&lib, seq_options());
+        let first = session.map(&eqs).unwrap();
+        let second = session.map(&eqs).unwrap();
+        assert_eq!(second.eco.cones_remapped, 0);
+        assert_eq!(second.eco.cones_reused, second.eco.cones_total);
+        assert_eq!(second.eco.cones_downstream_dirty, 0);
+        assert_eq!(fingerprint(&first.design), fingerprint(&second.design));
+        // Reuse totals still report the full hazard-filter work a cold
+        // run would do (the fingerprint depends on it).
+        assert_eq!(
+            first.design.stats.hazard_checks,
+            second.design.stats.hazard_checks
+        );
+        assert_eq!(second.design.stats.cones_reused, second.eco.cones_total);
+    }
+
+    #[test]
+    fn delay_objective_sessions_match_cold() {
+        let mut lib = builtin::lsi9k();
+        lib.annotate_hazards();
+        let opts = MapOptions {
+            objective: crate::Objective::Delay,
+            threads: 1,
+            ..MapOptions::default()
+        };
+        let eqs = eqs_of(
+            &[("f", "ab + c'd"), ("g", "a'b' + cd'")],
+            &["a", "b", "c", "d"],
+        );
+        let cold = async_tmap(&eqs, &lib, &opts).unwrap();
+        let mut session = EcoSession::new(&lib, opts);
+        let out = session.map(&eqs).unwrap();
+        assert_eq!(fingerprint(&cold), fingerprint(&out.design));
+    }
+}

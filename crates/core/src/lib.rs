@@ -46,6 +46,7 @@
 mod cluster;
 mod cover;
 mod design;
+mod eco;
 mod export;
 mod fxhash;
 mod hcache;
@@ -63,6 +64,7 @@ pub use cover::{cover_cone, cover_cone_with, hand_cover, ConeCover, CoverError, 
 pub use design::{
     assemble, bdd_of_expr, mapped_cone_expr, verify_cone_function, MapStats, MappedDesign,
 };
+pub use eco::{EcoOutcome, EcoSession, EcoStats};
 pub use export::to_verilog;
 pub use hcache::HazardCache;
 pub use hdc::{cone_certified, hdc_tmap, Transition};

@@ -35,10 +35,16 @@ pub enum MapPhase {
     HazardCheck,
     /// Dynamic-programming cover selection (excluding matching time).
     CoverSelect,
+    /// ECO remap: shape-keying every cone and classifying it reused/dirty
+    /// (includes building the partition DAG and the blast-radius sweep).
+    DirtyMark,
+    /// ECO remap: translating stored covers onto the new network's
+    /// signals.
+    ReuseStitch,
 }
 
 /// Number of phases in [`MapPhase`].
-pub const NUM_PHASES: usize = 6;
+pub const NUM_PHASES: usize = 8;
 
 /// Short stable names, indexed by `MapPhase as usize` (used in reports and
 /// the benchmark JSON).
@@ -49,6 +55,8 @@ pub const PHASE_NAMES: [&str; NUM_PHASES] = [
     "match",
     "hazard_check",
     "cover_select",
+    "dirty_mark",
+    "reuse_stitch",
 ];
 
 /// Accumulated per-phase wall-clock time and invocation counts.

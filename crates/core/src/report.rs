@@ -85,6 +85,13 @@ pub fn render_report(design: &MappedDesign, library: &Library) -> String {
             100.0 * design.stats.npn_hits as f64 / npn_total as f64
         );
     }
+    if design.stats.cones_reused + design.stats.cones_remapped > 0 {
+        let _ = writeln!(
+            out,
+            "eco remap: {} cone(s) reused, {} re-covered",
+            design.stats.cones_reused, design.stats.cones_remapped
+        );
+    }
     if design.stats.cut_truncations > 0 {
         let _ = writeln!(
             out,

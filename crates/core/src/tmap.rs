@@ -46,7 +46,7 @@ pub fn set_post_transform_hook(hook: PostTransformHook) {
 }
 
 /// The audit hook to run, when `ASYNCMAP_AUDIT=1` and one is installed.
-fn audit_hook() -> Option<PostTransformHook> {
+pub(crate) fn audit_hook() -> Option<PostTransformHook> {
     if !std::env::var("ASYNCMAP_AUDIT").is_ok_and(|v| v.trim() == "1") {
         return None;
     }
@@ -66,7 +66,7 @@ pub fn set_post_map_hook(hook: PostMapHook) {
     let _ = POST_MAP_HOOK.set(hook);
 }
 
-fn post_map_check(design: &MappedDesign, library: &Library) {
+pub(crate) fn post_map_check(design: &MappedDesign, library: &Library) {
     if !std::env::var("ASYNCMAP_LINT").is_ok_and(|v| v.trim() == "1") {
         return;
     }

@@ -62,7 +62,7 @@ mod theorem32;
 use asyncmap_bff::Expr;
 use asyncmap_core::{ConeCover, Instance, MappedDesign};
 use asyncmap_library::Library;
-use asyncmap_network::{Cone, GateOp, Network, NodeKind, SignalId};
+use asyncmap_network::{cone_shape_key, Cone, ConeLocalMap, GateOp, Network, NodeKind, SignalId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -129,6 +129,10 @@ pub struct LintCounters {
     pub cone_sweeps: usize,
     /// Cones too wide for the whole-cone exhaustive sweep.
     pub cone_sweeps_skipped: usize,
+    /// Cones whose per-cone checks were skipped because an identically
+    /// shaped cone with an identical local cover already linted clean
+    /// (only [`lint_mapped_design_cached`] ever sets this).
+    pub cones_reused: usize,
 }
 
 /// The result of linting one mapped design.
@@ -194,6 +198,12 @@ impl LintReport {
             self.counters.function_checks,
             self.counters.theorem32_checks,
         ));
+        if self.counters.cones_reused > 0 {
+            out.push_str(&format!(
+                "lint: {} cone(s) reused from a prior clean pass\n",
+                self.counters.cones_reused
+            ));
+        }
         out
     }
 }
@@ -398,6 +408,80 @@ pub(crate) fn truth_equal(a: &Expr, b: &Expr, n: usize) -> bool {
     }
 }
 
+/// Reuse cache for [`lint_mapped_design_cached`].
+///
+/// Every per-cone check family is a pure function of the cone's *local*
+/// shape (its gate operator tree over positional leaves), the cover's
+/// instances rewritten into that local space, and the library. The cache
+/// therefore remembers, per library, the set of (shape, local cover) pairs
+/// that produced **zero findings and zero notes**; a later cone with an
+/// identical pair is skipped and counted in
+/// [`LintCounters::cones_reused`]. Cones that produced any diagnostic are
+/// never cached, so re-linting an unclean design re-reports every finding.
+///
+/// Whole-design checks (acyclicity, drivenness, area re-addition, the
+/// partition boundary) never consult the cache — they run in full on every
+/// pass, so reuse adds no trust assumptions beyond "equal local shape,
+/// equal local cover, equal library".
+///
+/// The cache also memoizes the per-cell hazardousness recomputation,
+/// which is library-wide and design-independent. Pointing one cache at a
+/// differently named library clears it.
+#[derive(Debug, Default)]
+pub struct LintCache {
+    /// Library the cached verdicts were computed against.
+    library: Option<String>,
+    /// Encoded (shape, local cover) pairs that linted clean.
+    clean: HashSet<Vec<u32>>,
+    /// Memoized per-cell hazardousness for `library`.
+    cell_hazardous: Option<Vec<bool>>,
+}
+
+impl LintCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct clean (shape, local cover) pairs remembered.
+    pub fn entries(&self) -> usize {
+        self.clean.len()
+    }
+
+    fn bind_library(&mut self, library: &Library) {
+        if self.library.as_deref() != Some(library.name()) {
+            self.library = Some(library.name().to_owned());
+            self.clean.clear();
+            self.cell_hazardous = None;
+        }
+    }
+}
+
+/// Encodes a cone and its cover into the cache key: the cone's canonical
+/// shape words extended with every instance rewritten into the cone's
+/// local space, plus the reported area. Returns `None` when some instance
+/// binds a signal outside the cone — such a cover is diagnosed by the
+/// per-cone walks and is not cacheable (its meaning depends on foreign
+/// signals the key cannot capture).
+fn cone_cover_key(net: &Network, cone: &Cone, cover: &ConeCover) -> Option<Vec<u32>> {
+    let local = ConeLocalMap::new(cone);
+    let mut words = cone_shape_key(net, cone).into_inner();
+    let area = cover.area.to_bits();
+    words.push((area >> 32) as u32);
+    words.push(area as u32);
+    words.push(local.local_ref(cover.root)?);
+    words.push(u32::try_from(cover.instances.len()).ok()?);
+    for inst in &cover.instances {
+        words.push(u32::try_from(inst.cell_index).ok()?);
+        words.push(local.local_ref(inst.output)?);
+        words.push(u32::try_from(inst.inputs.len()).ok()?);
+        for &input in &inst.inputs {
+            words.push(local.local_ref(input)?);
+        }
+    }
+    Some(words)
+}
+
 /// Runs every check family over `design` and returns the combined report.
 ///
 /// Read-only: the design and library are not modified. The pass assumes
@@ -405,6 +489,32 @@ pub(crate) fn truth_equal(a: &Expr, b: &Expr, n: usize) -> bool {
 /// deliberately corrupted [`MappedDesign`] is diagnosed the same way a
 /// mapper-produced one is.
 pub fn lint_mapped_design(design: &MappedDesign, library: &Library) -> LintReport {
+    lint_inner(design, library, None)
+}
+
+/// [`lint_mapped_design`] with reuse: per-cone checks are skipped for
+/// cones whose (shape, local cover) pair already linted clean under
+/// `cache` (see [`LintCache`] for the reuse argument) — whether in a
+/// previous pass or earlier in the same pass (duplicated logic is common
+/// in generated designs). Intended for incremental (ECO) flows, where
+/// successive designs share almost every cone. The verdict and the
+/// diagnostics are identical to [`lint_mapped_design`]'s; only the work
+/// counters differ, with the skipped cones in
+/// [`LintCounters::cones_reused`].
+pub fn lint_mapped_design_cached(
+    design: &MappedDesign,
+    library: &Library,
+    cache: &mut LintCache,
+) -> LintReport {
+    cache.bind_library(library);
+    lint_inner(design, library, Some(cache))
+}
+
+fn lint_inner(
+    design: &MappedDesign,
+    library: &Library,
+    cache: Option<&mut LintCache>,
+) -> LintReport {
     let mut report = LintReport::default();
     report.counters.cones = design.cones.len();
     report.counters.instances = design.num_instances();
@@ -413,16 +523,34 @@ pub fn lint_mapped_design(design: &MappedDesign, library: &Library) -> LintRepor
 
     // Hazardousness of each library cell, recomputed here (not read from
     // the annotation the matcher used) so a stale annotation cannot mask
-    // a hazardous cell.
-    let cell_hazardous: Vec<bool> = library
-        .cells()
-        .iter()
-        .map(|c| !c.compute_hazards().is_hazard_free())
-        .collect();
+    // a hazardous cell. Library-wide and design-independent, so the cache
+    // (when present) memoizes it across passes.
+    let memo = cache.as_ref().and_then(|c| c.cell_hazardous.clone());
+    let cell_hazardous: Vec<bool> = memo.unwrap_or_else(|| {
+        library
+            .cells()
+            .iter()
+            .map(|c| !c.compute_hazards().is_hazard_free())
+            .collect()
+    });
+    let mut cache = cache;
+    if let Some(c) = cache.as_deref_mut() {
+        c.cell_hazardous = Some(cell_hazardous.clone());
+    }
 
     // Per-cone walks: build the instance views once, then feed them to the
     // coverage, function and Theorem 3.2 checks.
     for (idx, (cone, cover)) in design.cones.iter().zip(&design.covers).enumerate() {
+        let key = cache
+            .as_ref()
+            .map(|_| cone_cover_key(&design.subject, cone, cover));
+        if let (Some(c), Some(Some(key))) = (cache.as_deref_mut(), key.as_ref()) {
+            if c.clean.contains(key) {
+                report.counters.cones_reused += 1;
+                continue;
+            }
+        }
+        let (findings_before, notes_before) = (report.findings.len(), report.notes.len());
         if !structure::check_instances_wellformed(design, library, cone, cover, &mut report) {
             // Out-of-range cell or signal indices: the walks below would
             // index out of bounds, so stop at the structural findings.
@@ -440,6 +568,14 @@ pub fn lint_mapped_design(design: &MappedDesign, library: &Library) -> LintRepor
             &cell_hazardous,
             &mut report,
         );
+        // Cache only perfectly quiet cones: a cone that produced even an
+        // info note must re-produce it on every pass, so a warm cache
+        // yields the same report a cold one would.
+        if report.findings.len() == findings_before && report.notes.len() == notes_before {
+            if let (Some(c), Some(Some(key))) = (cache.as_deref_mut(), key) {
+                c.clean.insert(key);
+            }
+        }
     }
     report
 }

@@ -374,3 +374,55 @@ fn theorem32_rechecks_run_on_hazardous_bindings() {
         assert!(report.counters.theorem32_checks > 0);
     }
 }
+
+/// A warm cache must reuse every cone that linted perfectly quietly and
+/// still produce an identical verdict — the reuse contract behind the
+/// incremental (ECO) lint path.
+#[test]
+fn warm_cache_reuses_quiet_cones_and_keeps_the_verdict() {
+    let (design, lib) = mapped_bench(0);
+    let mut cache = asyncmap_lint::LintCache::new();
+    let cold = asyncmap_lint::lint_mapped_design_cached(&design, &lib, &mut cache);
+    assert!(cold.is_clean(), "{}", cold.render());
+    let warm = asyncmap_lint::lint_mapped_design_cached(&design, &lib, &mut cache);
+    assert!(warm.is_clean(), "{}", warm.render());
+    assert_eq!(warm.findings.len(), cold.findings.len());
+    // Notes are re-produced, never cached away: a noisy cone reruns.
+    assert_eq!(warm.notes.len(), cold.notes.len());
+    // The cold pass may already reuse within-run duplicates; the warm pass
+    // reuses at least those plus every quiet cone seen in the cold pass.
+    assert!(warm.counters.cones_reused > cold.counters.cones_reused);
+    if cold.notes.is_empty() {
+        assert_eq!(warm.counters.cones_reused, design.cones.len());
+    }
+    // The cached pass must also agree with the uncached entry point.
+    let reference = lint_mapped_design(&design, &lib);
+    assert_eq!(reference.findings.len(), warm.findings.len());
+    assert_eq!(reference.notes.len(), warm.notes.len());
+}
+
+/// Corrupting a cover after the cache was warmed on the clean design must
+/// still be flagged: the corrupted cone's key no longer matches any cached
+/// clean pair, so its checks rerun in full.
+#[test]
+fn warm_cache_does_not_mask_a_corrupted_cover() {
+    let (mut design, lib) = mapped_bench(0);
+    let mut cache = asyncmap_lint::LintCache::new();
+    let cold = asyncmap_lint::lint_mapped_design_cached(&design, &lib, &mut cache);
+    assert!(cold.is_clean(), "{}", cold.render());
+    // Drop a non-root instance from some multi-instance cover: its gates
+    // become uncovered, a per-cone coverage violation.
+    let ci = design
+        .covers
+        .iter()
+        .position(|c| c.instances.len() >= 2)
+        .expect("some cover uses two cells");
+    design.covers[ci].instances.remove(0);
+    let warm = asyncmap_lint::lint_mapped_design_cached(&design, &lib, &mut cache);
+    assert!(
+        !warm.is_clean(),
+        "corrupted cover escaped the warm-cache lint"
+    );
+    // Every other cone is still eligible for reuse.
+    assert!(warm.counters.cones_reused > 0);
+}

@@ -34,6 +34,7 @@
 
 mod certificate;
 mod decomp;
+mod eco;
 #[allow(clippy::module_inception)]
 mod network;
 mod partition;
@@ -44,6 +45,10 @@ pub use certificate::{
 pub use decomp::{
     async_tech_decomp, async_tech_decomp_traced, decompose_expr, decompose_expr_demorgan,
     sync_tech_decomp, EquationSet,
+};
+pub use eco::{
+    build_partition_dag, cone_shape_key, cone_shape_key_with, propagate_dirty, ConeLocalMap,
+    ConeShapeKey, PartitionDag, ShapeKeyScratch,
 };
 pub use network::{Fanin, GateOp, Network, NodeKind, SignalId};
 pub use partition::{is_partition_boundary, partition, partition_roots, partition_traced, Cone};

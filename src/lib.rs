@@ -57,7 +57,8 @@ pub use asyncmap_network as network;
 pub mod prelude {
     pub use asyncmap_bff::Expr;
     pub use asyncmap_core::{
-        async_tmap, hand_map, hdc_tmap, tmap, MapOptions, MappedDesign, Objective,
+        async_tmap, hand_map, hdc_tmap, tmap, EcoOutcome, EcoSession, EcoStats, MapOptions,
+        MappedDesign, Objective,
     };
     pub use asyncmap_cube::{Cover, Cube, VarTable};
     pub use asyncmap_hazard::{analyze_expr, hazards_subset, HazardReport};

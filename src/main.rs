@@ -10,6 +10,9 @@
 //! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
 //! asyncmap gen   <gates>                         seeded large-design generator
 //!                [--seed N] [--inputs N] [--lib NAME] [--map] [--lint] [--audit]
+//!                [--emit out.eqn] [--edit K] [--edit-out out.edits]
+//! asyncmap eco   <base> <edits> <library>        incremental (ECO) remap
+//!                [--objective area|delay] [--verify]
 //! ```
 //!
 //! `lint` and the two-argument `audit` also accept a builtin Table 5
@@ -19,6 +22,14 @@
 //! panicking on findings; `ASYNCMAP_AUDIT=1` makes every hazard-aware map
 //! replay the front end's translation-validation certificates the same
 //! way.
+//!
+//! `gen --edit K` derives K cumulative single-cube edits from the
+//! generator seed and prints them as `set <name> = <cubes>` lines (or
+//! writes them with `--edit-out`). `eco` base-maps `<base>` (an equation
+//! dump from `gen --emit`, a `.bms` file, or a builtin benchmark name),
+//! applies such an edit script, remaps incrementally, and with `--verify`
+//! cross-checks the stitched design against a cold map plus the
+//! cache-warmed lint and audit passes.
 
 use asyncmap::burst::{expand, hazard_free_cover, parse_bms, to_dot};
 use asyncmap::mapper::{render_report, to_verilog, Objective};
@@ -35,6 +46,7 @@ fn main() -> ExitCode {
         Some("map") => cmd_map(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("eco") => cmd_eco(&args[1..]),
         _ => {
             eprintln!("usage: asyncmap <audit|synth|map|lint|gen> ... (see crate docs)");
             return ExitCode::from(2);
@@ -269,6 +281,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let mut lib_arg = "lsi9k".to_owned();
     let (mut do_map, mut do_lint, mut do_audit) = (false, false, false);
     let mut emit_path: Option<String> = None;
+    let mut edit_count = 0usize;
+    let mut edit_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -296,6 +310,18 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
                 i += 1;
                 emit_path = Some(args.get(i).ok_or("gen: --emit needs a path")?.clone());
             }
+            "--edit" => {
+                i += 1;
+                edit_count = args
+                    .get(i)
+                    .ok_or("gen: --edit needs a count")?
+                    .parse()
+                    .map_err(|e| format!("gen: bad --edit: {e}"))?;
+            }
+            "--edit-out" => {
+                i += 1;
+                edit_out = Some(args.get(i).ok_or("gen: --edit-out needs a path")?.clone());
+            }
             "--map" => do_map = true,
             "--lint" => do_lint = true,
             "--audit" => do_audit = true,
@@ -308,6 +334,21 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         std::fs::write(path, asyncmap::bench::emit_design(&eqs))
             .map_err(|e| format!("gen: writing {path}: {e}"))?;
         println!("wrote {} equations to {path}", eqs.equations.len());
+    }
+    if edit_count > 0 {
+        // Edit seed derived from the generator seed: the same `gen`
+        // invocation always yields the same edit script.
+        let edits = asyncmap::bench::generate_edits(&eqs, edit_count, spec.seed ^ 0xEC0);
+        let text = asyncmap::bench::emit_edits(&eqs, &edits);
+        match &edit_out {
+            Some(path) => {
+                std::fs::write(path, &text).map_err(|e| format!("gen: writing {path}: {e}"))?;
+                println!("wrote {} edit(s) to {path}", edits.len());
+            }
+            None => print!("{text}"),
+        }
+    } else if edit_out.is_some() {
+        return Err("gen: --edit-out needs --edit K".into());
     }
     let net = asyncmap::network::async_tech_decomp(&eqs);
     println!(
@@ -346,6 +387,112 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         if !report.is_clean() {
             return Err("gen: lint findings on mapped generated design".into());
         }
+    }
+    Ok(())
+}
+
+/// Resolves the `eco` base design: an equation dump from `gen --emit`
+/// (sniffed by its `inputs` header), a `.bms` file, or a builtin
+/// benchmark name.
+fn load_base_design(arg: &str) -> Result<EquationSet, String> {
+    if std::path::Path::new(arg).is_file() {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+        if first.trim_start().starts_with("inputs") {
+            return Ok(asyncmap::bench::parse_design(&text));
+        }
+        return synthesize(&parse_bms(&text).map_err(|e| format!("{arg}: {e}"))?);
+    }
+    load_equations(arg)
+}
+
+/// Incremental (ECO) remap: base-maps the design once, applies an edit
+/// script (`set <name> = <cubes>` lines, as emitted by `gen --edit`),
+/// then remaps reusing every cover whose cone shape survived the edit.
+/// `--verify` additionally cold-maps the edited design and requires a
+/// fingerprint-identical result, then runs the reuse-aware lint and audit
+/// passes (caches warmed on the base design) on the stitched output,
+/// failing on any finding.
+fn cmd_eco(args: &[String]) -> Result<(), String> {
+    let base_arg = args.first().ok_or("eco: missing base design")?;
+    let edits_arg = args.get(1).ok_or("eco: missing edits file")?;
+    let lib_arg = args.get(2).ok_or("eco: missing library path or name")?;
+    let mut objective = Objective::Area;
+    let mut verify = false;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--objective" => {
+                i += 1;
+                objective = match args.get(i).map(String::as_str) {
+                    Some("area") => Objective::Area,
+                    Some("delay") => Objective::Delay,
+                    other => return Err(format!("eco: bad --objective {other:?}")),
+                };
+            }
+            "--verify" => verify = true,
+            other => return Err(format!("eco: unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let eqs = load_base_design(base_arg)?;
+    let edits_text = std::fs::read_to_string(edits_arg).map_err(|e| format!("{edits_arg}: {e}"))?;
+    let edits = asyncmap::bench::parse_edits(&edits_text, &eqs.inputs);
+    let edited = asyncmap::bench::apply_edits(&eqs, &edits);
+    let mut lib = load_library_or_builtin(lib_arg)?;
+    lib.annotate_hazards();
+    let options = MapOptions {
+        objective,
+        ..MapOptions::default()
+    };
+
+    let mut session = EcoSession::new(&lib, options.clone());
+    let base = session.map(&eqs).map_err(|e| e.to_string())?;
+    let out = session.map(&edited).map_err(|e| e.to_string())?;
+    let eco = out.eco;
+    println!(
+        "eco: {} edit(s), {} of {} cone(s) reused, {} re-covered, \
+         {} downstream of an edit, {} cover(s) in the session store",
+        edits.len(),
+        eco.cones_reused,
+        eco.cones_total,
+        eco.cones_remapped,
+        eco.cones_downstream_dirty,
+        eco.store_entries
+    );
+    print!("{}", render_report(&out.design, &lib));
+
+    if verify {
+        let cold = async_tmap(&edited, &lib, &options).map_err(|e| e.to_string())?;
+        if asyncmap::bench::design_fingerprint(&cold)
+            != asyncmap::bench::design_fingerprint(&out.design)
+        {
+            return Err("eco: stitched design diverges from a cold map of the edit".into());
+        }
+        let mut lint_cache = asyncmap::lint::LintCache::new();
+        asyncmap::lint::lint_mapped_design_cached(&base.design, &lib, &mut lint_cache);
+        let lint = asyncmap::lint::lint_mapped_design_cached(&out.design, &lib, &mut lint_cache);
+        if !lint.is_clean() {
+            print!("{}", lint.render());
+            return Err("eco: lint findings on the stitched design".into());
+        }
+        let mut audit_cache = asyncmap::audit::AuditCache::new();
+        asyncmap::audit::audit_equations_cached(&eqs, &mut audit_cache);
+        let audit = asyncmap::audit::audit_equations_cached(&edited, &mut audit_cache);
+        if !audit.is_clean() {
+            print!("{}", audit.render());
+            return Err("eco: audit findings on the edited pipeline".into());
+        }
+        let ac = &audit.counters;
+        println!(
+            "verify: fingerprint identical to cold map; lint clean ({} of {} cone(s) reused); \
+             audit clean ({} of {} certificate(s) reused)",
+            lint.counters.cones_reused,
+            lint.counters.cones,
+            ac.reused_steps + ac.reused_equations + ac.reused_flattens,
+            audit.num_certificates(),
+        );
     }
     Ok(())
 }
