@@ -226,7 +226,7 @@ mod tests {
         let eqs = EquationSet::new(vars, vec![("f".to_owned(), f)]);
         let report = audit_equations(&eqs);
         assert!(report.is_clean(), "{}", report.render());
-        assert!(report.num_certificates() > 0);
+        assert!(report.counters.num_certificates() > 0);
         assert!(report.counters.cones >= 1);
     }
 
@@ -254,7 +254,10 @@ mod tests {
         assert!(warm.is_clean(), "{}", warm.render());
         // Identical verdict, identical certificate accounting, identical
         // diagnostics — only the discharge mechanism differs.
-        assert_eq!(warm.num_certificates(), cold.num_certificates());
+        assert_eq!(
+            warm.counters.num_certificates(),
+            cold.counters.num_certificates()
+        );
         assert_eq!(warm.findings.len(), cold.findings.len());
         assert_eq!(warm.notes.len(), cold.notes.len());
         // With no noisy obligations, every cacheable step (input-inverter
@@ -274,7 +277,10 @@ mod tests {
         }
         // The cached run with a fresh cache agrees with the uncached one.
         let reference = audit_equations(&eqs);
-        assert_eq!(reference.num_certificates(), cold.num_certificates());
+        assert_eq!(
+            reference.counters.num_certificates(),
+            cold.counters.num_certificates()
+        );
         assert_eq!(reference.findings.len(), cold.findings.len());
     }
 

@@ -1,57 +1,10 @@
-//! Audit findings and reports, in the style of `asyncmap-lint`'s
-//! `LintReport` (machine-readable `family.kind` codes, severity levels,
-//! info notes that never make a report unclean).
+//! Audit findings and reports: the shared `asyncmap-report` machinery
+//! (machine-readable `family.kind` codes, severity levels, info notes
+//! that never make a report unclean) specialized with the audit's work
+//! counters.
 
-use std::fmt;
-
-/// How serious a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    /// Observation that does not invalidate a certificate (e.g. a hazard
-    /// re-check that could only run its partial method).
-    Info,
-    /// Could not be proven correct (a certificate whose obligation could
-    /// not be fully discharged).
-    Warning,
-    /// A certificate that fails its obligation: the claimed transformation
-    /// step is not the one the evidence supports.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        })
-    }
-}
-
-/// One audit diagnostic.
-#[derive(Debug, Clone)]
-pub struct Finding {
-    /// How serious the finding is.
-    pub severity: Severity,
-    /// Stable machine-readable code, `family.kind`
-    /// (e.g. `decomp.not-equivalent`, `spec.maximal-set`).
-    pub code: &'static str,
-    /// Human-readable location: equation, step index, cut signal or spec
-    /// state, as applicable.
-    pub path: String,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}] {}: {}",
-            self.severity, self.code, self.path, self.message
-        )
-    }
-}
+pub use asyncmap_report::{Finding, Severity};
+use asyncmap_report::{Report, Totals};
 
 /// What the audit examined, for report context.
 #[derive(Debug, Clone, Copy, Default)]
@@ -95,115 +48,60 @@ pub struct AuditCounters {
     pub reused_flattens: usize,
 }
 
-/// The result of one audit run.
-#[derive(Debug, Default)]
-pub struct AuditReport {
-    /// Error- and warning-level findings. Empty when every certificate
-    /// checks out.
-    pub findings: Vec<Finding>,
-    /// Info-level notes; never affect [`AuditReport::is_clean`].
-    pub notes: Vec<Finding>,
-    /// What was examined.
-    pub counters: AuditCounters,
-}
-
-impl AuditReport {
-    /// `true` iff there are no error- or warning-level findings.
-    pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
-    }
-
-    /// Number of error-level findings.
-    pub fn num_errors(&self) -> usize {
-        self.findings
-            .iter()
-            .filter(|f| f.severity == Severity::Error)
-            .count()
-    }
-
+impl AuditCounters {
     /// Total certificates replayed (rewrite steps, equation certificates,
     /// cut points and flatten traces).
     pub fn num_certificates(&self) -> usize {
-        self.counters.rewrite_steps
-            + self.counters.equations
-            + self.counters.cut_points
-            + self.counters.flatten_traces
+        self.rewrite_steps + self.equations + self.cut_points + self.flatten_traces
     }
+}
 
-    pub(crate) fn push(
-        &mut self,
-        severity: Severity,
-        code: &'static str,
-        path: String,
-        message: String,
-    ) {
-        let finding = Finding {
-            severity,
-            code,
-            path,
-            message,
-        };
-        if severity == Severity::Info {
-            self.notes.push(finding);
-        } else {
-            self.findings.push(finding);
-        }
-    }
-
-    /// Merges `other` into `self` (findings, notes and counters).
-    pub fn merge(&mut self, other: AuditReport) {
-        self.findings.extend(other.findings);
-        self.notes.extend(other.notes);
-        let c = &mut self.counters;
-        let o = other.counters;
-        c.rewrite_steps += o.rewrite_steps;
-        c.equations += o.equations;
-        c.cut_points += o.cut_points;
-        c.cones += o.cones;
-        c.flatten_traces += o.flatten_traces;
-        c.flatten_skipped += o.flatten_skipped;
-        c.hazard_rechecks += o.hazard_rechecks;
-        c.hazard_partial += o.hazard_partial;
-        c.truth_proofs += o.truth_proofs;
-        c.bdd_proofs += o.bdd_proofs;
-        c.spec_states += o.spec_states;
-        c.spec_edges += o.spec_edges;
-        c.reused_steps += o.reused_steps;
-        c.reused_equations += o.reused_equations;
-        c.reused_flattens += o.reused_flattens;
-    }
-
-    /// Renders the report as human-readable text, findings first.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for f in self.findings.iter().chain(&self.notes) {
-            out.push_str(&f.to_string());
-            out.push('\n');
-        }
-        let c = &self.counters;
+impl asyncmap_report::Counters for AuditCounters {
+    fn summarize(&self, totals: &Totals, out: &mut String) {
         out.push_str(&format!(
             "audit: {} finding(s) ({} error(s)), {} note(s) over {} rewrite step(s), \
              {} equation(s), {} cut point(s), {} flatten trace(s); \
              {} hazard re-check(s) ({} partial), {} truth / {} BDD equivalence proof(s)\n",
-            self.findings.len(),
-            self.num_errors(),
-            self.notes.len(),
-            c.rewrite_steps,
-            c.equations,
-            c.cut_points,
-            c.flatten_traces,
-            c.hazard_rechecks,
-            c.hazard_partial,
-            c.truth_proofs,
-            c.bdd_proofs,
+            totals.findings,
+            totals.errors,
+            totals.notes,
+            self.rewrite_steps,
+            self.equations,
+            self.cut_points,
+            self.flatten_traces,
+            self.hazard_rechecks,
+            self.hazard_partial,
+            self.truth_proofs,
+            self.bdd_proofs,
         ));
-        let reused = c.reused_steps + c.reused_equations + c.reused_flattens;
+        let reused = self.reused_steps + self.reused_equations + self.reused_flattens;
         if reused > 0 {
             out.push_str(&format!(
                 "audit: {} step(s), {} equation(s), {} flatten(s) reused from a prior clean replay\n",
-                c.reused_steps, c.reused_equations, c.reused_flattens,
+                self.reused_steps, self.reused_equations, self.reused_flattens,
             ));
         }
-        out
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.rewrite_steps += other.rewrite_steps;
+        self.equations += other.equations;
+        self.cut_points += other.cut_points;
+        self.cones += other.cones;
+        self.flatten_traces += other.flatten_traces;
+        self.flatten_skipped += other.flatten_skipped;
+        self.hazard_rechecks += other.hazard_rechecks;
+        self.hazard_partial += other.hazard_partial;
+        self.truth_proofs += other.truth_proofs;
+        self.bdd_proofs += other.bdd_proofs;
+        self.spec_states += other.spec_states;
+        self.spec_edges += other.spec_edges;
+        self.reused_steps += other.reused_steps;
+        self.reused_equations += other.reused_equations;
+        self.reused_flattens += other.reused_flattens;
     }
 }
+
+/// The result of one audit run: the shared [`Report`] over
+/// [`AuditCounters`].
+pub type AuditReport = Report<AuditCounters>;

@@ -162,7 +162,7 @@ fn main() {
                     lint.counters.cones_reused,
                     lint.counters.cones,
                     ac.reused_steps + ac.reused_equations + ac.reused_flattens,
-                    audit.num_certificates()
+                    audit.counters.num_certificates()
                 );
             }
 

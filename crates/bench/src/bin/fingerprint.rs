@@ -46,7 +46,7 @@ fn main() {
             "{design:12} area={area:016x} delay={delay:016x} instances={instances} \
              rejects={rejects} audit={} ({} certs) lint={}",
             if audit.is_clean() { "clean" } else { "DIRTY" },
-            audit.num_certificates(),
+            audit.counters.num_certificates(),
             if report.is_clean() { "clean" } else { "DIRTY" }
         );
         if !audit.is_clean() {

@@ -63,6 +63,9 @@ pub struct MapStats {
     /// Translation-validation certificates replayed by the post-transform
     /// audit hook (`ASYNCMAP_AUDIT=1`); zero when the audit did not run.
     pub audit_certificates: usize,
+    /// Cones analyzed clean by the post-map fundamental-mode analysis
+    /// hook (`ASYNCMAP_FMA=1`); zero when the analyzer did not run.
+    pub fma_cones: usize,
     /// Per-phase wall-clock breakdown of the run (all zero when the
     /// `profile` feature is disabled).
     pub phases: crate::profile::PhaseTimes,

@@ -38,8 +38,9 @@ use crate::profile::{self, MapPhase};
 use crate::tmap::MapOptions;
 use asyncmap_library::Library;
 use asyncmap_network::{
-    async_tech_decomp, async_tech_decomp_traced, build_partition_dag, partition, partition_traced,
-    propagate_dirty, Cone, ConeLocalMap, ConeShapeKey, EquationSet, ShapeKeyScratch,
+    async_tech_decomp, async_tech_decomp_traced, build_partition_dag, cone_shape_key, partition,
+    partition_traced, propagate_dirty, Cone, ConeLocalMap, ConeShapeKey, EquationSet, Network,
+    ShapeKeyScratch,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -294,6 +295,7 @@ impl<'lib> EcoSession<'lib> {
             self.options.add_buffers,
         );
         crate::tmap::post_map_check(&design, self.library);
+        crate::tmap::post_analyze_check(&mut design, self.library);
         if let (Some(hook), Some(dtrace)) = (audit, dtrace) {
             let (cones, ptrace) = partition_traced(&design.subject);
             match hook(eqs, &design.subject, &dtrace, &cones, &ptrace) {
@@ -332,6 +334,36 @@ fn localize(cone: &Cone, cover: &ConeCover, counters: &MatcherCounters) -> Store
         hazard_checks: counters.hazard_checks,
         hazard_rejects: counters.hazard_rejects,
     }
+}
+
+/// Encodes a cone and its cover into reuse-cache key words: the cone's
+/// canonical shape words extended with the reported area and every
+/// instance rewritten into the cone's local space. Two cones with equal
+/// words are indistinguishable to any per-cone analysis (equal local gate
+/// tree, equal local cover, equal area), so a verdict computed for one
+/// transfers to the other verbatim — the reuse argument behind both the
+/// lint cache and the fundamental-mode analyzer's cache.
+///
+/// Returns `None` when some instance binds a signal outside the cone —
+/// such a cover's meaning depends on foreign signals the key cannot
+/// capture, so it must not be cached (the per-cone walks diagnose it).
+pub fn cone_cover_words(net: &Network, cone: &Cone, cover: &ConeCover) -> Option<Vec<u32>> {
+    let local = ConeLocalMap::new(cone);
+    let mut words = cone_shape_key(net, cone).into_inner();
+    let area = cover.area.to_bits();
+    words.push((area >> 32) as u32);
+    words.push(area as u32);
+    words.push(local.local_ref(cover.root)?);
+    words.push(u32::try_from(cover.instances.len()).ok()?);
+    for inst in &cover.instances {
+        words.push(u32::try_from(inst.cell_index).ok()?);
+        words.push(local.local_ref(inst.output)?);
+        words.push(u32::try_from(inst.inputs.len()).ok()?);
+        for &input in &inst.inputs {
+            words.push(local.local_ref(input)?);
+        }
+    }
+    Some(words)
 }
 
 fn delocalize(cone: &Cone, stored: &StoredCover) -> ConeCover {

@@ -145,6 +145,32 @@ impl HazardCache {
         })
     }
 
+    /// Memoized *expression-level* containment verdict, the entry point
+    /// for whole-cone analyses (the fundamental-mode analyzer) that ask
+    /// `hazards(candidate) ⊆ hazards(reference)` about two composed
+    /// expressions rather than a (cell, binding) pair. Both expressions
+    /// are interned; the verdict is keyed on their ids and `nvars` under
+    /// a sentinel cell index no matcher key can collide with. Concurrent
+    /// callers may race to compute the same verdict; both arrive at the
+    /// same answer, so the duplicate insert is harmless.
+    pub fn expr_verdict(
+        &self,
+        candidate: &Expr,
+        reference: &Expr,
+        nvars: usize,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        let cand = self.intern(candidate);
+        let refr = self.intern(reference);
+        let key = VerdictKey {
+            cell_index: u32::MAX,
+            binding: cand as u128,
+            cluster: refr,
+            nleaves: u32::try_from(nvars).expect("nvars overflow"),
+        };
+        self.verdict(key, compute)
+    }
+
     /// Returns the cached verdict for `key`, or evaluates `compute`,
     /// records the result, and returns it. Counts a hit or a miss either
     /// way. Concurrent callers may race to compute the same verdict; both

@@ -64,7 +64,7 @@ pub use cover::{cover_cone, cover_cone_with, hand_cover, ConeCover, CoverError, 
 pub use design::{
     assemble, bdd_of_expr, mapped_cone_expr, verify_cone_function, MapStats, MappedDesign,
 };
-pub use eco::{EcoOutcome, EcoSession, EcoStats};
+pub use eco::{cone_cover_words, EcoOutcome, EcoSession, EcoStats};
 pub use export::to_verilog;
 pub use hcache::HazardCache;
 pub use hdc::{cone_certified, hdc_tmap, Transition};
@@ -76,6 +76,7 @@ pub use matcher::{instantiate, truth_table_of, HazardPolicy, Match, Matcher, Mat
 pub use profile::{MapPhase, PhaseTimes};
 pub use report::{cell_usage, render_report, CellUsage};
 pub use tmap::{
-    async_tmap, async_tmap_cached, hand_map, set_post_map_hook, set_post_transform_hook, tmap,
-    MapOptions, Objective, PostMapHook, PostTransformHook,
+    async_tmap, async_tmap_cached, hand_map, set_post_analyze_hook, set_post_map_hook,
+    set_post_transform_hook, tmap, MapOptions, Objective, PostAnalyzeHook, PostMapHook,
+    PostTransformHook,
 };

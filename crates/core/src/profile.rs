@@ -41,10 +41,13 @@ pub enum MapPhase {
     /// ECO remap: translating stored covers onto the new network's
     /// signals.
     ReuseStitch,
+    /// Whole-design fundamental-mode analysis (the `asyncmap-fma` pass,
+    /// run standalone or through the `ASYNCMAP_FMA=1` hook).
+    Analyze,
 }
 
 /// Number of phases in [`MapPhase`].
-pub const NUM_PHASES: usize = 8;
+pub const NUM_PHASES: usize = 9;
 
 /// Short stable names, indexed by `MapPhase as usize` (used in reports and
 /// the benchmark JSON).
@@ -57,6 +60,7 @@ pub const PHASE_NAMES: [&str; NUM_PHASES] = [
     "cover_select",
     "dirty_mark",
     "reuse_stitch",
+    "analyze",
 ];
 
 /// Accumulated per-phase wall-clock time and invocation counts.

@@ -106,6 +106,13 @@ pub fn render_report(design: &MappedDesign, library: &Library) -> String {
             design.stats.audit_certificates
         );
     }
+    if design.stats.fma_cones > 0 {
+        let _ = writeln!(
+            out,
+            "fundamental-mode analysis: {} cone(s) analyzed clean",
+            design.stats.fma_cones
+        );
+    }
     // Wall-clock phase times vary run to run, so they are opt-in via the
     // same switch as the stderr dump — default report output stays
     // byte-reproducible across runs and thread counts.

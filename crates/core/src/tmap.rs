@@ -77,6 +77,40 @@ pub(crate) fn post_map_check(design: &MappedDesign, library: &Library) {
     }
 }
 
+/// A post-map fundamental-mode analysis callback: runs the whole-design
+/// analyzer over the finished design and returns the number of cones it
+/// analyzed, or `Err` with a rendered report when the design violates the
+/// fundamental-mode operating assumption.
+pub type PostAnalyzeHook = fn(&MappedDesign, &Library) -> Result<usize, String>;
+
+static POST_ANALYZE_HOOK: OnceLock<PostAnalyzeHook> = OnceLock::new();
+
+/// Installs the process-wide post-map fundamental-mode analysis hook. The
+/// hook runs after every successful [`async_tmap`]/[`async_tmap_cached`]
+/// (and ECO remap) when the `ASYNCMAP_FMA=1` environment variable is set;
+/// a failing hook panics with the hook's report. The first installation
+/// wins; later calls are ignored.
+///
+/// Mirrors [`set_post_map_hook`]: the core crate cannot depend on the
+/// analyzer crate (the analysis must be independent of the mapper's code
+/// paths), so the facade installs it through this indirection.
+pub fn set_post_analyze_hook(hook: PostAnalyzeHook) {
+    let _ = POST_ANALYZE_HOOK.set(hook);
+}
+
+pub(crate) fn post_analyze_check(design: &mut MappedDesign, library: &Library) {
+    if !std::env::var("ASYNCMAP_FMA").is_ok_and(|v| v.trim() == "1") {
+        return;
+    }
+    if let Some(hook) = POST_ANALYZE_HOOK.get() {
+        let _t = profile::timer(MapPhase::Analyze);
+        match hook(&*design, library) {
+            Ok(cones) => design.stats.fma_cones = cones,
+            Err(report) => panic!("ASYNCMAP_FMA=1: fundamental-mode analysis failed\n{report}"),
+        }
+    }
+}
+
 /// The covering objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Objective {
@@ -349,12 +383,13 @@ fn run_with_cache(
         ..MapStats::default()
     };
     let add_buffers = options.add_buffers && !greedy;
-    let design = assemble(library, subject, cones, covers, stats, add_buffers);
+    let mut design = assemble(library, subject, cones, covers, stats, add_buffers);
     // Opt-in post-map verification, only for the hazard-filtered flow: a
     // synchronous or hand-mapped design legitimately fails the Theorem 3.2
-    // re-check.
+    // re-check (and the fundamental-mode analysis assumes it).
     if matches!(policy, HazardPolicy::SubsetCheck) && !greedy {
         post_map_check(&design, library);
+        post_analyze_check(&mut design, library);
     }
     Ok(design)
 }

@@ -1,0 +1,217 @@
+//! Per-cone hazard containment at the cone boundaries.
+//!
+//! A cone's leaves are primary inputs or other cones' roots, and the
+//! generalized-fundamental-mode composition argument (paper Theorem
+//! 3.2 / Lemma 4.5) only goes through when every cone adds no hazard over
+//! its subject function: any monotone input burst the subject cone
+//! handles glitch-free, the mapped cone must too. This module re-derives
+//! that obligation from the finished design alone.
+//!
+//! Narrow cones (≤ [`asyncmap_hazard::EXHAUSTIVE_VAR_LIMIT`] leaves) get
+//! the exhaustive waveform sweep, interned in the shared
+//! [`HazardCache`] so repeated shapes — and re-analysis after an ECO
+//! edit — pay once. Wider cones get a bounded-delay fallback ladder
+//! instead of an exponential sweep:
+//!
+//! 1. structural equality (a 1:1 cover adds nothing);
+//! 2. hazard-preserving flattening of both structures (product count
+//!    permitting) and the exact static-1 containment condition on the
+//!    flats — its failure is a real violation
+//!    (`boundary.static1-escape`);
+//! 3. otherwise the cone is counted as *partially* verified — a counter,
+//!    not a finding, because an inconclusive bound is not evidence of a
+//!    defect.
+
+use asyncmap_bff::{flatten, Expr};
+use asyncmap_core::{cone_cover_words, mapped_cone_expr, HazardCache, MappedDesign};
+use asyncmap_hazard::{hazards_subset_exhaustive, static1_subset, EXHAUSTIVE_VAR_LIMIT};
+use asyncmap_library::Library;
+use asyncmap_report::Severity;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Flattening is abandoned when either structure would expand past this
+/// many products — the same bound the transformation audit uses for its
+/// replay ladder.
+const FLATTEN_CAP: usize = 4096;
+
+/// Outcome of one cone's boundary check, merged in partition order.
+pub(crate) struct ConeOutcome {
+    /// Findings to append: `(severity, code, path, message)`.
+    pub findings: Vec<(Severity, &'static str, String, String)>,
+    /// Exhaustive sweep ran.
+    pub exact: bool,
+    /// Wide-cone ladder ran.
+    pub wide: bool,
+    /// Ladder ended without a full verdict.
+    pub partial: bool,
+    /// Skipped — the cone's key was already known clean.
+    pub reused: bool,
+    /// Reuse key, present when the cone is self-contained and quiet.
+    pub key: Option<Vec<u32>>,
+}
+
+/// Checks every cone on `threads` workers pulling indices from a shared
+/// atomic counter; results come back in partition order, so reports are
+/// identical across thread counts.
+pub(crate) fn check_boundaries(
+    design: &MappedDesign,
+    library: &Library,
+    hcache: &HazardCache,
+    known_clean: &HashSet<Vec<u32>>,
+    threads: usize,
+) -> Vec<ConeOutcome> {
+    let jobs = design.cones.len();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, ConeOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(jobs).max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, check_cone(design, library, hcache, known_clean, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("boundary worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+fn check_cone(
+    design: &MappedDesign,
+    library: &Library,
+    hcache: &HazardCache,
+    known_clean: &HashSet<Vec<u32>>,
+    index: usize,
+) -> ConeOutcome {
+    let net = &design.subject;
+    let cone = &design.cones[index];
+    let cover = &design.covers[index];
+    let mut out = ConeOutcome {
+        findings: Vec::new(),
+        exact: false,
+        wide: false,
+        partial: false,
+        reused: false,
+        key: cone_cover_words(net, cone, cover),
+    };
+    if let Some(key) = &out.key {
+        if known_clean.contains(key) {
+            out.reused = true;
+            return out;
+        }
+    }
+
+    let n = cone.leaves.len();
+    let path = net.name(cone.root).to_owned();
+    let (subject, _) = cone.to_expr(net);
+    let mapped = mapped_cone_expr(net, cone, cover, library);
+
+    if n <= EXHAUSTIVE_VAR_LIMIT {
+        out.exact = true;
+        let contained = hcache.expr_verdict(&mapped, &subject, n, || {
+            hazards_subset_exhaustive(&mapped, &subject, n)
+        });
+        if !contained {
+            out.findings.push((
+                Severity::Error,
+                "boundary.containment",
+                path,
+                format!(
+                    "mapped cone can glitch on an input burst its subject function \
+                     handles clean ({n} leaves, exhaustive waveform sweep) — upstream \
+                     monotone transitions no longer cover this cone's bursts"
+                ),
+            ));
+        }
+    } else {
+        out.wide = true;
+        if mapped != subject {
+            if product_estimate(&mapped) <= FLATTEN_CAP && product_estimate(&subject) <= FLATTEN_CAP
+            {
+                let mflat = flatten(&mapped, n).cover;
+                let sflat = flatten(&subject, n).cover;
+                if static1_subset(&mflat, &sflat) {
+                    // Static-1 behavior certified; the dynamic classes are
+                    // covered by the mapper's per-match checks but not
+                    // re-proved here.
+                    out.partial = true;
+                } else {
+                    out.findings.push((
+                        Severity::Error,
+                        "boundary.static1-escape",
+                        path,
+                        format!(
+                            "wide cone ({n} leaves): a static-1 transition of the subject \
+                             function has no single covering product in the mapped \
+                             structure's flattening — the cone can glitch while holding 1"
+                        ),
+                    ));
+                }
+            } else {
+                out.partial = true;
+            }
+        }
+    }
+
+    if !out.findings.is_empty() {
+        out.key = None;
+    }
+    out
+}
+
+/// Saturating upper bound on the number of products a hazard-preserving
+/// flattening of `expr` produces, on the negation-normal form `flatten`
+/// itself uses.
+fn product_estimate(expr: &Expr) -> usize {
+    fn est(expr: &Expr, negated: bool) -> usize {
+        match expr {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Not(e) => est(e, !negated),
+            Expr::And(es) if !negated => es.iter().fold(1usize, |a, e| {
+                a.saturating_mul(est(e, negated)).min(usize::MAX / 2)
+            }),
+            Expr::Or(es) if negated => es.iter().fold(1usize, |a, e| {
+                a.saturating_mul(est(e, negated)).min(usize::MAX / 2)
+            }),
+            Expr::And(es) | Expr::Or(es) => es
+                .iter()
+                .fold(0usize, |a, e| a.saturating_add(est(e, negated))),
+        }
+    }
+    est(expr, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmap_cube::VarId;
+
+    fn v(i: usize) -> Expr {
+        Expr::Var(VarId(i))
+    }
+
+    #[test]
+    fn product_estimate_bounds_flatten() {
+        // (a + b)(c + d) -> 4 products; a'(b + c) -> 2.
+        let e = Expr::And(vec![Expr::Or(vec![v(0), v(1)]), Expr::Or(vec![v(2), v(3)])]);
+        assert_eq!(product_estimate(&e), 4);
+        assert_eq!(flatten(&e, 4).cover.len(), 4);
+        let e = Expr::And(vec![Expr::Not(Box::new(v(0))), Expr::Or(vec![v(1), v(2)])]);
+        assert_eq!(product_estimate(&e), 2);
+        // DeMorgan: !(ab) flattens to a' + b'.
+        let e = Expr::Not(Box::new(Expr::And(vec![v(0), v(1)])));
+        assert_eq!(product_estimate(&e), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Structural soundness of the assembled gate network: every signal has
+//! exactly one driver, every instance input is reachable from the primary
+//! inputs, and the instance graph is acyclic.
+//!
+//! A mapped burst-mode controller closes its feedback loops *outside* the
+//! combinational block — the `y{k}` outputs re-enter as the `st{k}`
+//! inputs — so any cycle through the cell instances themselves is a
+//! defect: under the fundamental-mode assumption the block must settle
+//! combinationally before the environment moves again. The checks here
+//! run first because every later analysis (containment, waveform
+//! propagation, packed evaluation) recurses or iterates over the instance
+//! graph and would diverge on a cyclic one.
+
+use crate::FmaReport;
+use asyncmap_core::MappedDesign;
+use asyncmap_network::SignalId;
+use asyncmap_report::Severity;
+use std::collections::{HashMap, HashSet};
+
+/// Runs the structural checks, appending findings to `report`.
+///
+/// Returns `true` if the instance graph is sound (no findings of the
+/// `cycle.*` family) — the gate every downstream analysis waits on.
+pub(crate) fn check_structure(design: &MappedDesign, report: &mut FmaReport) -> bool {
+    let net = &design.subject;
+    let before = report.num_errors();
+
+    // Flat instance list; (cover, instance) indices are stable.
+    let instances: Vec<(usize, usize)> = design
+        .covers
+        .iter()
+        .enumerate()
+        .flat_map(|(c, cover)| (0..cover.instances.len()).map(move |i| (c, i)))
+        .collect();
+    let inst = |g: usize| {
+        let (c, i) = instances[g];
+        &design.covers[c].instances[i]
+    };
+
+    // Exactly one driver per signal.
+    let mut drivers: HashMap<SignalId, usize> = HashMap::new();
+    for g in 0..instances.len() {
+        let count = drivers.entry(inst(g).output).or_insert(0);
+        *count += 1;
+        if *count == 2 {
+            report.push(
+                Severity::Error,
+                "cycle.multi-driver",
+                net.name(inst(g).output).to_owned(),
+                "signal is driven by more than one cell instance".to_owned(),
+            );
+        }
+    }
+
+    // Signals known before any instance settles: the primary inputs.
+    let mut known: HashSet<SignalId> = net.inputs().iter().copied().collect();
+
+    // Inputs with no driver at all: report once, then treat as known so a
+    // single missing wire does not cascade into a forest of findings.
+    let mut undriven: HashSet<SignalId> = HashSet::new();
+    for g in 0..instances.len() {
+        for &sig in &inst(g).inputs {
+            if !known.contains(&sig) && !drivers.contains_key(&sig) && undriven.insert(sig) {
+                report.push(
+                    Severity::Error,
+                    "cycle.undriven",
+                    net.name(sig).to_owned(),
+                    "instance input has no driver (not a primary input, not any cell's output)"
+                        .to_owned(),
+                );
+                known.insert(sig);
+            }
+        }
+    }
+
+    // Kahn's algorithm over the instance graph.
+    let mut consumers: HashMap<SignalId, Vec<usize>> = HashMap::new();
+    let mut indeg: Vec<usize> = vec![0; instances.len()];
+    for (g, deg) in indeg.iter_mut().enumerate() {
+        for &sig in &inst(g).inputs {
+            if !known.contains(&sig) {
+                *deg += 1;
+                consumers.entry(sig).or_default().push(g);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..instances.len()).filter(|&g| indeg[g] == 0).collect();
+    let mut settled = vec![false; instances.len()];
+    while let Some(g) = ready.pop() {
+        settled[g] = true;
+        let out = inst(g).output;
+        if known.insert(out) {
+            for &h in consumers.get(&out).map_or(&[][..], Vec::as_slice) {
+                indeg[h] -= 1;
+                if indeg[h] == 0 {
+                    ready.push(h);
+                }
+            }
+        }
+    }
+
+    // Whatever never settled depends on a cycle. Separate the instances
+    // *on* a cycle from those merely downstream of one: repeatedly strip
+    // unsettled instances no unsettled instance reads from.
+    let unsettled: Vec<usize> = (0..instances.len()).filter(|&g| !settled[g]).collect();
+    if !unsettled.is_empty() {
+        let mut on_cycle: HashSet<usize> = unsettled.iter().copied().collect();
+        loop {
+            let read: HashSet<SignalId> = on_cycle
+                .iter()
+                .flat_map(|&g| inst(g).inputs.iter().copied())
+                .collect();
+            let strip: Vec<usize> = on_cycle
+                .iter()
+                .copied()
+                .filter(|&g| !read.contains(&inst(g).output))
+                .collect();
+            if strip.is_empty() {
+                break;
+            }
+            for g in strip {
+                on_cycle.remove(&g);
+            }
+        }
+        let loop_size = on_cycle.len();
+        for &g in &on_cycle {
+            report.push(
+                Severity::Error,
+                "cycle.combinational",
+                net.name(inst(g).output).to_owned(),
+                format!(
+                    "cell instance sits on a combinational feedback loop of {loop_size} \
+                     instance(s); feedback must close through a declared state variable, \
+                     not inside the block"
+                ),
+            );
+        }
+        for &g in &unsettled {
+            if !on_cycle.contains(&g) {
+                report.push(
+                    Severity::Info,
+                    "cycle.combinational",
+                    net.name(inst(g).output).to_owned(),
+                    "instance never settles (downstream of a combinational cycle)".to_owned(),
+                );
+            }
+        }
+    }
+
+    // Every primary output needs a driver (a cyclic driver is already
+    // reported above).
+    for (name, sig) in net.outputs() {
+        if !known.contains(sig) && !drivers.contains_key(sig) {
+            report.push(
+                Severity::Error,
+                "cycle.undriven",
+                name.clone(),
+                "primary output has no driver".to_owned(),
+            );
+        }
+    }
+
+    report.num_errors() == before
+}

@@ -1,0 +1,66 @@
+//! The four CI benchmarks must analyze clean — zero errors — against
+//! their own burst-mode specs, on the same library pairing the
+//! fingerprint gate uses. Notes (essential-hazard candidates) are
+//! expected and allowed; errors are not.
+
+use asyncmap_burst::{benchmark, benchmark_spec};
+use asyncmap_core::{async_tmap, MapOptions};
+use asyncmap_fma::{analyze_design_with_spec, FmaCache};
+use asyncmap_library::{builtin, Library};
+
+fn check(name: &str, mut lib: Library) {
+    lib.annotate_hazards();
+    let eqs = benchmark(name);
+    let spec = benchmark_spec(name);
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    let report = analyze_design_with_spec(&design, &lib, &spec);
+    assert_eq!(
+        report.num_errors(),
+        0,
+        "{name} must analyze clean:\n{}",
+        report.render()
+    );
+    assert_eq!(report.counters.cones, design.cones.len());
+    assert!(
+        report.counters.spec_transitions > 0,
+        "{name}: spec phase must have run"
+    );
+    assert!(
+        report.counters.feedback_pairs > 0,
+        "{name}: feedback variables must pair up"
+    );
+}
+
+#[test]
+fn scsi_analyzes_clean() {
+    check("scsi", builtin::lsi9k());
+}
+
+#[test]
+fn abcs_analyzes_clean() {
+    check("abcs", builtin::lsi9k());
+}
+
+#[test]
+fn pe_send_ifc_analyzes_clean() {
+    check("pe-send-ifc", builtin::actel());
+}
+
+#[test]
+fn dme_analyzes_clean() {
+    check("dme", builtin::actel());
+}
+
+#[test]
+fn warm_cache_reuses_every_cone_on_identical_reanalysis() {
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    let eqs = benchmark("scsi");
+    let spec = benchmark_spec("scsi");
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    let mut cache = FmaCache::new();
+    let cold = asyncmap_fma::analyze_design_with_spec_cached(&design, &lib, &spec, &mut cache);
+    assert_eq!(cold.num_errors(), 0, "{}", cold.render());
+    let warm = asyncmap_fma::analyze_design_with_spec_cached(&design, &lib, &spec, &mut cache);
+    assert_eq!(warm.counters.cones_reused, warm.counters.cones);
+}

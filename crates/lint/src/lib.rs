@@ -60,59 +60,12 @@ mod structure;
 mod theorem32;
 
 use asyncmap_bff::Expr;
-use asyncmap_core::{ConeCover, Instance, MappedDesign};
+use asyncmap_core::{cone_cover_words, ConeCover, Instance, MappedDesign};
 use asyncmap_library::Library;
-use asyncmap_network::{cone_shape_key, Cone, ConeLocalMap, GateOp, Network, NodeKind, SignalId};
+use asyncmap_network::{Cone, GateOp, Network, NodeKind, SignalId};
+pub use asyncmap_report::{Finding, Severity};
+use asyncmap_report::{Report, Totals};
 use std::collections::{HashMap, HashSet};
-use std::fmt;
-
-/// How serious a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    /// Observation that does not make the design incorrect (a dead
-    /// instance, an analysis-method disagreement worth investigating).
-    Info,
-    /// Could not be proven correct (e.g. a conservative hazard verdict on
-    /// a support too wide for the exact sweep).
-    Warning,
-    /// A verified violation of a mapped-design invariant.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        })
-    }
-}
-
-/// One lint diagnostic.
-#[derive(Debug, Clone)]
-pub struct Finding {
-    /// How serious the finding is.
-    pub severity: Severity,
-    /// Stable machine-readable code, `family.kind`
-    /// (e.g. `theorem32.containment-violation`).
-    pub code: &'static str,
-    /// Human-readable location: cone root and, where applicable, the
-    /// instance output signal.
-    pub path: String,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}] {}: {}",
-            self.severity, self.code, self.path, self.message
-        )
-    }
-}
 
 /// What the lint pass looked at, for report context.
 #[derive(Debug, Clone, Copy, Default)]
@@ -135,78 +88,41 @@ pub struct LintCounters {
     pub cones_reused: usize,
 }
 
-/// The result of linting one mapped design.
-#[derive(Debug, Default)]
-pub struct LintReport {
-    /// Error- and warning-level findings. Empty on a clean design.
-    pub findings: Vec<Finding>,
-    /// Info-level notes; never affect [`LintReport::is_clean`].
-    pub notes: Vec<Finding>,
-    /// What was examined.
-    pub counters: LintCounters,
-}
-
-impl LintReport {
-    /// `true` iff there are no error- or warning-level findings.
-    pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
-    }
-
-    /// Number of error-level findings.
-    pub fn num_errors(&self) -> usize {
-        self.findings
-            .iter()
-            .filter(|f| f.severity == Severity::Error)
-            .count()
-    }
-
-    pub(crate) fn push(
-        &mut self,
-        severity: Severity,
-        code: &'static str,
-        path: String,
-        message: String,
-    ) {
-        let finding = Finding {
-            severity,
-            code,
-            path,
-            message,
-        };
-        if severity == Severity::Info {
-            self.notes.push(finding);
-        } else {
-            self.findings.push(finding);
-        }
-    }
-
-    /// Renders the report as human-readable text, findings first.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for f in self.findings.iter().chain(&self.notes) {
-            out.push_str(&f.to_string());
-            out.push('\n');
-        }
+impl asyncmap_report::Counters for LintCounters {
+    fn summarize(&self, totals: &Totals, out: &mut String) {
         out.push_str(&format!(
             "lint: {} finding(s) ({} error(s)), {} note(s) over {} cone(s), \
              {} instance(s), {} function certificate(s), {} Theorem 3.2 re-check(s)\n",
-            self.findings.len(),
-            self.num_errors(),
-            self.notes.len(),
-            self.counters.cones,
-            self.counters.instances,
-            self.counters.function_checks,
-            self.counters.theorem32_checks,
+            totals.findings,
+            totals.errors,
+            totals.notes,
+            self.cones,
+            self.instances,
+            self.function_checks,
+            self.theorem32_checks,
         ));
-        if self.counters.cones_reused > 0 {
+        if self.cones_reused > 0 {
             out.push_str(&format!(
                 "lint: {} cone(s) reused from a prior clean pass\n",
-                self.counters.cones_reused
+                self.cones_reused
             ));
         }
-        out
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.cones += other.cones;
+        self.instances += other.instances;
+        self.function_checks += other.function_checks;
+        self.theorem32_checks += other.theorem32_checks;
+        self.cone_sweeps += other.cone_sweeps;
+        self.cone_sweeps_skipped += other.cone_sweeps_skipped;
+        self.cones_reused += other.cones_reused;
     }
 }
+
+/// The result of linting one mapped design: the shared [`Report`] over
+/// [`LintCounters`].
+pub type LintReport = Report<LintCounters>;
 
 /// One instance together with the slice of the subject network it covers:
 /// the cut signals its subnetwork reaches (in first-visit order, defining
@@ -457,31 +373,6 @@ impl LintCache {
     }
 }
 
-/// Encodes a cone and its cover into the cache key: the cone's canonical
-/// shape words extended with every instance rewritten into the cone's
-/// local space, plus the reported area. Returns `None` when some instance
-/// binds a signal outside the cone — such a cover is diagnosed by the
-/// per-cone walks and is not cacheable (its meaning depends on foreign
-/// signals the key cannot capture).
-fn cone_cover_key(net: &Network, cone: &Cone, cover: &ConeCover) -> Option<Vec<u32>> {
-    let local = ConeLocalMap::new(cone);
-    let mut words = cone_shape_key(net, cone).into_inner();
-    let area = cover.area.to_bits();
-    words.push((area >> 32) as u32);
-    words.push(area as u32);
-    words.push(local.local_ref(cover.root)?);
-    words.push(u32::try_from(cover.instances.len()).ok()?);
-    for inst in &cover.instances {
-        words.push(u32::try_from(inst.cell_index).ok()?);
-        words.push(local.local_ref(inst.output)?);
-        words.push(u32::try_from(inst.inputs.len()).ok()?);
-        for &input in &inst.inputs {
-            words.push(local.local_ref(input)?);
-        }
-    }
-    Some(words)
-}
-
 /// Runs every check family over `design` and returns the combined report.
 ///
 /// Read-only: the design and library are not modified. The pass assumes
@@ -543,7 +434,7 @@ fn lint_inner(
     for (idx, (cone, cover)) in design.cones.iter().zip(&design.covers).enumerate() {
         let key = cache
             .as_ref()
-            .map(|_| cone_cover_key(&design.subject, cone, cover));
+            .map(|_| cone_cover_words(&design.subject, cone, cover));
         if let (Some(c), Some(Some(key))) = (cache.as_deref_mut(), key.as_ref()) {
             if c.clean.contains(key) {
                 report.counters.cones_reused += 1;

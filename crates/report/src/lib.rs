@@ -1,0 +1,278 @@
+//! Shared finding/severity/report machinery for the verification passes.
+//!
+//! The lint pass (`asyncmap-lint`), the translation-validation audit
+//! (`asyncmap-audit`) and the fundamental-mode analyzer (`asyncmap-fma`)
+//! all emit the same kind of diagnostic: a severity, a stable
+//! machine-readable `family.kind` code, a human-readable path and a
+//! message, split into *findings* (errors and warnings that make a report
+//! unclean) and *notes* (info-level observations that never do). This
+//! crate holds the one copy of that machinery; each pass only supplies
+//! its own counters type through the [`Counters`] trait.
+//!
+//! Rendering is deterministic: findings and notes are ordered by
+//! `(code, path, message)` before printing, so two runs that discover
+//! the same diagnostics in different orders (e.g. under different thread
+//! counts) render byte-identical reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use asyncmap_report::{Counters, Report, Severity, Totals};
+//!
+//! #[derive(Debug, Default, Clone, Copy)]
+//! struct Demo {
+//!     widgets: usize,
+//! }
+//! impl Counters for Demo {
+//!     fn summarize(&self, totals: &Totals, out: &mut String) {
+//!         out.push_str(&format!(
+//!             "demo: {} finding(s) over {} widget(s)\n",
+//!             totals.findings, self.widgets
+//!         ));
+//!     }
+//!     fn absorb(&mut self, other: &Self) {
+//!         self.widgets += other.widgets;
+//!     }
+//! }
+//!
+//! let mut report: Report<Demo> = Report::default();
+//! report.counters.widgets = 3;
+//! report.push(Severity::Error, "demo.broken", "w1".into(), "snapped".into());
+//! assert!(!report.is_clean());
+//! assert_eq!(report.num_errors(), 1);
+//! assert!(report.render().contains("demo.broken"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Observation that does not make the subject incorrect (a dead
+    /// instance, an analysis-method disagreement worth investigating, a
+    /// check that could only run its partial method).
+    Info,
+    /// Could not be proven correct (e.g. a conservative hazard verdict on
+    /// a support too wide for the exact sweep).
+    Warning,
+    /// A verified violation of a checked invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Stable machine-readable code, `family.kind`
+    /// (e.g. `theorem32.containment-violation`, `decomp.not-equivalent`).
+    pub code: &'static str,
+    /// Human-readable location: cone root, equation, step index or spec
+    /// state, as applicable.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.path, self.message
+        )
+    }
+}
+
+/// Totals of a finished report, handed to [`Counters::summarize`] so the
+/// summary line can restate them without recounting.
+#[derive(Debug, Clone, Copy)]
+pub struct Totals {
+    /// Error- and warning-level findings.
+    pub findings: usize,
+    /// Error-level findings only.
+    pub errors: usize,
+    /// Info-level notes.
+    pub notes: usize,
+}
+
+/// Per-pass work counters carried by a [`Report`].
+///
+/// Each verification crate implements this for its own counters struct;
+/// the shared report machinery stays agnostic of what was counted.
+pub trait Counters: Default {
+    /// Appends the pass-specific summary line(s) to `out` (each line
+    /// newline-terminated).
+    fn summarize(&self, totals: &Totals, out: &mut String);
+
+    /// Field-wise accumulation, backing [`Report::merge`].
+    fn absorb(&mut self, other: &Self);
+}
+
+/// The result of one verification pass, generic over its counters.
+#[derive(Debug, Default)]
+pub struct Report<C> {
+    /// Error- and warning-level findings. Empty on a clean subject.
+    pub findings: Vec<Finding>,
+    /// Info-level notes; never affect [`Report::is_clean`].
+    pub notes: Vec<Finding>,
+    /// What was examined.
+    pub counters: C,
+}
+
+impl<C> Report<C> {
+    /// `true` iff there are no error- or warning-level findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of error-level findings.
+    pub fn num_errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Records a diagnostic, routing [`Severity::Info`] to the notes and
+    /// everything else to the findings.
+    pub fn push(&mut self, severity: Severity, code: &'static str, path: String, message: String) {
+        let finding = Finding {
+            severity,
+            code,
+            path,
+            message,
+        };
+        if severity == Severity::Info {
+            self.notes.push(finding);
+        } else {
+            self.findings.push(finding);
+        }
+    }
+}
+
+/// Stable render order: code, then path (which names the cone, equation
+/// or state), then message. Severity is deliberately not part of the key
+/// — a finding's code already pins its severity in practice, and keeping
+/// the key textual makes the order obvious from the rendered lines.
+fn render_order(a: &&Finding, b: &&Finding) -> std::cmp::Ordering {
+    (a.code, &a.path, &a.message).cmp(&(b.code, &b.path, &b.message))
+}
+
+impl<C: Counters> Report<C> {
+    /// Merges `other` into `self` (findings, notes and counters).
+    pub fn merge(&mut self, other: Self) {
+        self.findings.extend(other.findings);
+        self.notes.extend(other.notes);
+        self.counters.absorb(&other.counters);
+    }
+
+    /// Renders the report as human-readable text: findings first, then
+    /// notes, then the pass's summary line(s). Findings and notes are
+    /// each ordered by `(code, path, message)` regardless of discovery
+    /// order, so renders are stable across thread counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for group in [&self.findings, &self.notes] {
+            let mut ordered: Vec<&Finding> = group.iter().collect();
+            ordered.sort_by(render_order);
+            for f in ordered {
+                out.push_str(&f.to_string());
+                out.push('\n');
+            }
+        }
+        let totals = Totals {
+            findings: self.findings.len(),
+            errors: self.num_errors(),
+            notes: self.notes.len(),
+        };
+        self.counters.summarize(&totals, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, Clone, Copy)]
+    struct TestCounters {
+        items: usize,
+    }
+
+    impl Counters for TestCounters {
+        fn summarize(&self, totals: &Totals, out: &mut String) {
+            out.push_str(&format!(
+                "test: {} finding(s) ({} error(s)), {} note(s), {} item(s)\n",
+                totals.findings, totals.errors, totals.notes, self.items
+            ));
+        }
+        fn absorb(&mut self, other: &Self) {
+            self.items += other.items;
+        }
+    }
+
+    #[test]
+    fn push_routes_by_severity() {
+        let mut r: Report<TestCounters> = Report::default();
+        r.push(Severity::Info, "a.note", "p".into(), "m".into());
+        assert!(r.is_clean());
+        r.push(Severity::Warning, "a.warn", "p".into(), "m".into());
+        r.push(Severity::Error, "a.err", "p".into(), "m".into());
+        assert!(!r.is_clean());
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.notes.len(), 1);
+        assert_eq!(r.num_errors(), 1);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        // Push in two different orders; renders must be identical.
+        let mut a: Report<TestCounters> = Report::default();
+        let mut b: Report<TestCounters> = Report::default();
+        let entries = [
+            ("z.last", "cone f", "worse"),
+            ("a.first", "cone g", "bad"),
+            ("a.first", "cone f", "bad"),
+        ];
+        for &(code, path, msg) in &entries {
+            a.push(Severity::Error, code, path.into(), msg.into());
+        }
+        for &(code, path, msg) in entries.iter().rev() {
+            b.push(Severity::Error, code, path.into(), msg.into());
+        }
+        assert_eq!(a.render(), b.render());
+        let render = a.render();
+        let first = render.find("a.first] cone f").expect("present");
+        let second = render.find("a.first] cone g").expect("present");
+        let third = render.find("z.last").expect("present");
+        assert!(first < second && second < third);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: Report<TestCounters> = Report::default();
+        a.counters.items = 2;
+        a.push(Severity::Error, "a.err", "p".into(), "m".into());
+        let mut b: Report<TestCounters> = Report::default();
+        b.counters.items = 3;
+        b.push(Severity::Info, "b.note", "q".into(), "n".into());
+        a.merge(b);
+        assert_eq!(a.counters.items, 5);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.notes.len(), 1);
+    }
+}

@@ -48,10 +48,12 @@ pub use asyncmap_bff as bff;
 pub use asyncmap_burst as burst;
 pub use asyncmap_core as mapper;
 pub use asyncmap_cube as cube;
+pub use asyncmap_fma as fma;
 pub use asyncmap_hazard as hazard;
 pub use asyncmap_library as library;
 pub use asyncmap_lint as lint;
 pub use asyncmap_network as network;
+pub use asyncmap_report as report;
 
 /// The most common items, for glob import.
 pub mod prelude {
@@ -61,6 +63,7 @@ pub mod prelude {
         MappedDesign, Objective,
     };
     pub use asyncmap_cube::{Cover, Cube, VarTable};
+    pub use asyncmap_fma::{analyze_design, analyze_design_with_spec, FmaCache, FmaReport};
     pub use asyncmap_hazard::{analyze_expr, hazards_subset, HazardReport};
     pub use asyncmap_library::{builtin, Cell, Library};
     pub use asyncmap_lint::{lint_mapped_design, LintReport};
@@ -100,7 +103,34 @@ pub fn install_audit_hook() {
     asyncmap_core::set_post_transform_hook(|eqs, net, dtrace, cones, ptrace| {
         let report = asyncmap_audit::check_pipeline(eqs, net, dtrace, cones, ptrace);
         if report.is_clean() {
-            Ok(report.num_certificates())
+            Ok(report.counters.num_certificates())
+        } else {
+            Err(report.render())
+        }
+    });
+}
+
+/// Installs the whole-design fundamental-mode analyzer
+/// ([`fma::analyze_design`]) as the mapper's post-analyze hook, so
+/// `ASYNCMAP_FMA=1` makes every [`prelude::async_tmap`] and
+/// [`prelude::EcoSession`] remap statically analyze its own output —
+/// instance-graph structure and cross-cone hazard containment — and
+/// panic with the rendered report on any error-severity finding.
+/// Idempotent.
+///
+/// The hook shares one process-wide [`fma::FmaCache`], so an ECO loop's
+/// re-analyses reuse every cone whose (shape, cover) already analyzed
+/// clean. The hook indirection exists for the same reason as the lint
+/// one: `asyncmap-core` cannot depend on the checker that judges it.
+pub fn install_fma_hook() {
+    asyncmap_core::set_post_analyze_hook(|design, library| {
+        static CACHE: std::sync::Mutex<Option<asyncmap_fma::FmaCache>> =
+            std::sync::Mutex::new(None);
+        let mut guard = CACHE.lock().expect("fma hook cache poisoned");
+        let cache = guard.get_or_insert_with(asyncmap_fma::FmaCache::new);
+        let report = asyncmap_fma::analyze_design_cached(design, library, cache);
+        if report.num_errors() == 0 {
+            Ok(report.counters.cones)
         } else {
             Err(report.render())
         }

@@ -8,6 +8,8 @@
 //! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
 //!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
 //! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
+//! asyncmap analyze <machine.bms> <library.lib>   map, then whole-design
+//!                                                fundamental-mode analysis
 //! asyncmap gen   <gates>                         seeded large-design generator
 //!                [--seed N] [--inputs N] [--lib NAME] [--map] [--lint] [--audit]
 //!                [--emit out.eqn] [--edit K] [--edit-out out.edits]
@@ -15,13 +17,16 @@
 //!                [--objective area|delay] [--verify]
 //! ```
 //!
-//! `lint` and the two-argument `audit` also accept a builtin Table 5
-//! benchmark name (e.g. `scsi`) in place of the `.bms` path and a builtin
-//! library name (e.g. `lsi9k`) in place of the library path. Setting
-//! `ASYNCMAP_LINT=1` makes every `map` run lint its own output as well,
-//! panicking on findings; `ASYNCMAP_AUDIT=1` makes every hazard-aware map
-//! replay the front end's translation-validation certificates the same
-//! way.
+//! `lint`, `analyze` and the two-argument `audit` also accept a builtin
+//! Table 5 benchmark name (e.g. `scsi`) in place of the `.bms` path and a
+//! builtin library name (e.g. `lsi9k`) in place of the library path;
+//! `analyze` additionally accepts an equation dump from `gen --emit`
+//! (analyzed without a spec). Setting `ASYNCMAP_LINT=1` makes every `map`
+//! run lint its own output as well, panicking on findings;
+//! `ASYNCMAP_AUDIT=1` makes every hazard-aware map replay the front end's
+//! translation-validation certificates the same way; `ASYNCMAP_FMA=1`
+//! runs the whole-design fundamental-mode analyzer after every
+//! hazard-aware map and ECO remap, panicking on error findings.
 //!
 //! `gen --edit K` derives K cumulative single-cube edits from the
 //! generator seed and prints them as `set <name> = <cubes>` lines (or
@@ -39,16 +44,20 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     asyncmap::install_lint_hook();
     asyncmap::install_audit_hook();
+    asyncmap::install_fma_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("audit") => return cmd_audit(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
+        Some("analyze") => return cmd_analyze(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("eco") => cmd_eco(&args[1..]),
         _ => {
-            eprintln!("usage: asyncmap <audit|synth|map|lint|gen> ... (see crate docs)");
+            eprintln!(
+                "usage: asyncmap <audit|synth|map|lint|analyze|gen|eco> ... (see crate docs)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -491,7 +500,7 @@ fn cmd_eco(args: &[String]) -> Result<(), String> {
             lint.counters.cones_reused,
             lint.counters.cones,
             ac.reused_steps + ac.reused_equations + ac.reused_flattens,
-            audit.num_certificates(),
+            audit.counters.num_certificates(),
         );
     }
     Ok(())
@@ -511,6 +520,74 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         Ok(report) => {
             print!("{}", report.render());
             if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The whole-design fundamental-mode analyzer gate: maps the design, then
+/// statically checks instance-graph structure, cross-cone hazard
+/// containment and (when a burst-mode spec is available) spec-level race
+/// and feedback discipline. Notes are informational; the exit code is
+/// nonzero only on error-severity findings.
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let inner = || -> Result<FmaReport, String> {
+        let src_arg = args
+            .first()
+            .ok_or("analyze: missing .bms path, benchmark, or design dump")?;
+        let lib_arg = args.get(1).ok_or("analyze: missing library path or name")?;
+        let mut lib =
+            load_library_or_builtin(lib_arg).map_err(|e| e.replace("lint:", "analyze:"))?;
+        lib.annotate_hazards();
+
+        // Resolve the source: a `.bms` file or builtin benchmark carries a
+        // burst-mode spec (full analysis); an equation dump from
+        // `gen --emit` is analyzed structurally, without a spec.
+        let (eqs, spec) = if std::path::Path::new(src_arg).is_file() {
+            let text = std::fs::read_to_string(src_arg).map_err(|e| format!("{src_arg}: {e}"))?;
+            let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+            if first.trim_start().starts_with("inputs") {
+                (asyncmap::bench::parse_design(&text), None)
+            } else {
+                let spec = parse_bms(&text).map_err(|e| format!("{src_arg}: {e}"))?;
+                (synthesize(&spec)?, Some(spec))
+            }
+        } else if asyncmap::burst::BENCHMARKS
+            .iter()
+            .any(|d| d.name == src_arg)
+        {
+            (
+                asyncmap::burst::benchmark(src_arg),
+                Some(asyncmap::burst::benchmark_spec(src_arg)),
+            )
+        } else {
+            return Err(format!(
+                "analyze: {src_arg} is neither a file nor a builtin benchmark ({})",
+                asyncmap::burst::BENCHMARKS
+                    .iter()
+                    .map(|d| d.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        };
+
+        let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
+        Ok(match &spec {
+            Some(spec) => analyze_design_with_spec(&design, &lib, spec),
+            None => analyze_design(&design, &lib),
+        })
+    };
+    match inner() {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.num_errors() == 0 {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
