@@ -1,0 +1,354 @@
+//! Collapses a multi-level BLIF node graph into two-level SOP equations
+//! over primary inputs — the [`EquationSet`] shape the technology mapper
+//! consumes.
+
+use crate::BlifNetlist;
+use asyncmap_cube::{Cover, Cube, Phase, VarTable};
+use asyncmap_network::EquationSet;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Resource cap for the collapse. Collapsing is worst-case exponential in
+/// the netlist depth; the cap turns blowup into a typed error instead of
+/// an out-of-memory kill.
+#[derive(Debug, Clone, Copy)]
+pub struct CollapseLimits {
+    /// Maximum number of cubes any intermediate cover may reach.
+    pub max_cubes: usize,
+}
+
+impl Default for CollapseLimits {
+    fn default() -> Self {
+        CollapseLimits { max_cubes: 20_000 }
+    }
+}
+
+/// Why the collapse refused, machine-readably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollapseErrorKind {
+    /// The netlist has latches; the fundamental-mode mapper is
+    /// combinational.
+    Latch,
+    /// A net is read but never driven.
+    Undriven,
+    /// A net has more than one driver.
+    MultiDriven,
+    /// The node graph has a combinational cycle.
+    Cycle,
+    /// The model declares no `.outputs`.
+    NoOutputs,
+    /// A primary output collapsed to a constant function.
+    ConstantOutput,
+    /// An intermediate cover exceeded [`CollapseLimits::max_cubes`].
+    CubeBlowup,
+}
+
+impl fmt::Display for CollapseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CollapseErrorKind::Latch => "netlist has latches",
+            CollapseErrorKind::Undriven => "undriven net",
+            CollapseErrorKind::MultiDriven => "multiply-driven net",
+            CollapseErrorKind::Cycle => "combinational cycle",
+            CollapseErrorKind::NoOutputs => "no primary outputs",
+            CollapseErrorKind::ConstantOutput => "constant primary output",
+            CollapseErrorKind::CubeBlowup => "cube blowup",
+        })
+    }
+}
+
+/// Error produced when a netlist cannot be collapsed to equations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapseError {
+    /// Machine-readable failure class.
+    pub kind: CollapseErrorKind,
+    /// The signal the failure is anchored to (empty for whole-model
+    /// failures).
+    pub signal: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for CollapseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif collapse error: {}: {}", self.kind, self.message)
+    }
+}
+
+impl Error for CollapseError {}
+
+fn fail(kind: CollapseErrorKind, signal: &str, message: impl Into<String>) -> CollapseError {
+    CollapseError {
+        kind,
+        signal: signal.to_string(),
+        message: message.into(),
+    }
+}
+
+impl BlifNetlist {
+    /// Collapses the node graph into per-output SOP covers over the
+    /// primary inputs, in topological order, with contained-cube trimming
+    /// after every product. Structural defects (latches, dangling nets,
+    /// multiple drivers, cycles), constant primary outputs and cube
+    /// blowup past `limits` return a typed [`CollapseError`].
+    pub fn to_equations(&self, limits: &CollapseLimits) -> Result<EquationSet, CollapseError> {
+        if let Some(latch) = self.latches.first() {
+            return Err(fail(
+                CollapseErrorKind::Latch,
+                &latch.output,
+                format!(
+                    "latch `{}` at line {}: the fundamental-mode mapper is combinational",
+                    latch.output, latch.line
+                ),
+            ));
+        }
+        if self.outputs.is_empty() {
+            return Err(fail(
+                CollapseErrorKind::NoOutputs,
+                "",
+                "model declares no .outputs",
+            ));
+        }
+        let s = self.structure();
+        if let Some(net) = s.undriven.first() {
+            return Err(fail(
+                CollapseErrorKind::Undriven,
+                net,
+                format!("net `{net}` is read but never driven"),
+            ));
+        }
+        if let Some(net) = s.multi_driven.first() {
+            return Err(fail(
+                CollapseErrorKind::MultiDriven,
+                net,
+                format!("net `{net}` has more than one driver"),
+            ));
+        }
+        if let Some(net) = s.on_cycle.first() {
+            return Err(fail(
+                CollapseErrorKind::Cycle,
+                net,
+                format!("combinational cycle through `{net}`"),
+            ));
+        }
+
+        let vars = VarTable::from_names(self.inputs.iter().map(String::as_str));
+        let n = vars.len();
+        // ON-set cover of every computed signal, and memoized complements.
+        let mut on: HashMap<&str, Cover> = HashMap::new();
+        let mut off: HashMap<&str, Cover> = HashMap::new();
+        for name in &self.inputs {
+            let v = vars.lookup(name).expect("interned above");
+            on.insert(
+                name,
+                Cover::from_cubes(n, vec![Cube::from_literals(n, [(v, Phase::Pos)])]),
+            );
+        }
+
+        for &idx in &s.topo {
+            let node = &self.nodes[idx];
+            let mut acc = Cover::zero(n);
+            for row in &node.rows {
+                let mut product = Cover::one(n);
+                for (j, c) in row.plane.chars().enumerate() {
+                    let sig = node.inputs[j].as_str();
+                    let factor = match c {
+                        '1' => on[sig].clone(),
+                        '0' => match off.get(sig) {
+                            Some(f) => f.clone(),
+                            None => {
+                                let f = on[sig].complement();
+                                check_size(&f, limits, sig)?;
+                                off.insert(sig, f.clone());
+                                f
+                            }
+                        },
+                        _ => continue, // '-'
+                    };
+                    product = product.and(&factor).without_contained_cubes();
+                    check_size(&product, limits, &node.output)?;
+                }
+                acc = acc.or(&product);
+                check_size(&acc, limits, &node.output)?;
+            }
+            acc = acc.without_contained_cubes();
+            // Rows are phase-uniform (the parser rejects mixed covers); an
+            // OFF-set cover describes the complement, and no rows at all
+            // means constant 0.
+            let off_set = node.rows.first().is_some_and(|r| !r.value);
+            if off_set {
+                acc = acc.complement();
+                check_size(&acc, limits, &node.output)?;
+            }
+            on.insert(&node.output, acc);
+        }
+
+        let mut equations = Vec::with_capacity(self.outputs.len());
+        for out in &self.outputs {
+            let cover = on[out.as_str()].clone();
+            if cover.is_empty() || cover.is_tautology() {
+                let which = if cover.is_empty() { "0" } else { "1" };
+                return Err(fail(
+                    CollapseErrorKind::ConstantOutput,
+                    out,
+                    format!("primary output `{out}` collapses to constant {which}"),
+                ));
+            }
+            equations.push((out.clone(), cover.without_contained_cubes()));
+        }
+        Ok(EquationSet::new(vars, equations))
+    }
+}
+
+fn check_size(cover: &Cover, limits: &CollapseLimits, signal: &str) -> Result<(), CollapseError> {
+    if cover.len() > limits.max_cubes {
+        return Err(fail(
+            CollapseErrorKind::CubeBlowup,
+            signal,
+            format!(
+                "cover for `{signal}` reached {} cubes (limit {})",
+                cover.len(),
+                limits.max_cubes
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_blif;
+    use asyncmap_cube::Bits;
+
+    fn collapse(text: &str) -> Result<EquationSet, CollapseError> {
+        parse_blif(text, "t")
+            .unwrap()
+            .to_equations(&Default::default())
+    }
+
+    #[test]
+    fn collapses_two_levels() {
+        let eqs =
+            collapse(".inputs a b c\n.outputs f\n.names a b t\n11 1\n.names t c f\n1- 1\n-1 1\n")
+                .unwrap();
+        assert_eq!(eqs.equations.len(), 1);
+        let (name, cover) = &eqs.equations[0];
+        assert_eq!(name, "f");
+        // f = a*b + c over the PI space a,b,c.
+        let expect = Cover::parse("a*b + c", &eqs.inputs).unwrap();
+        assert!(cover.equivalent(&expect));
+    }
+
+    #[test]
+    fn off_set_rows_and_zero_columns() {
+        // f is declared by its OFF-set: f=0 iff a=1,b=0 → f = !a + b.
+        let eqs = collapse(".inputs a b\n.outputs f\n.names a b f\n10 0\n").unwrap();
+        let expect = Cover::parse("a' + b", &eqs.inputs).unwrap();
+        assert!(eqs.equations[0].1.equivalent(&expect));
+    }
+
+    #[test]
+    fn zero_literal_uses_complement_of_inner_node() {
+        // t = a*b; f = !t*c = (!a + !b)*c.
+        let eqs = collapse(".inputs a b c\n.outputs f\n.names a b t\n11 1\n.names t c f\n01 1\n")
+            .unwrap();
+        let expect = Cover::parse("a'c + b'c", &eqs.inputs).unwrap();
+        assert!(eqs.equations[0].1.equivalent(&expect));
+    }
+
+    #[test]
+    fn output_fed_directly_by_primary_input() {
+        let eqs = collapse(".inputs a b\n.outputs a f\n.names a b f\n11 1\n").unwrap();
+        let expect = Cover::parse("a", &eqs.inputs).unwrap();
+        assert!(eqs.equations[0].1.equivalent(&expect));
+    }
+
+    #[test]
+    fn deep_chain_matches_brute_force_eval() {
+        let text = ".inputs a b c d\n.outputs f\n\
+            .names a b u\n10 1\n01 1\n\
+            .names u c v\n11 1\n\
+            .names v d f\n1- 1\n-1 1\n";
+        let net = parse_blif(text, "t").unwrap();
+        let eqs = net.to_equations(&Default::default()).unwrap();
+        let cover = &eqs.equations[0].1;
+        for m in 0u32..16 {
+            let mut bits = Bits::new(4);
+            for i in 0..4 {
+                bits.set(i, m >> i & 1 == 1);
+            }
+            let (a, b, c, d) = (bits.get(0), bits.get(1), bits.get(2), bits.get(3));
+            let expect = ((a != b) && c) || d;
+            assert_eq!(cover.eval(&bits), expect, "minterm {m}");
+        }
+    }
+
+    fn kind_of(text: &str) -> CollapseErrorKind {
+        collapse(text).unwrap_err().kind
+    }
+
+    #[test]
+    fn typed_refusals() {
+        assert_eq!(
+            kind_of(".inputs d\n.outputs q\n.latch d q\n"),
+            CollapseErrorKind::Latch
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f\n.names ghost f\n1 1\n"),
+            CollapseErrorKind::Undriven
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n"),
+            CollapseErrorKind::MultiDriven
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f\n.names f f\n0 1\n"),
+            CollapseErrorKind::Cycle
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.names a f\n1 1\n"),
+            CollapseErrorKind::NoOutputs
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f\n.names f\n1\n"),
+            CollapseErrorKind::ConstantOutput
+        );
+        // Tautology by cover: f = a + !a.
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f\n.names a f\n1 1\n0 1\n"),
+            CollapseErrorKind::ConstantOutput
+        );
+    }
+
+    #[test]
+    fn blowup_is_an_error_not_a_hang() {
+        // Parity of 8 inputs via a xor chain: the two-level form has 128
+        // cubes; a cap of 16 must trip.
+        let mut text = String::from(".inputs x0 x1 x2 x3 x4 x5 x6 x7\n.outputs p\n");
+        text.push_str(".names x0 x1 s1\n10 1\n01 1\n");
+        for i in 2..8 {
+            let prev = if i == 2 {
+                "s1".to_string()
+            } else {
+                format!("s{}", i - 1)
+            };
+            let cur = if i == 7 {
+                "p".to_string()
+            } else {
+                format!("s{i}")
+            };
+            text.push_str(&format!(".names {prev} x{i} {cur}\n10 1\n01 1\n"));
+        }
+        let net = parse_blif(&text, "t").unwrap();
+        let err = net
+            .to_equations(&CollapseLimits { max_cubes: 16 })
+            .unwrap_err();
+        assert_eq!(err.kind, CollapseErrorKind::CubeBlowup);
+        // And with the default cap it collapses fine: parity of 8 inputs
+        // has 128 minterm cubes and no larger implicants.
+        let eqs = net.to_equations(&Default::default()).unwrap();
+        assert_eq!(eqs.equations[0].1.len(), 128);
+    }
+}

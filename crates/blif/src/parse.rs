@@ -1,0 +1,430 @@
+//! Line-oriented BLIF parser.
+
+use crate::{BlifError, BlifErrorKind, BlifLatch, BlifNetlist, BlifNode, BlifRow};
+use std::collections::HashSet;
+
+fn err(line: usize, kind: BlifErrorKind, message: impl Into<String>) -> BlifError {
+    BlifError {
+        line,
+        kind,
+        message: message.into(),
+    }
+}
+
+/// Parses BLIF text into a [`BlifNetlist`]. `default_model` names the
+/// netlist when the file has no `.model` (or a bare one).
+///
+/// Syntax problems — malformed covers, don't-care constructs, duplicate
+/// declarations, unsupported directives — return a typed [`BlifError`].
+/// Structural problems (dangling references, multiple drivers, cycles)
+/// parse fine and are left to [`BlifNetlist::structure`].
+pub fn parse_blif(text: &str, default_model: &str) -> Result<BlifNetlist, BlifError> {
+    let mut net = BlifNetlist {
+        model: default_model.to_string(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        nodes: Vec::new(),
+        latches: Vec::new(),
+    };
+    let mut seen_model = false;
+    let mut seen_end = false;
+    let mut input_set: HashSet<String> = HashSet::new();
+    let mut output_set: HashSet<String> = HashSet::new();
+    // Index into net.nodes of the .names whose rows we are reading.
+    let mut cur: Option<usize> = None;
+
+    for (line_no, raw) in logical_lines(text) {
+        let tokens: Vec<&str> = raw.split_whitespace().collect();
+        let Some(&first) = tokens.first() else {
+            continue;
+        };
+        if seen_end {
+            let kind = if first == ".model" {
+                BlifErrorKind::DuplicateModel
+            } else {
+                BlifErrorKind::UnsupportedConstruct
+            };
+            return Err(err(
+                line_no,
+                kind,
+                format!("`{first}` after .end (multi-model files are not supported)"),
+            ));
+        }
+        if !first.starts_with('.') {
+            // A cover row for the current .names.
+            let Some(node_idx) = cur else {
+                return Err(err(
+                    line_no,
+                    BlifErrorKind::BadCover,
+                    format!("cover row `{raw}` outside any .names"),
+                ));
+            };
+            let row = parse_row(&tokens, line_no, &net.nodes[node_idx])?;
+            net.nodes[node_idx].rows.push(row);
+            continue;
+        }
+        // Any directive ends the current cover.
+        cur = None;
+        match first {
+            ".model" => {
+                if seen_model {
+                    return Err(err(
+                        line_no,
+                        BlifErrorKind::DuplicateModel,
+                        "second .model (multi-model files are not supported)",
+                    ));
+                }
+                seen_model = true;
+                if let Some(name) = tokens.get(1) {
+                    net.model = (*name).to_string();
+                }
+            }
+            ".inputs" => {
+                for t in &tokens[1..] {
+                    if !input_set.insert((*t).to_string()) {
+                        return Err(err(
+                            line_no,
+                            BlifErrorKind::DuplicateInput,
+                            format!("input `{t}` declared twice"),
+                        ));
+                    }
+                    net.inputs.push((*t).to_string());
+                }
+            }
+            ".outputs" => {
+                for t in &tokens[1..] {
+                    if !output_set.insert((*t).to_string()) {
+                        return Err(err(
+                            line_no,
+                            BlifErrorKind::DuplicateOutput,
+                            format!("output `{t}` declared twice"),
+                        ));
+                    }
+                    net.outputs.push((*t).to_string());
+                }
+            }
+            ".names" => {
+                let signals = &tokens[1..];
+                let Some((&output, fanins)) = signals.split_last() else {
+                    return Err(err(
+                        line_no,
+                        BlifErrorKind::BadNames,
+                        ".names with no signals",
+                    ));
+                };
+                let mut seen_fanin = HashSet::new();
+                for f in fanins {
+                    if !seen_fanin.insert(*f) {
+                        return Err(err(
+                            line_no,
+                            BlifErrorKind::BadNames,
+                            format!("fanin `{f}` repeated in .names {output}"),
+                        ));
+                    }
+                }
+                net.nodes.push(BlifNode {
+                    line: line_no,
+                    inputs: fanins.iter().map(|s| (*s).to_string()).collect(),
+                    output: output.to_string(),
+                    rows: Vec::new(),
+                });
+                cur = Some(net.nodes.len() - 1);
+            }
+            ".latch" => {
+                if tokens.len() < 3 {
+                    return Err(err(
+                        line_no,
+                        BlifErrorKind::BadLatch,
+                        ".latch needs at least an input and an output",
+                    ));
+                }
+                net.latches.push(BlifLatch {
+                    line: line_no,
+                    input: tokens[1].to_string(),
+                    output: tokens[2].to_string(),
+                });
+            }
+            ".end" => seen_end = true,
+            ".exdc" => {
+                return Err(err(
+                    line_no,
+                    BlifErrorKind::DontCare,
+                    ".exdc external don't-cares are not supported: \
+                     the mapper requires fully specified functions",
+                ));
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    BlifErrorKind::UnsupportedConstruct,
+                    format!("directive `{other}` is outside the supported BLIF subset"),
+                ));
+            }
+        }
+    }
+
+    if net.inputs.is_empty() && net.outputs.is_empty() && net.nodes.is_empty() {
+        return Err(err(
+            0,
+            BlifErrorKind::EmptyModel,
+            "no .inputs, .outputs or .names in file",
+        ));
+    }
+    Ok(net)
+}
+
+/// Yields `(1-based first line number, logical line)` with `#` comments
+/// stripped and `\` continuations joined.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let mut content = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut continued = false;
+        let trimmed = content.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            content = stripped;
+            continued = true;
+        }
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(content);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    out.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line_no, content.to_string()));
+                } else if !content.trim().is_empty() {
+                    out.push((line_no, content.to_string()));
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+fn parse_row(tokens: &[&str], line_no: usize, node: &BlifNode) -> Result<BlifRow, BlifError> {
+    let (plane, value_tok) = if node.inputs.is_empty() {
+        // Constant node: the row is just the output value.
+        if tokens.len() != 1 {
+            return Err(err(
+                line_no,
+                BlifErrorKind::BadCover,
+                format!(
+                    "constant .names {} expects a bare output value",
+                    node.output
+                ),
+            ));
+        }
+        ("", tokens[0])
+    } else {
+        if tokens.len() != 2 {
+            return Err(err(
+                line_no,
+                BlifErrorKind::BadCover,
+                format!(
+                    "cover row for {} needs an input plane and an output value",
+                    node.output
+                ),
+            ));
+        }
+        (tokens[0], tokens[1])
+    };
+    if plane.len() != node.inputs.len() {
+        return Err(err(
+            line_no,
+            BlifErrorKind::BadCover,
+            format!(
+                "plane `{plane}` has {} columns but .names {} has {} fanins",
+                plane.len(),
+                node.output,
+                node.inputs.len()
+            ),
+        ));
+    }
+    if let Some(bad) = plane.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+        return Err(err(
+            line_no,
+            BlifErrorKind::BadCover,
+            format!("plane character `{bad}` (expected 0, 1 or -)"),
+        ));
+    }
+    let value = match value_tok {
+        "1" => true,
+        "0" => false,
+        "-" | "2" => {
+            return Err(err(
+                line_no,
+                BlifErrorKind::DontCare,
+                format!(
+                    "don't-care output value `{value_tok}` on .names {}: \
+                     the mapper requires fully specified functions",
+                    node.output
+                ),
+            ));
+        }
+        other => {
+            return Err(err(
+                line_no,
+                BlifErrorKind::BadCover,
+                format!("output value `{other}` (expected 0 or 1)"),
+            ));
+        }
+    };
+    if let Some(prev) = node.rows.first() {
+        if prev.value != value {
+            return Err(err(
+                line_no,
+                BlifErrorKind::MixedCover,
+                format!(".names {} mixes ON-set and OFF-set rows", node.output),
+            ));
+        }
+    }
+    Ok(BlifRow {
+        plane: plane.to_string(),
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny controller
+.model sample
+.inputs a b c
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names a \\
+  c g
+10 1
+.names k
+1
+.end
+";
+
+    #[test]
+    fn parses_sample() {
+        let net = parse_blif(SAMPLE, "fallback").unwrap();
+        assert_eq!(net.model, "sample");
+        assert_eq!(net.inputs, vec!["a", "b", "c"]);
+        assert_eq!(net.outputs, vec!["f", "g"]);
+        assert_eq!(net.nodes.len(), 4);
+        assert_eq!(net.num_rows(), 5);
+        // Continuation joined `.names a \ c g` into one directive.
+        let g = &net.nodes[2];
+        assert_eq!(g.inputs, vec!["a", "c"]);
+        assert_eq!(g.output, "g");
+        // Constant-1 node has an empty plane.
+        let k = &net.nodes[3];
+        assert!(k.inputs.is_empty());
+        assert!(k.rows[0].plane.is_empty() && k.rows[0].value);
+    }
+
+    #[test]
+    fn default_model_name_used_when_missing() {
+        let net = parse_blif(".inputs a\n.outputs f\n.names a f\n1 1\n", "fallback").unwrap();
+        assert_eq!(net.model, "fallback");
+    }
+
+    fn kind_of(text: &str) -> BlifErrorKind {
+        parse_blif(text, "t").unwrap_err().kind
+    }
+
+    #[test]
+    fn typed_errors() {
+        assert_eq!(
+            kind_of(".model a\n.model b\n"),
+            BlifErrorKind::DuplicateModel
+        );
+        assert_eq!(
+            kind_of(".inputs a a\n.outputs f\n"),
+            BlifErrorKind::DuplicateInput
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.outputs f f\n"),
+            BlifErrorKind::DuplicateOutput
+        );
+        assert_eq!(kind_of(".inputs a\n.names\n"), BlifErrorKind::BadNames);
+        assert_eq!(
+            kind_of(".inputs a\n.names a a f\n11 1\n"),
+            BlifErrorKind::BadNames
+        );
+        assert_eq!(kind_of(".inputs a b\n11 1\n"), BlifErrorKind::BadCover);
+        assert_eq!(
+            kind_of(".inputs a b\n.names a b f\n1 1\n"),
+            BlifErrorKind::BadCover
+        );
+        assert_eq!(
+            kind_of(".inputs a b\n.names a b f\n12 1\n"),
+            BlifErrorKind::BadCover
+        );
+        assert_eq!(
+            kind_of(".inputs a b\n.names a b f\n11 1\n10 0\n"),
+            BlifErrorKind::MixedCover
+        );
+        assert_eq!(
+            kind_of(".inputs a b\n.names a b f\n11 -\n"),
+            BlifErrorKind::DontCare
+        );
+        assert_eq!(kind_of(".inputs a\n.exdc\n"), BlifErrorKind::DontCare);
+        assert_eq!(kind_of(".inputs a\n.latch a\n"), BlifErrorKind::BadLatch);
+        assert_eq!(
+            kind_of(".inputs a\n.subckt sub x=a\n"),
+            BlifErrorKind::UnsupportedConstruct
+        );
+        assert_eq!(
+            kind_of(".inputs a\n.end\n.names a f\n1 1\n"),
+            BlifErrorKind::UnsupportedConstruct
+        );
+        assert_eq!(kind_of("# only comments\n\n"), BlifErrorKind::EmptyModel);
+    }
+
+    #[test]
+    fn line_numbers_point_at_the_problem() {
+        let e = parse_blif(".inputs a b\n.names a b f\n11 1\n1 1\n", "t").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.kind, BlifErrorKind::BadCover);
+    }
+
+    #[test]
+    fn latches_are_recorded_not_rejected() {
+        let net = parse_blif(
+            ".model l\n.inputs d\n.outputs q\n.latch d q re clk 0\n.end\n",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(net.latches.len(), 1);
+        assert_eq!(net.latches[0].input, "d");
+        assert_eq!(net.latches[0].output, "q");
+    }
+
+    #[test]
+    fn structural_problems_parse_fine() {
+        // Dangling ref, double driver, and a cycle — all fine at parse time.
+        let net = parse_blif(
+            ".inputs a\n.outputs f\n.names ghost f\n1 1\n.names a f\n0 1\n\
+             .names f x\n1 1\n.names x f2\n1 1\n",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(net.nodes.len(), 4);
+    }
+}

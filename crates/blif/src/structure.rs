@@ -1,0 +1,243 @@
+//! Structural qualification facts: drivers, dangling references,
+//! combinational cycles, unused logic.
+
+use crate::BlifNetlist;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What drives a net, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetRef {
+    /// A primary input.
+    Input,
+    /// The node at this index in [`BlifNetlist::nodes`].
+    Node(usize),
+    /// The latch at this index in [`BlifNetlist::latches`].
+    Latch(usize),
+}
+
+/// Structural facts about a [`BlifNetlist`], computed without touching any
+/// logic function. The preflight analyzer turns these into findings; the
+/// collapse pass refuses to run until they are clean.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    /// Every net to everything driving it (primary inputs and latch
+    /// outputs count as drivers).
+    pub drivers: HashMap<String, Vec<NetRef>>,
+    /// Nets read by a node, latch or `.outputs` but never driven. Sorted.
+    pub undriven: Vec<String>,
+    /// Nets with more than one driver. Sorted.
+    pub multi_driven: Vec<String>,
+    /// Outputs of nodes on a combinational cycle. Sorted.
+    pub on_cycle: Vec<String>,
+    /// Node outputs never read by any node, latch or primary output.
+    /// Sorted.
+    pub unused: Vec<String>,
+    /// Indices into [`BlifNetlist::nodes`] in topological order (fanins
+    /// before fanouts). Nodes on a cycle are excluded.
+    pub topo: Vec<usize>,
+}
+
+impl Structure {
+    /// True when the netlist has no structural defects (unused logic is
+    /// tolerated — it is a warning, not a defect).
+    pub fn is_sound(&self) -> bool {
+        self.undriven.is_empty() && self.multi_driven.is_empty() && self.on_cycle.is_empty()
+    }
+}
+
+impl BlifNetlist {
+    /// Computes structural facts: who drives each net, which references
+    /// dangle, which nodes sit on combinational cycles, and which node
+    /// outputs nothing reads.
+    pub fn structure(&self) -> Structure {
+        let mut drivers: HashMap<String, Vec<NetRef>> = HashMap::new();
+        for name in &self.inputs {
+            drivers.entry(name.clone()).or_default().push(NetRef::Input);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            drivers
+                .entry(node.output.clone())
+                .or_default()
+                .push(NetRef::Node(i));
+        }
+        for (i, latch) in self.latches.iter().enumerate() {
+            drivers
+                .entry(latch.output.clone())
+                .or_default()
+                .push(NetRef::Latch(i));
+        }
+
+        let mut read: HashSet<&str> = HashSet::new();
+        let mut undriven: BTreeSet<String> = BTreeSet::new();
+        {
+            let mut use_net = |net: &str| {
+                if !drivers.contains_key(net) {
+                    undriven.insert(net.to_string());
+                }
+            };
+            for node in &self.nodes {
+                for f in &node.inputs {
+                    use_net(f);
+                }
+            }
+            for latch in &self.latches {
+                use_net(&latch.input);
+            }
+            for out in &self.outputs {
+                use_net(out);
+            }
+        }
+        for node in &self.nodes {
+            for f in &node.inputs {
+                read.insert(f);
+            }
+        }
+        for latch in &self.latches {
+            read.insert(&latch.input);
+        }
+        for out in &self.outputs {
+            read.insert(out);
+        }
+
+        let multi_driven: Vec<String> = {
+            let mut m: Vec<String> = drivers
+                .iter()
+                .filter(|(_, d)| d.len() > 1)
+                .map(|(net, _)| net.clone())
+                .collect();
+            m.sort();
+            m
+        };
+
+        let unused: Vec<String> = {
+            let mut u: BTreeSet<String> = BTreeSet::new();
+            for node in &self.nodes {
+                if !read.contains(node.output.as_str()) {
+                    u.insert(node.output.clone());
+                }
+            }
+            u.into_iter().collect()
+        };
+
+        // Kahn's algorithm over node-to-node dependencies. Latch outputs
+        // break combinational paths, so only Node drivers create edges.
+        let n = self.nodes.len();
+        let node_of_output: HashMap<&str, Vec<usize>> = {
+            let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (i, node) in self.nodes.iter().enumerate() {
+                m.entry(node.output.as_str()).or_default().push(i);
+            }
+            m
+        };
+        let mut indeg = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for f in &node.inputs {
+                for &j in node_of_output.get(f.as_str()).map_or(&[][..], |v| v) {
+                    fanout[j].push(i);
+                    indeg[i] += 1;
+                }
+            }
+        }
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            topo.push(i);
+            for &j in &fanout[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.insert(j);
+                }
+            }
+        }
+        let on_cycle: Vec<String> = {
+            let mut c: BTreeSet<String> = BTreeSet::new();
+            for (i, d) in indeg.iter().enumerate() {
+                if *d > 0 {
+                    c.insert(self.nodes[i].output.clone());
+                }
+            }
+            c.into_iter().collect()
+        };
+
+        Structure {
+            drivers,
+            undriven: undriven.into_iter().collect(),
+            multi_driven,
+            on_cycle,
+            unused,
+            topo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_blif;
+
+    #[test]
+    fn clean_netlist_is_sound() {
+        let net = parse_blif(
+            ".inputs a b\n.outputs f\n.names a b t\n11 1\n.names t a f\n01 1\n",
+            "t",
+        )
+        .unwrap();
+        let s = net.structure();
+        assert!(s.is_sound());
+        assert!(s.unused.is_empty());
+        assert_eq!(s.topo, vec![0, 1]);
+    }
+
+    #[test]
+    fn detects_undriven_and_multi_driven() {
+        let net = parse_blif(
+            ".inputs a\n.outputs f\n.names ghost f\n1 1\n.names a f\n0 1\n",
+            "t",
+        )
+        .unwrap();
+        let s = net.structure();
+        assert_eq!(s.undriven, vec!["ghost"]);
+        assert_eq!(s.multi_driven, vec!["f"]);
+        assert!(!s.is_sound());
+    }
+
+    #[test]
+    fn node_redriving_a_primary_input_is_multi_driven() {
+        let net = parse_blif(".inputs a b\n.outputs a\n.names b a\n1 1\n", "t").unwrap();
+        assert_eq!(net.structure().multi_driven, vec!["a"]);
+    }
+
+    #[test]
+    fn detects_cycles_and_excludes_them_from_topo() {
+        let net = parse_blif(
+            ".inputs a\n.outputs f\n.names a x u\n11 1\n.names u x\n1 1\n.names a f\n1 1\n",
+            "t",
+        )
+        .unwrap();
+        let s = net.structure();
+        assert_eq!(s.on_cycle, vec!["u", "x"]);
+        assert_eq!(s.topo, vec![2]);
+        assert!(!s.is_sound());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let net = parse_blif(".inputs a\n.outputs f\n.names f f\n0 1\n", "t").unwrap();
+        assert_eq!(net.structure().on_cycle, vec!["f"]);
+    }
+
+    #[test]
+    fn latch_breaks_combinational_path_but_flags_unused() {
+        let net = parse_blif(
+            ".inputs a\n.outputs q\n.names a d\n1 1\n.latch d q re clk 0\n.names a dead\n0 1\n",
+            "t",
+        )
+        .unwrap();
+        let s = net.structure();
+        assert!(s.on_cycle.is_empty());
+        assert_eq!(s.unused, vec!["dead"]);
+        // d is read by the latch, q driven by it: neither undriven nor unused.
+        assert!(s.undriven.is_empty());
+    }
+}

@@ -77,6 +77,6 @@ pub use profile::{MapPhase, PhaseTimes};
 pub use report::{cell_usage, render_report, CellUsage};
 pub use tmap::{
     async_tmap, async_tmap_cached, hand_map, set_post_analyze_hook, set_post_map_hook,
-    set_post_transform_hook, tmap, MapOptions, Objective, PostAnalyzeHook, PostMapHook,
-    PostTransformHook,
+    set_post_transform_hook, set_pre_map_hook, tmap, MapOptions, Objective, PostAnalyzeHook,
+    PostMapHook, PostTransformHook, PreMapHook,
 };

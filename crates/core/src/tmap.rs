@@ -22,6 +22,39 @@ pub type PostMapHook = fn(&MappedDesign, &Library) -> Result<(), String>;
 
 static POST_MAP_HOOK: OnceLock<PostMapHook> = OnceLock::new();
 
+/// A pre-map qualification callback: statically qualifies the
+/// (design, library) pair before any mapping work and returns `Err` with
+/// a rendered report when the pair is disqualified (e.g. a guaranteed
+/// cover failure).
+pub type PreMapHook = fn(&EquationSet, &Library) -> Result<(), String>;
+
+static PRE_MAP_HOOK: OnceLock<PreMapHook> = OnceLock::new();
+
+/// Installs the process-wide pre-map qualification hook. The hook runs at
+/// the top of every [`async_tmap`]/[`async_tmap_cached`] call when the
+/// `ASYNCMAP_PREFLIGHT=1` environment variable is set; a failing hook
+/// panics with the hook's report before any mapping work starts. The
+/// first installation wins; later calls are ignored.
+///
+/// Mirrors [`set_post_map_hook`]: the core crate cannot depend on the
+/// preflight crate (the qualification analyzer must be independent of the
+/// mapper's code paths), so the facade installs it through this
+/// indirection.
+pub fn set_pre_map_hook(hook: PreMapHook) {
+    let _ = PRE_MAP_HOOK.set(hook);
+}
+
+pub(crate) fn pre_map_check(eqs: &EquationSet, library: &Library) {
+    if !std::env::var("ASYNCMAP_PREFLIGHT").is_ok_and(|v| v.trim() == "1") {
+        return;
+    }
+    if let Some(hook) = PRE_MAP_HOOK.get() {
+        if let Err(report) = hook(eqs, library) {
+            panic!("ASYNCMAP_PREFLIGHT=1: pre-map qualification failed\n{report}");
+        }
+    }
+}
+
 /// A post-transform audit callback: replays the front end's certificate
 /// trail (decomposition steps, partition cuts) against the subject
 /// network and the source equations. Returns the number of certificates
@@ -242,6 +275,7 @@ pub fn async_tmap_cached(
     cache: &Arc<HazardCache>,
 ) -> Result<MappedDesign, CoverError> {
     let phases_before = profile::snapshot();
+    pre_map_check(eqs, library);
     let audit = audit_hook();
     let (subject, dtrace) = {
         let _t = profile::timer(MapPhase::Decompose);

@@ -1,0 +1,623 @@
+//! The genlib tokenizer and statement parser.
+
+use crate::{
+    GenlibCell, GenlibError, GenlibErrorKind, GenlibLibrary, GenlibPin, PinPhase, SkipReason,
+    SkippedCell,
+};
+use asyncmap_bff::Expr;
+use asyncmap_cube::VarTable;
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    line: usize,
+}
+
+/// Punctuation the tokenizer splits on. `*` doubles as the `PIN` wildcard
+/// and the AND operator; `'` is the postfix complement.
+const PUNCT: &[char] = &[';', '=', '(', ')', '+', '|', '*', '&', '!', '\''];
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("");
+        let mut word = String::new();
+        for ch in content.chars() {
+            if PUNCT.contains(&ch) || ch.is_whitespace() {
+                if !word.is_empty() {
+                    out.push(Token {
+                        text: std::mem::take(&mut word),
+                        line,
+                    });
+                }
+                if !ch.is_whitespace() {
+                    out.push(Token {
+                        text: ch.to_string(),
+                        line,
+                    });
+                }
+            } else {
+                word.push(ch);
+            }
+        }
+        if !word.is_empty() {
+            out.push(Token { text: word, line });
+        }
+    }
+    out
+}
+
+fn is_keyword(tok: &str) -> bool {
+    matches!(
+        tok,
+        "GATE" | "PIN" | "LATCH" | "SEQ" | "CONTROL" | "CONSTRAINT"
+    )
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, line: usize, kind: GenlibErrorKind, message: String) -> GenlibError {
+        GenlibError {
+            line,
+            kind,
+            message,
+        }
+    }
+
+    /// Takes a non-keyword field token, or reports the statement as
+    /// truncated (a keyword or end of file arrived first).
+    fn field(&mut self, stmt_line: usize, what: &str) -> Result<Token, GenlibError> {
+        match self.peek() {
+            Some(t) if !is_keyword(&t.text) => Ok(self.next().expect("peeked")),
+            _ => Err(self.err(
+                stmt_line,
+                GenlibErrorKind::Truncated,
+                format!("statement ends before its {what} field"),
+            )),
+        }
+    }
+
+    fn number(&mut self, stmt_line: usize, what: &str) -> Result<f64, GenlibError> {
+        let tok = self.field(stmt_line, what)?;
+        let v: f64 = tok.text.parse().map_err(|_| {
+            self.err(
+                tok.line,
+                GenlibErrorKind::BadNumber,
+                format!("bad {what} {:?}", tok.text),
+            )
+        })?;
+        if !v.is_finite() {
+            return Err(self.err(
+                tok.line,
+                GenlibErrorKind::BadNumber,
+                format!("non-finite {what} {:?}", tok.text),
+            ));
+        }
+        Ok(v)
+    }
+}
+
+/// Parses genlib text into a [`GenlibLibrary`] named `name`.
+///
+/// Combinational `GATE`s are converted; `LATCH` statements and
+/// constant-function gates are recorded in [`GenlibLibrary::skipped`].
+///
+/// # Errors
+///
+/// Returns a typed [`GenlibError`] (with a 1-based line number) on any
+/// malformed statement; never panics.
+pub fn parse_genlib(text: &str, name: &str) -> Result<GenlibLibrary, GenlibError> {
+    let mut p = Parser {
+        tokens: tokenize(text),
+        pos: 0,
+    };
+    let mut lib = GenlibLibrary {
+        name: name.to_owned(),
+        cells: Vec::new(),
+        skipped: Vec::new(),
+    };
+    // Whether PIN statements currently attach to the last GATE (false
+    // after LATCH: its pins are skipped along with it).
+    let mut pins_attach = false;
+    while let Some(tok) = p.next() {
+        match tok.text.as_str() {
+            "GATE" => match parse_gate(&mut p, tok.line)? {
+                ParsedGate::Cell(cell) => {
+                    if lib.cell(&cell.name).is_some() {
+                        return Err(p.err(
+                            tok.line,
+                            GenlibErrorKind::DuplicateGate,
+                            format!("gate {:?} already defined", cell.name),
+                        ));
+                    }
+                    lib.cells.push(cell);
+                    pins_attach = true;
+                }
+                ParsedGate::Constant(skipped) => {
+                    lib.skipped.push(skipped);
+                    pins_attach = false;
+                }
+            },
+            "LATCH" => {
+                let gate_line = tok.line;
+                let name_tok = p.field(gate_line, "name")?;
+                // Consume the rest of the statement (area + assignment)
+                // without interpreting it.
+                skip_until_semicolon(&mut p, gate_line)?;
+                lib.skipped.push(SkippedCell {
+                    name: name_tok.text,
+                    line: gate_line,
+                    reason: SkipReason::Latch,
+                });
+                pins_attach = false;
+            }
+            "PIN" => {
+                let stmt_line = tok.line;
+                let (pin_name, attrs) = parse_pin(&mut p, stmt_line)?;
+                if !pins_attach {
+                    if lib.cells.is_empty() && lib.skipped.is_empty() {
+                        return Err(p.err(
+                            stmt_line,
+                            GenlibErrorKind::PinBeforeGate,
+                            "PIN statement before any GATE".into(),
+                        ));
+                    }
+                    continue; // pins of a skipped latch/constant gate
+                }
+                let cell = lib.cells.last_mut().expect("pins_attach implies a cell");
+                if pin_name == "*" {
+                    for a in &mut cell.pin_attrs {
+                        *a = attrs.clone();
+                    }
+                } else {
+                    match cell.pins.lookup(&pin_name) {
+                        Some(v) => cell.pin_attrs[v.index()] = attrs,
+                        None => {
+                            return Err(p.err(
+                                stmt_line,
+                                GenlibErrorKind::UndeclaredPin,
+                                format!(
+                                    "gate {:?} has no pin {:?} in its expression",
+                                    cell.name, pin_name
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+            // SEQ/CONTROL/CONSTRAINT trail LATCH statements; skip their
+            // fields.
+            "SEQ" | "CONTROL" | "CONSTRAINT" => {
+                while p.peek().is_some_and(|t| !is_keyword(&t.text)) {
+                    p.next();
+                }
+            }
+            other => {
+                return Err(p.err(
+                    tok.line,
+                    GenlibErrorKind::UnknownStatement,
+                    format!("expected GATE, PIN or LATCH, found {other:?}"),
+                ));
+            }
+        }
+    }
+    if lib.cells.is_empty() {
+        return Err(GenlibError {
+            line: 0,
+            kind: GenlibErrorKind::EmptyLibrary,
+            message: "file declares no combinational gate".into(),
+        });
+    }
+    Ok(lib)
+}
+
+/// Consumes tokens up to and including the next `;`.
+fn skip_until_semicolon(p: &mut Parser, stmt_line: usize) -> Result<(), GenlibError> {
+    loop {
+        match p.next() {
+            Some(t) if t.text == ";" => return Ok(()),
+            Some(_) => {}
+            None => {
+                return Err(p.err(
+                    stmt_line,
+                    GenlibErrorKind::MissingSemicolon,
+                    "statement not terminated by `;`".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// What a `GATE` statement turned out to be.
+enum ParsedGate {
+    /// A convertible combinational cell.
+    Cell(GenlibCell),
+    /// A constant-function gate the mapper cannot use.
+    Constant(SkippedCell),
+}
+
+/// Parses one `GATE` statement after its keyword.
+fn parse_gate(p: &mut Parser, gate_line: usize) -> Result<ParsedGate, GenlibError> {
+    let name_tok = p.field(gate_line, "name")?;
+    let area = p.number(gate_line, "area")?;
+    let out_tok = p.field(gate_line, "output")?;
+    // Expect `=` next.
+    match p.peek() {
+        Some(t) if t.text == "=" => {
+            p.next();
+        }
+        _ => {
+            return Err(p.err(
+                p.line().max(gate_line),
+                GenlibErrorKind::MissingAssign,
+                format!("gate {:?}: expected `=` after output name", name_tok.text),
+            ))
+        }
+    }
+    // Expression tokens up to `;`.
+    let mut expr_tokens: Vec<Token> = Vec::new();
+    loop {
+        match p.next() {
+            Some(t) if t.text == ";" => break,
+            Some(t) => {
+                if is_keyword(&t.text) {
+                    return Err(p.err(
+                        t.line,
+                        GenlibErrorKind::MissingSemicolon,
+                        format!("gate {:?}: expression not terminated by `;`", name_tok.text),
+                    ));
+                }
+                expr_tokens.push(t);
+            }
+            None => {
+                return Err(p.err(
+                    gate_line,
+                    GenlibErrorKind::MissingSemicolon,
+                    format!("gate {:?}: expression not terminated by `;`", name_tok.text),
+                ))
+            }
+        }
+    }
+    if expr_tokens.is_empty() {
+        return Err(p.err(
+            gate_line,
+            GenlibErrorKind::BadExpression,
+            format!("gate {:?}: empty expression", name_tok.text),
+        ));
+    }
+    let sop = expr_tokens
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut pins = VarTable::new();
+    let expr = parse_expr_tokens(&expr_tokens, &mut pins).map_err(|msg| {
+        p.err(
+            gate_line,
+            GenlibErrorKind::BadExpression,
+            format!("gate {:?}: {msg}", name_tok.text),
+        )
+    })?;
+    if pins.is_empty() || expr.support().is_empty() {
+        // CONST0/CONST1 cells and vacuous expressions both land here.
+        return Ok(ParsedGate::Constant(SkippedCell {
+            name: name_tok.text,
+            line: gate_line,
+            reason: SkipReason::Constant,
+        }));
+    }
+    let npins = pins.len();
+    Ok(ParsedGate::Cell(GenlibCell {
+        name: name_tok.text,
+        area,
+        output: out_tok.text,
+        sop,
+        pins,
+        expr,
+        pin_attrs: vec![GenlibPin::default(); npins],
+        line: gate_line,
+    }))
+}
+
+/// Re-parses a declared genlib SOP expression (the text stored in
+/// [`GenlibCell::sop`]) over a fresh or shared pin table. The preflight
+/// analyzer uses this to re-derive a cell's declared function and
+/// cross-check it against the converted cell's structure.
+///
+/// # Errors
+///
+/// Returns a description of the syntax problem.
+pub fn parse_sop(text: &str, pins: &mut VarTable) -> Result<Expr, String> {
+    let tokens = tokenize(text);
+    if tokens.is_empty() {
+        return Err("empty expression".into());
+    }
+    parse_expr_tokens(&tokens, pins)
+}
+
+/// Parses one `PIN` statement after its keyword.
+fn parse_pin(p: &mut Parser, stmt_line: usize) -> Result<(String, GenlibPin), GenlibError> {
+    // The wildcard `*` tokenizes as punctuation; accept it as the name.
+    let name_tok = match p.peek() {
+        Some(t) if t.text == "*" => p.next().expect("peeked"),
+        _ => p.field(stmt_line, "pin name")?,
+    };
+    let phase_tok = p.field(stmt_line, "phase")?;
+    let phase = match phase_tok.text.to_ascii_uppercase().as_str() {
+        "INV" => PinPhase::Inv,
+        "NONINV" => PinPhase::NonInv,
+        "UNKNOWN" => PinPhase::Unknown,
+        other => {
+            return Err(p.err(
+                phase_tok.line,
+                GenlibErrorKind::BadPhase,
+                format!("bad pin phase {other:?} (want INV, NONINV or UNKNOWN)"),
+            ))
+        }
+    };
+    Ok((
+        name_tok.text,
+        GenlibPin {
+            phase,
+            input_load: p.number(stmt_line, "input load")?,
+            max_load: p.number(stmt_line, "max load")?,
+            rise_block: p.number(stmt_line, "rise block delay")?,
+            rise_fanout: p.number(stmt_line, "rise fanout delay")?,
+            fall_block: p.number(stmt_line, "fall block delay")?,
+            fall_fanout: p.number(stmt_line, "fall fanout delay")?,
+        },
+    ))
+}
+
+/// Recursive-descent parser over the expression token texts.
+///
+/// Grammar (`+`/`|` = OR, `*`/`&`/juxtaposition = AND, `!` prefix and `'`
+/// postfix = NOT):
+///
+/// ```text
+/// or     := and ( (+||) and )*
+/// and    := factor ( [*&]? factor )*
+/// factor := ( "!" factor | "(" or ")" | ident ) "'"*
+/// ```
+fn parse_expr_tokens(tokens: &[Token], pins: &mut VarTable) -> Result<Expr, String> {
+    let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    let mut pos = 0usize;
+    let expr = parse_or(&texts, &mut pos, pins)?;
+    if pos != texts.len() {
+        return Err(format!(
+            "trailing tokens after expression: {:?}",
+            &texts[pos..]
+        ));
+    }
+    Ok(expr)
+}
+
+fn starts_factor(tok: &str) -> bool {
+    tok == "!" || tok == "(" || !PUNCT.iter().any(|&c| tok == c.to_string())
+}
+
+fn parse_or(t: &[&str], pos: &mut usize, pins: &mut VarTable) -> Result<Expr, String> {
+    let mut terms = vec![parse_and(t, pos, pins)?];
+    while matches!(t.get(*pos), Some(&"+") | Some(&"|")) {
+        *pos += 1;
+        terms.push(parse_and(t, pos, pins)?);
+    }
+    Ok(Expr::or(terms))
+}
+
+fn parse_and(t: &[&str], pos: &mut usize, pins: &mut VarTable) -> Result<Expr, String> {
+    let mut factors = vec![parse_factor(t, pos, pins)?];
+    loop {
+        match t.get(*pos) {
+            Some(&"*") | Some(&"&") => {
+                *pos += 1;
+                factors.push(parse_factor(t, pos, pins)?);
+            }
+            Some(&tok) if starts_factor(tok) => {
+                factors.push(parse_factor(t, pos, pins)?);
+            }
+            _ => break,
+        }
+    }
+    Ok(Expr::and(factors))
+}
+
+fn parse_factor(t: &[&str], pos: &mut usize, pins: &mut VarTable) -> Result<Expr, String> {
+    let mut expr = match t.get(*pos) {
+        Some(&"!") => {
+            *pos += 1;
+            let inner = parse_factor(t, pos, pins)?;
+            inner.not()
+        }
+        Some(&"(") => {
+            *pos += 1;
+            let inner = parse_or(t, pos, pins)?;
+            match t.get(*pos) {
+                Some(&")") => {
+                    *pos += 1;
+                    inner
+                }
+                _ => return Err("unbalanced parenthesis".into()),
+            }
+        }
+        Some(&"CONST0") => {
+            *pos += 1;
+            Expr::Const(false)
+        }
+        Some(&"CONST1") => {
+            *pos += 1;
+            Expr::Const(true)
+        }
+        Some(&tok) if starts_factor(tok) => {
+            *pos += 1;
+            Expr::Var(pins.intern(tok))
+        }
+        Some(&tok) => return Err(format!("unexpected token {tok:?}")),
+        None => return Err("expression ends unexpectedly".into()),
+    };
+    while t.get(*pos) == Some(&"'") {
+        *pos += 1;
+        expr = expr.not();
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# MCNC-style fragment
+GATE INV    1 O=!a;        PIN a INV 1 999 0.9 0.2 0.9 0.2
+GATE NAND2  2 O=!(a*b);    PIN * INV 1 999 1.0 0.2 1.0 0.2
+GATE AND2   3 O=a*b;       PIN * NONINV 1 999 1.4 0.2 1.3 0.2
+GATE AOI21  3 O=!(a b + c);
+PIN a INV 1 999 1.2 0.2 1.2 0.2
+PIN b INV 1 999 1.2 0.2 1.2 0.2
+PIN c INV 1 999 1.0 0.2 1.0 0.2
+GATE ZERO   0 O=CONST0;
+LATCH DFF   6 Q=D;         PIN D NONINV 1 999 1.0 0.1 1.0 0.1
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let lib = parse_genlib(SAMPLE, "frag").unwrap();
+        assert_eq!(lib.name, "frag");
+        assert_eq!(lib.cells.len(), 4);
+        let aoi = lib.cell("AOI21").unwrap();
+        assert_eq!(aoi.pins.len(), 3);
+        assert_eq!(aoi.pin_attrs[2].rise_block, 1.0);
+        assert_eq!(aoi.output, "O");
+        // Implicit AND between `a` and `b` parsed.
+        assert_eq!(aoi.expr.num_literals(), 3);
+        // Skipped: the latch. (Constant gates are dropped silently by the
+        // statement parser; see `constant_gate_is_not_converted`.)
+        assert!(lib.skipped.iter().any(|s| s.name == "DFF"));
+        assert!(lib.cell("ZERO").is_none());
+        assert!(lib.cell("DFF").is_none());
+    }
+
+    #[test]
+    fn wildcard_pin_applies_to_all() {
+        let lib = parse_genlib(SAMPLE, "frag").unwrap();
+        let nand = lib.cell("NAND2").unwrap();
+        assert_eq!(nand.pin_attrs.len(), 2);
+        for a in &nand.pin_attrs {
+            assert_eq!(a.phase, PinPhase::Inv);
+            assert_eq!(a.rise_block, 1.0);
+        }
+        assert_eq!(nand.block_delay(), 1.0);
+    }
+
+    #[test]
+    fn to_library_round_trip() {
+        let lib = parse_genlib(SAMPLE, "frag").unwrap().to_library();
+        assert_eq!(lib.len(), 4);
+        assert_eq!(lib.cell("AND2").unwrap().area(), 3.0);
+        let inv = lib.cell("INV").unwrap();
+        assert_eq!(inv.num_inputs(), 1);
+        // Truth table of !a: true at a=0.
+        let tt = inv.truth_table();
+        assert!(tt.get(0) && !tt.get(1));
+    }
+
+    #[test]
+    fn postfix_and_prefix_not_agree() {
+        let a = parse_genlib("GATE X 1 O=a';", "t").unwrap();
+        let b = parse_genlib("GATE X 1 O=!a;", "t").unwrap();
+        let ta = a.to_library().cell("X").unwrap().truth_table();
+        let tb = b.to_library().cell("X").unwrap().truth_table();
+        assert_eq!(ta.words(), tb.words());
+    }
+
+    #[test]
+    fn or_bar_and_ampersand_accepted() {
+        let lib = parse_genlib("GATE X 1 O=a&b | c*d;", "t").unwrap();
+        assert_eq!(lib.cell("X").unwrap().pins.len(), 4);
+    }
+
+    #[test]
+    fn truncated_gate_is_typed() {
+        let err = parse_genlib("GATE INV 1", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::Truncated);
+        assert_eq!(err.line, 1);
+        let err = parse_genlib("GATE INV 1 O=!a", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::MissingSemicolon);
+        let err = parse_genlib("GATE INV", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::Truncated);
+        let err = parse_genlib("GATE", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::Truncated);
+    }
+
+    #[test]
+    fn truncated_pin_is_typed() {
+        let err =
+            parse_genlib("GATE INV 1 O=!a;\nPIN a INV 1 999\nGATE B 1 O=a;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::Truncated);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn bad_fields_are_typed() {
+        let err = parse_genlib("GATE INV x O=!a;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::BadNumber);
+        let err = parse_genlib("GATE INV 1 O=!a;\nPIN a SIDEWAYS 1 999 1 0 1 0", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::BadPhase);
+        let err = parse_genlib("GATE INV 1 O !a;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::MissingAssign);
+        let err = parse_genlib("GATE X 1 O=a*(b+;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::BadExpression);
+        let err = parse_genlib("WIRE X 1 O=a;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::UnknownStatement);
+        let err = parse_genlib("PIN a INV 1 999 1 0 1 0", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::PinBeforeGate);
+        let err = parse_genlib("GATE A 1 O=a;\nGATE A 1 O=!a;", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::DuplicateGate);
+        let err = parse_genlib("GATE A 1 O=a;\nPIN b INV 1 999 1 0 1 0", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::UndeclaredPin);
+        let err = parse_genlib("# nothing here\n", "t").unwrap_err();
+        assert_eq!(err.kind, GenlibErrorKind::EmptyLibrary);
+    }
+
+    #[test]
+    fn constant_gate_is_not_converted() {
+        let lib = parse_genlib("GATE ONE 1 O=CONST1;\nGATE BUF 2 O=a;", "t").unwrap();
+        assert_eq!(lib.cells.len(), 1);
+        assert!(lib.cell("ONE").is_none());
+        assert_eq!(lib.to_library().len(), 1);
+    }
+
+    #[test]
+    fn declared_sop_reparses_to_the_same_function() {
+        let lib = parse_genlib(SAMPLE, "frag").unwrap();
+        for cell in &lib.cells {
+            let mut pins = VarTable::new();
+            let expr = parse_sop(&cell.sop, &mut pins).unwrap();
+            assert_eq!(expr, cell.expr, "cell {}", cell.name);
+        }
+    }
+}

@@ -237,6 +237,22 @@ pub fn all_libraries() -> Vec<Library> {
     vec![lsi9k(), cmos3(), gdt(), actel()]
 }
 
+/// Names of the built-in libraries, lowercase, in the paper's Table 1
+/// order (the spelling [`library`] accepts).
+pub const LIBRARY_NAMES: [&str; 4] = ["lsi9k", "cmos3", "gdt", "actel"];
+
+/// Looks up a built-in library by its lowercase name (see
+/// [`LIBRARY_NAMES`]); `None` for anything else.
+pub fn library(name: &str) -> Option<Library> {
+    match name {
+        "lsi9k" => Some(lsi9k()),
+        "cmos3" => Some(cmos3()),
+        "gdt" => Some(gdt()),
+        "actel" => Some(actel()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,31 +2,42 @@
 //! burst-mode controllers, end to end from files.
 //!
 //! ```text
-//! asyncmap audit <library.lib>                   hazard audit (Table 1 style)
-//! asyncmap audit <machine.bms> <library.lib>     spec check + certificate replay + lint
-//! asyncmap synth <machine.bms>                   hazard-free equations + dot
-//! asyncmap map   <machine.bms> <library.lib>     synthesize + map + report
+//! asyncmap audit <library>                    hazard audit (Table 1 style)
+//! asyncmap audit <design> <library>           spec check + certificate replay + lint
+//! asyncmap synth <machine.bms>                hazard-free equations + dot
+//! asyncmap map   <design> <library>           load + map + report
 //!                [--objective area|delay] [--hand] [--sync] [--verilog out.v]
-//! asyncmap lint  <machine.bms> <library.lib>     map, then independently verify
-//! asyncmap analyze <machine.bms> <library.lib>   map, then whole-design
-//!                                                fundamental-mode analysis
-//! asyncmap gen   <gates>                         seeded large-design generator
+//!                [--lint] [--audit]
+//! asyncmap lint  <design> <library>           map, then independently verify
+//! asyncmap analyze <design> <library>         map, then whole-design
+//!                                             fundamental-mode analysis
+//! asyncmap preflight <design> <library>       static (library, design)
+//!                                             qualification, no mapping
+//! asyncmap gen   <gates>                      seeded large-design generator
 //!                [--seed N] [--inputs N] [--lib NAME] [--map] [--lint] [--audit]
 //!                [--emit out.eqn] [--edit K] [--edit-out out.edits]
-//! asyncmap eco   <base> <edits> <library>        incremental (ECO) remap
+//! asyncmap eco   <base> <edits> <library>     incremental (ECO) remap
 //!                [--objective area|delay] [--verify]
 //! ```
 //!
-//! `lint`, `analyze` and the two-argument `audit` also accept a builtin
-//! Table 5 benchmark name (e.g. `scsi`) in place of the `.bms` path and a
-//! builtin library name (e.g. `lsi9k`) in place of the library path;
-//! `analyze` additionally accepts an equation dump from `gen --emit`
-//! (analyzed without a spec). Setting `ASYNCMAP_LINT=1` makes every `map`
+//! Every `<design>` is resolved the same way: a `.blif` netlist (parsed
+//! and collapsed to two-level equations), a `.bms` burst-mode
+//! specification (synthesized to hazard-free equations), an equation dump
+//! from `gen --emit` (sniffed by its `inputs` header), or a builtin
+//! Table 5 benchmark name (e.g. `scsi`). Every `<library>` is a
+//! `.genlib` file (SIS/MIS cell-library format), a native `.lib` file,
+//! or a builtin library name (`lsi9k`, `cmos3`, `gdt`, `actel`). Only
+//! `.bms` and benchmark sources carry a burst-mode spec; the others are
+//! processed structurally.
+//!
+//! Setting `ASYNCMAP_LINT=1` makes every `map`
 //! run lint its own output as well, panicking on findings;
 //! `ASYNCMAP_AUDIT=1` makes every hazard-aware map replay the front end's
 //! translation-validation certificates the same way; `ASYNCMAP_FMA=1`
 //! runs the whole-design fundamental-mode analyzer after every
-//! hazard-aware map and ECO remap, panicking on error findings.
+//! hazard-aware map and ECO remap, panicking on error findings;
+//! `ASYNCMAP_PREFLIGHT=1` statically qualifies every (design, library)
+//! pair before mapping, panicking on error-severity findings.
 //!
 //! `gen --edit K` derives K cumulative single-cube edits from the
 //! generator seed and prints them as `set <name> = <cubes>` lines (or
@@ -45,6 +56,7 @@ fn main() -> ExitCode {
     asyncmap::install_lint_hook();
     asyncmap::install_audit_hook();
     asyncmap::install_fma_hook();
+    asyncmap::install_preflight_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("audit") => return cmd_audit(&args[1..]),
@@ -52,11 +64,13 @@ fn main() -> ExitCode {
         Some("map") => cmd_map(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("analyze") => return cmd_analyze(&args[1..]),
+        Some("preflight") => return cmd_preflight(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("eco") => cmd_eco(&args[1..]),
         _ => {
             eprintln!(
-                "usage: asyncmap <audit|synth|map|lint|analyze|gen|eco> ... (see crate docs)"
+                "usage: asyncmap <audit|synth|map|lint|analyze|preflight|gen|eco> \
+                 <design> <library> ... (see crate docs)"
             );
             return ExitCode::from(2);
         }
@@ -70,11 +84,6 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_library(path: &str) -> Result<Library, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Library::parse(&text).map_err(|e| format!("{path}: {e}"))
-}
-
 fn load_spec(path: &str) -> Result<asyncmap::burst::BurstSpec, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_bms(&text).map_err(|e| format!("{path}: {e}"))
@@ -85,8 +94,8 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         return cmd_audit_pipeline(&args[0], &args[1]);
     }
     let inner = || -> Result<(), String> {
-        let path = args.first().ok_or("audit: missing library path")?;
-        let mut lib = load_library(path)?;
+        let path = args.first().ok_or("audit: missing library path or name")?;
+        let mut lib = asyncmap::load_library_auto(path)?;
         lib.annotate_hazards();
         let hazardous = lib.hazardous_cells();
         println!(
@@ -115,31 +124,19 @@ fn cmd_audit(args: &[String]) -> ExitCode {
 }
 
 /// The translation-validation audit: statically checks the burst-mode
-/// spec, replays the certificate trail of the hazard-preserving front end
-/// on its equations, then maps against the library and lints the result.
-/// Exit code is nonzero on any finding.
+/// spec (when the design source carries one), replays the certificate
+/// trail of the hazard-preserving front end on its equations, then maps
+/// against the library and lints the result. Exit code is nonzero on any
+/// finding.
 fn cmd_audit_pipeline(spec_arg: &str, lib_arg: &str) -> ExitCode {
     let inner = || -> Result<(asyncmap::audit::AuditReport, asyncmap::lint::LintReport), String> {
-        let (spec, eqs) = if std::path::Path::new(spec_arg).is_file() {
-            let spec = load_spec(spec_arg)?;
-            let eqs = synthesize(&spec)?;
-            (spec, eqs)
-        } else if asyncmap::burst::BENCHMARKS
-            .iter()
-            .any(|d| d.name == spec_arg)
-        {
-            (
-                asyncmap::burst::benchmark_spec(spec_arg),
-                asyncmap::burst::benchmark(spec_arg),
-            )
-        } else {
-            return Err(format!(
-                "audit: {spec_arg} is neither a .bms file nor a builtin benchmark"
-            ));
+        let (eqs, spec) = asyncmap::load_design_with_spec(spec_arg)?;
+        let mut report = match &spec {
+            Some(spec) => asyncmap::audit::check_spec(spec),
+            None => asyncmap::audit::AuditReport::default(),
         };
-        let mut report = asyncmap::audit::check_spec(&spec);
         report.merge(asyncmap::audit::audit_equations(&eqs));
-        let mut lib = load_library_or_builtin(lib_arg)?;
+        let mut lib = asyncmap::load_library_auto(lib_arg)?;
         lib.annotate_hazards();
         let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
         Ok((report, lint_mapped_design(&design, &lib)))
@@ -189,11 +186,16 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_map(args: &[String]) -> Result<(), String> {
-    let spec_path = args.first().ok_or("map: missing .bms path")?;
-    let lib_path = args.get(1).ok_or("map: missing library path")?;
+    let design_arg = args
+        .first()
+        .ok_or("map: missing design (.blif, .bms, dump path, or benchmark)")?;
+    let lib_arg = args
+        .get(1)
+        .ok_or("map: missing library (.genlib, .lib path, or builtin name)")?;
     let mut objective = Objective::Area;
     let mut flow = "async";
     let mut verilog_out: Option<String> = None;
+    let (mut do_lint, mut do_audit) = (false, false);
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,14 +213,15 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
                 i += 1;
                 verilog_out = Some(args.get(i).ok_or("map: --verilog needs a path")?.clone());
             }
+            "--lint" => do_lint = true,
+            "--audit" => do_audit = true,
             other => return Err(format!("map: unknown flag {other:?}")),
         }
         i += 1;
     }
 
-    let spec = load_spec(spec_path)?;
-    let eqs = synthesize(&spec)?;
-    let mut lib = load_library(lib_path)?;
+    let (eqs, spec) = asyncmap::load_design_with_spec(design_arg)?;
+    let mut lib = asyncmap::load_library_auto(lib_arg)?;
     lib.annotate_hazards();
     let options = MapOptions {
         objective,
@@ -237,42 +240,40 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         return Err("internal error: mapped design gained hazards".into());
     }
     print!("{}", render_report(&design, &lib));
+    let (fp_area, fp_delay, fp_inst, fp_cones) = asyncmap::bench::design_fingerprint(&design);
+    println!("fingerprint: {fp_area:016x}-{fp_delay:016x}-{fp_inst}-{fp_cones}");
+    if do_audit {
+        let mut report = match &spec {
+            Some(spec) => asyncmap::audit::check_spec(spec),
+            None => asyncmap::audit::AuditReport::default(),
+        };
+        report.merge(asyncmap::audit::audit_equations(&eqs));
+        print!("{}", report.render());
+        if !report.is_clean() {
+            return Err("map: audit findings on the synthesis pipeline".into());
+        }
+    }
+    if do_lint {
+        let report = lint_mapped_design(&design, &lib);
+        print!("{}", report.render());
+        if !report.is_clean() {
+            return Err("map: lint findings on the mapped design".into());
+        }
+    }
     if let Some(path) = verilog_out {
-        let module = spec.name.replace('-', "_");
+        let module = match &spec {
+            Some(spec) => spec.name.replace('-', "_"),
+            None => std::path::Path::new(design_arg.as_str())
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("design")
+                .replace(['-', '.'], "_"),
+        };
         std::fs::write(&path, to_verilog(&design, &lib, &module))
             .map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
-}
-
-/// Resolves a `.bms` path or a builtin Table 5 benchmark name.
-fn load_equations(arg: &str) -> Result<EquationSet, String> {
-    if std::path::Path::new(arg).is_file() {
-        return synthesize(&load_spec(arg)?);
-    }
-    if asyncmap::burst::BENCHMARKS.iter().any(|d| d.name == arg) {
-        return Ok(asyncmap::burst::benchmark(arg));
-    }
-    Err(format!(
-        "lint: {arg} is neither a .bms file nor a builtin benchmark ({})",
-        asyncmap::burst::BENCHMARKS
-            .iter()
-            .map(|d| d.name)
-            .collect::<Vec<_>>()
-            .join(", ")
-    ))
-}
-
-/// Resolves a library file path or a builtin library name.
-fn load_library_or_builtin(arg: &str) -> Result<Library, String> {
-    if std::path::Path::new(arg).is_file() {
-        return load_library(arg);
-    }
-    builtin::all_libraries()
-        .into_iter()
-        .find(|l| l.name().eq_ignore_ascii_case(arg))
-        .ok_or_else(|| format!("lint: {arg} is neither a library file nor a builtin library"))
 }
 
 /// The seeded large-design generator: builds a deterministic multi-cone
@@ -379,7 +380,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     if !(do_map || do_lint) {
         return Ok(());
     }
-    let mut lib = load_library_or_builtin(&lib_arg)?;
+    let mut lib = asyncmap::load_library_auto(&lib_arg)?;
     lib.annotate_hazards();
     let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
     println!(
@@ -398,21 +399,6 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-/// Resolves the `eco` base design: an equation dump from `gen --emit`
-/// (sniffed by its `inputs` header), a `.bms` file, or a builtin
-/// benchmark name.
-fn load_base_design(arg: &str) -> Result<EquationSet, String> {
-    if std::path::Path::new(arg).is_file() {
-        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
-        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-        if first.trim_start().starts_with("inputs") {
-            return Ok(asyncmap::bench::parse_design(&text));
-        }
-        return synthesize(&parse_bms(&text).map_err(|e| format!("{arg}: {e}"))?);
-    }
-    load_equations(arg)
 }
 
 /// Incremental (ECO) remap: base-maps the design once, applies an edit
@@ -445,11 +431,11 @@ fn cmd_eco(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
-    let eqs = load_base_design(base_arg)?;
+    let eqs = asyncmap::load_design_auto(base_arg)?;
     let edits_text = std::fs::read_to_string(edits_arg).map_err(|e| format!("{edits_arg}: {e}"))?;
     let edits = asyncmap::bench::parse_edits(&edits_text, &eqs.inputs);
     let edited = asyncmap::bench::apply_edits(&eqs, &edits);
-    let mut lib = load_library_or_builtin(lib_arg)?;
+    let mut lib = asyncmap::load_library_auto(lib_arg)?;
     lib.annotate_hazards();
     let options = MapOptions {
         objective,
@@ -508,10 +494,14 @@ fn cmd_eco(args: &[String]) -> Result<(), String> {
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let inner = || -> Result<asyncmap::lint::LintReport, String> {
-        let spec_arg = args.first().ok_or("lint: missing .bms path or benchmark")?;
-        let lib_arg = args.get(1).ok_or("lint: missing library path or name")?;
-        let eqs = load_equations(spec_arg)?;
-        let mut lib = load_library_or_builtin(lib_arg)?;
+        let spec_arg = args
+            .first()
+            .ok_or("lint: missing design (.blif, .bms, dump path, or benchmark)")?;
+        let lib_arg = args
+            .get(1)
+            .ok_or("lint: missing library (.genlib, .lib path, or builtin name)")?;
+        let eqs = asyncmap::load_design_auto(spec_arg)?;
+        let mut lib = asyncmap::load_library_auto(lib_arg)?;
         lib.annotate_hazards();
         let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
         Ok(lint_mapped_design(&design, &lib))
@@ -541,48 +531,94 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let inner = || -> Result<FmaReport, String> {
         let src_arg = args
             .first()
-            .ok_or("analyze: missing .bms path, benchmark, or design dump")?;
-        let lib_arg = args.get(1).ok_or("analyze: missing library path or name")?;
-        let mut lib =
-            load_library_or_builtin(lib_arg).map_err(|e| e.replace("lint:", "analyze:"))?;
+            .ok_or("analyze: missing design (.blif, .bms, dump path, or benchmark)")?;
+        let lib_arg = args
+            .get(1)
+            .ok_or("analyze: missing library (.genlib, .lib path, or builtin name)")?;
+        let mut lib = asyncmap::load_library_auto(lib_arg)?;
         lib.annotate_hazards();
 
-        // Resolve the source: a `.bms` file or builtin benchmark carries a
-        // burst-mode spec (full analysis); an equation dump from
-        // `gen --emit` is analyzed structurally, without a spec.
-        let (eqs, spec) = if std::path::Path::new(src_arg).is_file() {
-            let text = std::fs::read_to_string(src_arg).map_err(|e| format!("{src_arg}: {e}"))?;
-            let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-            if first.trim_start().starts_with("inputs") {
-                (asyncmap::bench::parse_design(&text), None)
-            } else {
-                let spec = parse_bms(&text).map_err(|e| format!("{src_arg}: {e}"))?;
-                (synthesize(&spec)?, Some(spec))
-            }
-        } else if asyncmap::burst::BENCHMARKS
-            .iter()
-            .any(|d| d.name == src_arg)
-        {
-            (
-                asyncmap::burst::benchmark(src_arg),
-                Some(asyncmap::burst::benchmark_spec(src_arg)),
-            )
-        } else {
-            return Err(format!(
-                "analyze: {src_arg} is neither a file nor a builtin benchmark ({})",
-                asyncmap::burst::BENCHMARKS
-                    .iter()
-                    .map(|d| d.name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ));
-        };
-
+        // A `.bms` file or builtin benchmark carries a burst-mode spec
+        // (full analysis); `.blif` netlists and equation dumps are
+        // analyzed structurally, without a spec.
+        let (eqs, spec) = asyncmap::load_design_with_spec(src_arg)?;
         let design = async_tmap(&eqs, &lib, &MapOptions::default()).map_err(|e| e.to_string())?;
         Ok(match &spec {
             Some(spec) => analyze_design_with_spec(&design, &lib, spec),
             None => analyze_design(&design, &lib),
         })
+    };
+    match inner() {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.num_errors() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The static qualification gate: analyzes the (library, design) pair
+/// before any mapping is attempted. Library-side checks run on the parsed
+/// library (for `.genlib` sources this includes declared-function and
+/// pin-phase cross-checks), design-side checks on the netlist or equation
+/// set (for `.blif` sources structural problems — cycles, undriven or
+/// multiply-driven nets, latches — are reported as findings even when the
+/// netlist cannot be collapsed), and pair-wise checks look for cone roots
+/// whose sampled cut functions no library cell can realize. Notes and
+/// warnings are informational; the exit code is nonzero only on
+/// error-severity findings.
+fn cmd_preflight(args: &[String]) -> ExitCode {
+    let inner = || -> Result<PreflightReport, String> {
+        let design_arg = args
+            .first()
+            .ok_or("preflight: missing design (.blif, .bms, dump path, or benchmark)")?;
+        let lib_arg = args
+            .get(1)
+            .ok_or("preflight: missing library (.genlib, .lib path, or builtin name)")?;
+
+        let (mut report, library) = if lib_arg.ends_with(".genlib") {
+            let text = std::fs::read_to_string(lib_arg).map_err(|e| format!("{lib_arg}: {e}"))?;
+            let name = std::path::Path::new(lib_arg.as_str())
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("genlib");
+            let parsed = asyncmap::genlib::parse_genlib(&text, name)
+                .map_err(|e| format!("{lib_arg}: {e}"))?;
+            asyncmap::preflight::preflight_genlib(&parsed)
+        } else {
+            let library = asyncmap::load_library_auto(lib_arg)?;
+            (asyncmap::preflight::preflight_library(&library), library)
+        };
+
+        let eqs = if design_arg.ends_with(".blif") {
+            let text =
+                std::fs::read_to_string(design_arg).map_err(|e| format!("{design_arg}: {e}"))?;
+            let name = std::path::Path::new(design_arg.as_str())
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("blif");
+            let net = asyncmap::blif::parse_blif(&text, name)
+                .map_err(|e| format!("{design_arg}: {e}"))?;
+            let (design_report, eqs) = asyncmap::preflight::preflight_blif(&net);
+            report.merge(design_report);
+            eqs
+        } else {
+            let eqs = asyncmap::load_design_auto(design_arg)?;
+            report.merge(asyncmap::preflight::preflight_design(&eqs));
+            Some(eqs)
+        };
+
+        if let Some(eqs) = &eqs {
+            report.merge(asyncmap::preflight::preflight_pair(eqs, &library));
+        }
+        Ok(report)
     };
     match inner() {
         Ok(report) => {

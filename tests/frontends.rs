@@ -1,0 +1,186 @@
+//! Frontend file-format tests: the genlib and BLIF parsers on the
+//! checked-in MCNC-style fixtures, plus malformed-input rejection —
+//! every broken file must produce a typed error or a structural finding,
+//! never a panic.
+
+use asyncmap::blif::{parse_blif, BlifErrorKind, CollapseErrorKind, CollapseLimits};
+use asyncmap::genlib::{parse_genlib, GenlibErrorKind};
+use proptest::prelude::*;
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(format!("tests/fixtures/{name}")).unwrap()
+}
+
+#[test]
+fn mcnc_like_genlib_parses_and_converts() {
+    let parsed = parse_genlib(&fixture("mcnc_like.genlib"), "mcnc_like").unwrap();
+    assert_eq!(parsed.cells.len(), 19);
+    assert_eq!(parsed.skipped.len(), 1, "the DFF latch is skipped");
+    let lib = parsed.to_library();
+    assert_eq!(lib.len(), 19);
+    assert_eq!(lib.cell("INV").unwrap().num_inputs(), 1);
+    assert_eq!(lib.cell("AOI22").unwrap().num_inputs(), 4);
+    assert_eq!(lib.cell("AND2").unwrap().area(), 3.0);
+}
+
+#[test]
+fn ctrl_like_blif_parses_and_collapses() {
+    let net = parse_blif(&fixture("ctrl_like.blif"), "ctrl_like").unwrap();
+    assert_eq!(net.model, "ctrl_like");
+    assert_eq!(net.inputs.len(), 6);
+    assert_eq!(net.outputs, ["grant0", "grant1", "stall", "err"]);
+    assert!(net.structure().is_sound());
+    let eqs = net.to_equations(&CollapseLimits::default()).unwrap();
+    assert_eq!(eqs.equations.len(), 4);
+    // The OFF-set cone: stall = busy * (req0 + req1), 2 cubes.
+    let stall = &eqs.equations.iter().find(|(n, _)| n == "stall").unwrap().1;
+    assert_eq!(stall.len(), 2);
+}
+
+#[test]
+fn truncated_genlib_lines_are_typed_errors() {
+    for (text, kind) in [
+        ("GATE HALF", GenlibErrorKind::Truncated),
+        ("GATE HALF 1", GenlibErrorKind::Truncated),
+        ("GATE G 1 O=a; PIN a", GenlibErrorKind::Truncated),
+        ("GATE G x O=a;", GenlibErrorKind::BadNumber),
+        (
+            "GATE G 1 O=a; PIN a SIDEWAYS 1 999 1 1 1 1",
+            GenlibErrorKind::BadPhase,
+        ),
+        ("GATE G 1 O=a*(b;", GenlibErrorKind::BadExpression),
+        ("GATE G 1 O a;", GenlibErrorKind::MissingAssign),
+        ("GATE G 1 O=a", GenlibErrorKind::MissingSemicolon),
+        (
+            "GATE G 1 O=a;\nGATE G 1 O=b;",
+            GenlibErrorKind::DuplicateGate,
+        ),
+        (
+            "GATE G 1 O=a; PIN z INV 1 999 1 1 1 1",
+            GenlibErrorKind::UndeclaredPin,
+        ),
+        ("PIN a INV 1 999 1 1 1 1", GenlibErrorKind::PinBeforeGate),
+        ("WIRE W 1 O=a;", GenlibErrorKind::UnknownStatement),
+        ("# only a comment", GenlibErrorKind::EmptyLibrary),
+    ] {
+        let err = parse_genlib(text, "broken").unwrap_err();
+        assert_eq!(err.kind, kind, "for {text:?}: {err}");
+    }
+}
+
+#[test]
+fn malformed_blif_is_a_typed_error() {
+    for (text, kind) in [
+        (".model a\n.model b\n.end", BlifErrorKind::DuplicateModel),
+        (
+            ".model m\n.inputs a a\n.outputs f\n.names a f\n1 1\n.end",
+            BlifErrorKind::DuplicateInput,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f f\n.names a f\n1 1\n.end",
+            BlifErrorKind::DuplicateOutput,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.names\n.end",
+            BlifErrorKind::BadNames,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end",
+            BlifErrorKind::BadCover,
+        ),
+        (
+            ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end",
+            BlifErrorKind::MixedCover,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.names a f\n1 -\n.end",
+            BlifErrorKind::DontCare,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.exdc\n.names a f\n1 1\n.end",
+            BlifErrorKind::DontCare,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.latch a\n.end",
+            BlifErrorKind::BadLatch,
+        ),
+        (
+            ".model m\n.inputs a\n.outputs f\n.subckt sub x=a\n.end",
+            BlifErrorKind::UnsupportedConstruct,
+        ),
+        (".model m\n.end", BlifErrorKind::EmptyModel),
+    ] {
+        let err = parse_blif(text, "broken").unwrap_err();
+        assert_eq!(err.kind, kind, "for {text:?}: {err}");
+    }
+}
+
+#[test]
+fn dangling_names_refs_parse_but_are_structurally_unsound() {
+    // `ghost` is read but never driven: a structural finding, not a
+    // syntax error — the netlist still parses.
+    let text = ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end";
+    let net = parse_blif(text, "m").unwrap();
+    let s = net.structure();
+    assert_eq!(s.undriven, ["ghost"]);
+    assert!(!s.is_sound());
+    let err = net.to_equations(&CollapseLimits::default()).unwrap_err();
+    assert_eq!(err.kind, CollapseErrorKind::Undriven);
+    assert_eq!(err.signal, "ghost");
+}
+
+#[test]
+fn cyclic_netlists_parse_but_do_not_collapse() {
+    let net = parse_blif(&fixture("bad_cycle.blif"), "bad_cycle").unwrap();
+    let s = net.structure();
+    assert_eq!(s.on_cycle, ["f", "p", "q"]);
+    let err = net.to_equations(&CollapseLimits::default()).unwrap_err();
+    assert_eq!(err.kind, CollapseErrorKind::Cycle);
+}
+
+#[test]
+fn multiply_driven_nets_parse_but_do_not_collapse() {
+    let text = ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end";
+    let net = parse_blif(text, "m").unwrap();
+    assert_eq!(net.structure().multi_driven, ["f"]);
+    let err = net.to_equations(&CollapseLimits::default()).unwrap_err();
+    assert_eq!(err.kind, CollapseErrorKind::MultiDriven);
+}
+
+// A token soup biased toward the two grammars: random fragments must
+// always come back as Ok or a typed error, never a panic.
+const GENLIB_TOKENS: &[&str] = &[
+    "GATE", "PIN", "LATCH", "O=", "=", ";", "!", "'", "(", ")", "*", "+", "a", "b", "INV",
+    "NONINV", "1", "0.5", "-3", "999", "\n", " ", "#", "CONST0",
+];
+const BLIF_TOKENS: &[&str] = &[
+    ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".exdc", "a", "b", "f", "0", "1",
+    "-", "2", "\\", "\n", " ", "#",
+];
+
+fn arb_soup(tokens: &'static [&'static str]) -> impl Strategy<Value = String> {
+    prop::collection::vec(0..tokens.len(), 0..40).prop_map(move |picks| {
+        picks
+            .into_iter()
+            .map(|i| tokens[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn genlib_parser_never_panics(text in arb_soup(GENLIB_TOKENS)) {
+        let _ = parse_genlib(&text, "fuzz");
+    }
+
+    #[test]
+    fn blif_parser_never_panics(text in arb_soup(BLIF_TOKENS)) {
+        if let Ok(net) = parse_blif(&text, "fuzz") {
+            let _ = net.structure();
+            let _ = net.to_equations(&CollapseLimits { max_cubes: 500 });
+        }
+    }
+}

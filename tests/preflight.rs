@@ -1,0 +1,170 @@
+//! Preflight qualification end to end: builtin (benchmark, library)
+//! pairs qualify with zero errors, the deliberately broken fixtures are
+//! rejected with their expected finding codes, and the good BLIF +
+//! genlib fixture pair round-trips through map → lint → audit → analyze
+//! with a stable design fingerprint.
+
+use asyncmap::blif::{parse_blif, CollapseLimits};
+use asyncmap::genlib::parse_genlib;
+use asyncmap::preflight::{preflight, preflight_blif, preflight_genlib, preflight_pair};
+use asyncmap::prelude::*;
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(format!("tests/fixtures/{name}")).unwrap()
+}
+
+#[test]
+fn builtin_pairs_qualify_with_zero_errors() {
+    for bench in ["vanbek-opt", "dme-fast", "pe-send-ifc", "scsi"] {
+        let eqs = asyncmap::burst::benchmark(bench);
+        for lib in builtin::all_libraries() {
+            let report = preflight(&eqs, &lib);
+            assert_eq!(
+                report.num_errors(),
+                0,
+                "{bench} x {}:\n{}",
+                lib.name(),
+                report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_phase_genlib_is_rejected_with_function_mismatch() {
+    let parsed = parse_genlib(&fixture("bad_phase.genlib"), "bad_phase").unwrap();
+    let (report, _) = preflight_genlib(&parsed);
+    assert!(report.num_errors() > 0);
+    let mismatches: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == "library.function-mismatch")
+        .collect();
+    assert!(!mismatches.is_empty(), "{}", report.render());
+    assert!(
+        mismatches.iter().all(|f| f.path.contains("NAND2X")),
+        "only the broken cell is flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn bad_cycle_blif_is_rejected_with_design_cycle() {
+    let net = parse_blif(&fixture("bad_cycle.blif"), "bad_cycle").unwrap();
+    let (report, eqs) = preflight_blif(&net);
+    assert!(eqs.is_none(), "a cyclic netlist cannot collapse");
+    assert!(report.num_errors() > 0);
+    assert!(
+        report.findings.iter().any(|f| f.code == "design.cycle"),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn fixture_pair_round_trips_map_lint_audit_analyze() {
+    // Preflight qualifies the pair.
+    let parsed = parse_genlib(&fixture("mcnc_like.genlib"), "mcnc_like").unwrap();
+    let (lib_report, mut lib) = preflight_genlib(&parsed);
+    assert_eq!(lib_report.num_errors(), 0, "{}", lib_report.render());
+
+    let net = parse_blif(&fixture("ctrl_like.blif"), "ctrl_like").unwrap();
+    let (design_report, eqs) = preflight_blif(&net);
+    assert_eq!(design_report.num_errors(), 0, "{}", design_report.render());
+    let eqs = eqs.expect("ctrl_like collapses");
+    let pair_report = preflight_pair(&eqs, &lib);
+    assert_eq!(pair_report.num_errors(), 0, "{}", pair_report.render());
+
+    // Map the qualified pair and verify it from every angle.
+    lib.annotate_hazards();
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    assert!(design.verify_function(&lib));
+    assert!(design.verify_hazards(&lib));
+
+    let lint = lint_mapped_design(&design, &lib);
+    assert!(lint.is_clean(), "{}", lint.render());
+
+    let audit = asyncmap::audit::audit_equations(&eqs);
+    assert!(audit.is_clean(), "{}", audit.render());
+
+    let fma = analyze_design(&design, &lib);
+    assert_eq!(fma.num_errors(), 0, "{}", fma.render());
+
+    // The fingerprint is stable: a second cold map reproduces it.
+    let again = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    assert_eq!(
+        asyncmap::bench::design_fingerprint(&design),
+        asyncmap::bench::design_fingerprint(&again)
+    );
+}
+
+#[test]
+fn loaders_resolve_fixture_paths_and_reject_unknown_names() {
+    let lib = asyncmap::load_library_auto("tests/fixtures/mcnc_like.genlib").unwrap();
+    assert_eq!(lib.len(), 19);
+    let eqs = asyncmap::load_design_auto("tests/fixtures/ctrl_like.blif").unwrap();
+    assert_eq!(eqs.equations.len(), 4);
+
+    // Unified unknown-input diagnostics name the accepted alternatives.
+    let e = asyncmap::load_library_auto("nonesuch").unwrap_err();
+    assert!(e.starts_with("unknown library"), "{e}");
+    assert!(e.contains("lsi9k"), "{e}");
+    let e = asyncmap::load_design_auto("nonesuch").unwrap_err();
+    assert!(e.starts_with("unknown design"), "{e}");
+    assert!(e.contains("dme-fast"), "{e}");
+
+    // A cyclic netlist surfaces the collapse error through the loader.
+    let e = asyncmap::load_design_auto("tests/fixtures/bad_cycle.blif").unwrap_err();
+    assert!(e.contains("cycle"), "{e}");
+}
+
+#[test]
+fn dropping_every_inverter_is_a_coverage_gap_and_unmappable_pair() {
+    // Qualification soundness, library side: a library that cannot invert
+    // is flagged before any mapping is attempted.
+    let text = fixture("mcnc_like.genlib");
+    let stripped: String = text
+        .lines()
+        .filter(|l| {
+            let name = l.split_whitespace().nth(1).unwrap_or("");
+            !matches!(
+                name,
+                "INV"
+                    | "NAND2"
+                    | "NOR2"
+                    | "NAND3"
+                    | "NOR3"
+                    | "AOI21"
+                    | "OAI21"
+                    | "AOI22"
+                    | "OAI22"
+                    | "XOR2"
+                    | "XNOR2"
+                    | "MUX2"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let parsed = parse_genlib(&stripped, "no_inv").unwrap();
+    let (report, lib) = preflight_genlib(&parsed);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "library.coverage-gap" && f.message.contains("inverter")),
+        "{}",
+        report.render()
+    );
+
+    // Pair side: a design that needs inversion is guaranteed unmappable.
+    let net = parse_blif(&fixture("ctrl_like.blif"), "ctrl_like").unwrap();
+    let eqs = net.to_equations(&CollapseLimits::default()).unwrap();
+    let pair = preflight_pair(&eqs, &lib);
+    assert!(
+        pair.findings
+            .iter()
+            .any(|f| f.code == "pair.unmappable" && f.severity == asyncmap::report::Severity::Error),
+        "{}",
+        pair.render()
+    );
+}

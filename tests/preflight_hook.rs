@@ -1,0 +1,36 @@
+//! The `ASYNCMAP_PREFLIGHT=1` pre-map hook, in its own test binary: the
+//! environment variable is process-wide, so this file holds the only
+//! test that sets it.
+
+use asyncmap::prelude::*;
+
+#[test]
+fn pre_map_hook_gates_disqualified_pairs_and_passes_clean_ones() {
+    asyncmap::install_preflight_hook();
+    std::env::set_var("ASYNCMAP_PREFLIGHT", "1");
+
+    // A clean builtin pair maps normally with the gate armed.
+    let eqs = asyncmap::burst::benchmark("dme-fast");
+    let mut lib = builtin::lsi9k();
+    lib.annotate_hazards();
+    let design = async_tmap(&eqs, &lib, &MapOptions::default()).unwrap();
+    assert!(design.verify_function(&lib));
+
+    // A library that cannot invert disqualifies the pair before any
+    // mapping work: the hook panics with the rendered report.
+    let mut no_inv = Library::new("no-inv");
+    no_inv.add(Cell::from_bff("AND2", "a*b", 1.0));
+    no_inv.add(Cell::from_bff("OR2", "a + b", 1.0));
+    no_inv.add(Cell::from_bff("BUF", "(a')'", 1.0));
+    no_inv.annotate_hazards();
+    let result = std::panic::catch_unwind(|| {
+        let _ = async_tmap(&eqs, &no_inv, &MapOptions::default());
+    });
+    let panic = result.expect_err("the preflight gate must fire");
+    let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        message.contains("pre-map qualification failed"),
+        "unexpected panic: {message}"
+    );
+    assert!(message.contains("pair.unmappable"), "{message}");
+}
